@@ -1,0 +1,81 @@
+"""Ablation bench (beyond the paper): are the headline conclusions
+robust to the FLOPs-counting convention?
+
+The paper counts TF-profiler FLOPs; we re-evaluate the Fig. 10 rate
+comparison under every convention in the library using the *paper's own
+winning architectures* (so no training enters the ablation — this
+isolates the accounting from the search).
+"""
+
+import pytest
+
+from repro.core.comparison import rate_of_increase
+from repro.flops import (
+    CONVENTIONS,
+    classical_model_flops,
+    get_convention,
+    hybrid_model_flops,
+)
+
+#: Architectures representative of the paper's winners at the low/high
+#: complexity levels (classical sizes inferred from its parameter plots).
+PAPER_WINNERS = {
+    "classical": {10: (6,), 110: (4, 10)},
+    "bel": {10: (3, 2), 110: (4, 4)},
+    "sel": {10: (3, 2), 110: (3, 2)},
+}
+
+
+def flops_of(family, fs, convention):
+    arch = PAPER_WINNERS[family][fs]
+    if family == "classical":
+        return classical_model_flops(fs, arch, convention=convention)
+    return hybrid_model_flops(
+        fs, arch[0], arch[1], ansatz=family, convention=convention
+    )
+
+
+class TestConventionAblation:
+    @pytest.mark.parametrize("convention", sorted(CONVENTIONS))
+    def test_sel_rate_lowest_under_every_convention(self, convention):
+        rates = {
+            family: rate_of_increase(
+                flops_of(family, 10, convention),
+                flops_of(family, 110, convention),
+            )
+            for family in PAPER_WINNERS
+        }
+        print(f"\n{convention}: " + ", ".join(
+            f"{f}={100 * r:.1f}%" for f, r in rates.items()
+        ))
+        assert rates["sel"] < rates["bel"]
+        assert rates["sel"] < rates["classical"]
+
+    @pytest.mark.parametrize("convention", sorted(CONVENTIONS))
+    def test_rate_table_bench(self, benchmark, convention):
+        conv = get_convention(convention)
+
+        def compute():
+            return {
+                family: rate_of_increase(
+                    flops_of(family, 10, conv), flops_of(family, 110, conv)
+                )
+                for family in PAPER_WINNERS
+            }
+
+        rates = benchmark(compute)
+        assert all(0 <= r <= 1 for r in rates.values())
+
+    def test_paper_convention_reproduces_published_sel_rate_shape(self):
+        """Under our counting the SEL rate lands well below the paper's
+        53.1% (our simulator costs the quantum part higher, and that part
+        is constant), preserving the direction of the claim."""
+        rate = rate_of_increase(
+            flops_of("sel", 10, "paper"), flops_of("sel", 110, "paper")
+        )
+        classical = rate_of_increase(
+            flops_of("classical", 10, "paper"),
+            flops_of("classical", 110, "paper"),
+        )
+        assert rate < 0.531 + 0.05
+        assert classical > 0.80

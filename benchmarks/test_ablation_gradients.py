@@ -1,0 +1,70 @@
+"""Ablation bench (beyond the paper): gradient-backend cost.
+
+The paper backpropagates through the simulation (TF).  We compare our
+two exact backends — adjoint (used for training) and parameter-shift
+(hardware-realistic) — in measured wall time and in modeled FLOPs, as a
+function of circuit depth.  Parameter-shift scales linearly in the
+parameter count on top of the circuit cost, so the gap must widen with
+depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flops import PAPER, PARAMETER_SHIFT, quantum_layer_flops
+from repro.quantum import (
+    adjoint_gradients,
+    angle_embedding,
+    parameter_shift_gradients,
+    random_sel_weights,
+    run,
+    strongly_entangling_layers,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def sel_case(n_layers, n_qubits=3, batch=16):
+    x = RNG.uniform(-1, 1, (batch, n_qubits))
+    w = random_sel_weights(n_layers, n_qubits, RNG)
+    tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+        w, n_qubits
+    )
+    final = run(tape, n_qubits, batch)
+    grad = RNG.standard_normal((batch, n_qubits))
+    return tape, final, grad, n_qubits, batch, w.size
+
+
+class TestGradientAblation:
+    @pytest.mark.parametrize("n_layers", [1, 4])
+    def test_adjoint_bench(self, benchmark, n_layers):
+        tape, final, grad, q, _, n_w = sel_case(n_layers)
+        benchmark(adjoint_gradients, tape, final, grad, q, n_w)
+
+    @pytest.mark.parametrize("n_layers", [1, 4])
+    def test_parameter_shift_bench(self, benchmark, n_layers):
+        tape, _, grad, q, batch, n_w = sel_case(n_layers)
+        benchmark(
+            parameter_shift_gradients, tape, q, batch, grad, q, n_w
+        )
+
+    def test_modeled_cost_gap_widens_with_depth(self):
+        shallow_tape, *_ = sel_case(1)
+        deep_tape, *_ = sel_case(6)
+        ratio = []
+        for tape in (shallow_tape, deep_tape):
+            backprop = quantum_layer_flops(PAPER, tape, 3).total
+            shift = quantum_layer_flops(PARAMETER_SHIFT, tape, 3).total
+            ratio.append(shift / backprop)
+        assert ratio[1] > ratio[0] > 1.0
+
+    def test_backends_agree_while_disagreeing_on_cost(self):
+        """Same gradients, very different cost models: the whole point
+        of keeping both backends."""
+        tape, final, grad, q, batch, n_w = sel_case(2)
+        gi_a, gw_a = adjoint_gradients(tape, final, grad, q, n_w)
+        gi_s, gw_s = parameter_shift_gradients(
+            tape, q, batch, grad, q, n_w
+        )
+        np.testing.assert_allclose(gi_a, gi_s, atol=1e-9)
+        np.testing.assert_allclose(gw_a, gw_s, atol=1e-9)

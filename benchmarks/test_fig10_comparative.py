@@ -1,0 +1,55 @@
+"""Benchmark E7 — paper Fig. 10: the headline rate-of-increase
+comparison between classical, hybrid-BEL and hybrid-SEL models.
+
+Paper claim ordering (FLOPs rates, low -> high complexity):
+    SEL (53.1 %)  <  BEL (80.1 %)  <  classical (88.5 %).
+We assert the structural part — SEL's rate is the lowest — which holds
+because SEL's winning circuit stays small while its classical input
+layer is a (features -> 3 qubits) bottleneck, whereas classical winners
+grow both with features and in architecture.
+"""
+
+from repro.core.comparison import comparative_analysis
+from repro.experiments import fig10_comparative
+
+
+class TestFig10:
+    def test_regenerate(self, benchmark, protocol_cache, bench_profile):
+        results = benchmark.pedantic(
+            fig10_comparative.run,
+            args=(bench_profile,),
+            kwargs=dict(cache_dir=protocol_cache),
+            rounds=1,
+            iterations=1,
+        )
+        analysis = fig10_comparative.analyze(results)
+        print()
+        print(fig10_comparative.render(analysis))
+        assert set(analysis.flops) == {"classical", "bel", "sel"}
+
+    def test_sel_flops_rate_is_lowest(self, protocol_results, bench_profile):
+        import pytest
+
+        if bench_profile.name == "smoke":
+            pytest.skip("winner identity too noisy at smoke scale")
+        analysis = comparative_analysis(
+            [protocol_results[f] for f in ("classical", "bel", "sel")]
+        )
+        rates = {f: s.rate for f, s in analysis.flops.items()}
+        assert rates["sel"] <= rates["classical"]
+        assert rates["sel"] <= rates["bel"]
+
+    def test_sel_needs_fewer_flops_at_high_complexity_than_classical(
+        self, protocol_results, bench_profile
+    ):
+        import pytest
+
+        if bench_profile.name == "smoke":
+            pytest.skip("winner identity too noisy at smoke scale")
+        analysis = comparative_analysis(
+            [protocol_results[f] for f in ("classical", "sel")]
+        )
+        assert (
+            analysis.flops["sel"].high < analysis.flops["classical"].high
+            or analysis.flops["sel"].rate < analysis.flops["classical"].rate
+        )

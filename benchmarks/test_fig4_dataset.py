@@ -1,0 +1,37 @@
+"""Benchmark E1/E2 — paper Fig. 4: dataset generation and the
+complexity-dial demonstration.
+
+Fig. 4(b)'s claim: as the feature count grows, a fixed classifier's
+accuracy falls while its training time rises.
+"""
+
+from repro.data import make_spiral, probe_complexity
+from repro.experiments import fig4_dataset_complexity
+
+
+class TestFig4a:
+    def test_dataset_generation(self, benchmark):
+        ds = benchmark(make_spiral, 10, n_points=1500, seed=0)
+        assert ds.n_features == 10
+        assert ds.class_counts().tolist() == [500, 500, 500]
+
+
+class TestFig4b:
+    def test_probe_regenerates_figure(self, benchmark):
+        results = benchmark.pedantic(
+            probe_complexity,
+            kwargs=dict(
+                feature_sizes=(10, 60, 110),
+                n_points=300,
+                epochs=20,
+                batch_size=16,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(fig4_dataset_complexity.render(results))
+        # The paper's qualitative claim: the hardest level should not be
+        # easier than the easiest one for a fixed model.
+        assert results[-1].val_accuracy <= results[0].val_accuracy + 0.05
+        assert results[-1].noise > results[0].noise

@@ -1,0 +1,31 @@
+"""Benchmark E3 — paper Fig. 6: FLOPs of best-performing classical
+models per complexity level (grid search over 155 combinations)."""
+
+from repro.core.search_space import classical_search_space
+from repro.experiments import fig6_classical_flops
+
+
+class TestFig6:
+    def test_search_space_size(self):
+        # the paper: "155 model combinations ... for each complexity level"
+        assert len(classical_search_space(10)) == 155
+
+    def test_regenerate(self, benchmark, protocol_cache, bench_profile):
+        result = benchmark.pedantic(
+            fig6_classical_flops.run,
+            args=(bench_profile,),
+            kwargs=dict(cache_dir=protocol_cache),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(fig6_classical_flops.render(result))
+        assert result.family == "classical"
+        # every level produced at least one winning model
+        assert all(lvl.n_successes >= 1 for lvl in result.levels)
+        # FLOPs grow with problem complexity (the paper's core trend).
+        # Winner identity is noisy at smoke scale (1 run, few epochs), so
+        # the trend is only asserted at reduced scale and above.
+        if bench_profile.name != "smoke":
+            series = result.smallest_flops_series()
+            assert series[-1] > series[0]

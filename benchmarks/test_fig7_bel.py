@@ -1,0 +1,29 @@
+"""Benchmark E4 — paper Fig. 7: FLOPs of best-performing hybrid (BEL)
+models per complexity level (30 combinations per level)."""
+
+from repro.core.search_space import hybrid_search_space
+from repro.experiments import fig7_bel_flops
+
+
+class TestFig7:
+    def test_search_space_size(self):
+        # the paper: "30 model combinations per feature size"
+        assert len(hybrid_search_space(10, "bel")) == 30
+
+    def test_regenerate(self, benchmark, protocol_cache, bench_profile):
+        result = benchmark.pedantic(
+            fig7_bel_flops.run,
+            args=(bench_profile,),
+            kwargs=dict(cache_dir=protocol_cache),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(fig7_bel_flops.render(result))
+        assert result.family == "bel"
+        assert all(lvl.n_successes >= 1 for lvl in result.levels)
+        # Winner identity is noisy at smoke scale (1 run, few epochs), so
+        # the paper's growth trend is only asserted at reduced scale+.
+        if bench_profile.name != "smoke":
+            series = result.smallest_flops_series()
+            assert series[-1] > series[0]

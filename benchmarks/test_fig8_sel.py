@@ -1,0 +1,49 @@
+"""Benchmark E5 — paper Fig. 8: FLOPs of best-performing hybrid (SEL)
+models per complexity level.
+
+The paper's finding for SEL: the same small circuit suffices at every
+complexity level, so FLOPs growth comes from the classical input layer
+only.
+"""
+
+from repro.core.search_space import HybridSpec
+from repro.experiments import fig8_sel_flops
+from repro.flops import hybrid_flops_breakdown
+
+
+class TestFig8:
+    def test_regenerate(self, benchmark, protocol_cache, bench_profile):
+        result = benchmark.pedantic(
+            fig8_sel_flops.run,
+            args=(bench_profile,),
+            kwargs=dict(cache_dir=protocol_cache),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(fig8_sel_flops.render(result))
+        assert result.family == "sel"
+        assert all(lvl.n_successes >= 1 for lvl in result.levels)
+
+    def test_sel_quantum_flops_constant_for_fixed_circuit(self):
+        """With the circuit fixed at (3 qubits, 2 layers), the quantum
+        component is identical at every complexity level — only the
+        classical input layer grows (the paper's Fig. 8 discussion)."""
+        quantum = {
+            fs: hybrid_flops_breakdown(fs, 3, 2, "sel").quantum
+            for fs in (10, 40, 80, 110)
+        }
+        assert len(set(quantum.values())) == 1
+
+    def test_winner_circuit_growth_bounded(self, protocol_results):
+        """SEL winners should stay at small circuits across levels (they
+        may wobble by a layer or a qubit between experiments, but must
+        not approach the search-space maximum)."""
+        result = protocol_results["sel"]
+        for lvl in result.levels:
+            winner = lvl.smallest_winner
+            if winner is None:
+                continue
+            assert isinstance(winner.spec, HybridSpec)
+            assert winner.spec.n_qubits <= 5
+            assert winner.spec.n_layers <= 6

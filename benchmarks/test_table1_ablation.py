@@ -1,0 +1,64 @@
+"""Benchmark E8 — paper Table I: FLOPs breakdown of hybrid networks into
+encoding / classical-layer / quantum-layer components."""
+
+import pytest
+
+from repro.core.search_space import HybridSpec
+from repro.experiments import table1_ablation
+from repro.flops import hybrid_flops_breakdown
+
+
+class TestTable1:
+    def test_regenerate(self, benchmark, protocol_cache, bench_profile):
+        rows = benchmark.pedantic(
+            table1_ablation.run,
+            args=(bench_profile,),
+            kwargs=dict(cache_dir=protocol_cache),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(table1_ablation.render(rows))
+        assert set(rows) == {"bel", "sel"}
+
+    def test_encoding_constant_in_feature_size(self, protocol_results):
+        """Paper: the Enc column depends only on the qubit count."""
+        for family in ("bel", "sel"):
+            rows = table1_ablation.rows_from_protocol(
+                protocol_results[family]
+            )
+            by_qubits = {}
+            for row in rows:
+                by_qubits.setdefault(row.n_qubits, set()).add(row.enc)
+            for encodings in by_qubits.values():
+                assert len(encodings) == 1
+
+    def test_total_equals_components(self, protocol_results):
+        for family in ("bel", "sel"):
+            for row in table1_ablation.rows_from_protocol(
+                protocol_results[family]
+            ):
+                assert row.total == row.enc_plus_cl + row.ql
+                assert row.enc_plus_cl == row.enc + row.cl
+
+    @pytest.mark.parametrize(
+        "convention", ["paper", "first_principles", "parameter_shift"]
+    )
+    def test_cl_grows_linearly_with_features(self, convention):
+        """CL column slope is exactly 6*q per feature under the paper
+        convention and 6*q under first principles (same dense model)."""
+        spec = dict(n_qubits=3, n_layers=2, ansatz="sel")
+        cl = {
+            fs: hybrid_flops_breakdown(
+                fs, convention=convention, **spec
+            ).classical
+            for fs in (10, 40, 80, 110)
+        }
+        slope_a = (cl[40] - cl[10]) / 30
+        slope_b = (cl[110] - cl[80]) / 30
+        assert slope_a == slope_b == 6 * 3
+
+    def test_paper_reference_consistency(self):
+        """The published table itself satisfies TF = Enc + CL + QL."""
+        for row in table1_ablation.paper_reference_rows():
+            assert row.total == row.enc + row.cl + row.ql

@@ -1,0 +1,99 @@
+"""Extending the library with a custom variational ansatz.
+
+The paper evaluates two circuit families (BEL and SEL).  This example
+shows the extension point a downstream user would reach for: subclass
+:class:`repro.hybrid.QuantumLayer` and override ``build_tape`` to define
+a new ansatz — here a CZ-ring entangler with RX rotations — and train it
+inside the same Sequential/Adam stack, profile its FLOPs, and check its
+gradients against the parameter-shift oracle.
+
+Run:  python examples/custom_ansatz.py
+"""
+
+import numpy as np
+
+from repro import make_spiral, profile_model, stratified_split, train_model
+from repro.hybrid import QuantumLayer
+from repro.nn import Dense, Sequential, Softmax
+from repro.quantum import (
+    angle_embedding,
+    parameter_shift_gradients,
+    run,
+)
+from repro.quantum.circuit import Operation, weight_ref
+
+
+class CZRingLayer(QuantumLayer):
+    """RX rotations + a CZ ring per layer (weights shape (L, q))."""
+
+    def __init__(self, n_qubits, n_layers, rng=None, name="quantum_czring"):
+        # Reuse the BEL weight layout (one angle per qubit per layer).
+        super().__init__(n_qubits, n_layers, ansatz="bel", rng=rng, name=name)
+
+    def build_tape(self, x):
+        ops = angle_embedding(x, self.n_qubits, rotation=self.rotation)
+        for layer in range(self.n_layers):
+            for i in range(self.n_qubits):
+                flat = layer * self.n_qubits + i
+                ops.append(
+                    Operation(
+                        "RX", (i,), (self.weights[layer, i],),
+                        (weight_ref(flat),),
+                    )
+                )
+            for i in range(self.n_qubits):
+                ops.append(Operation("CZ", (i, (i + 1) % self.n_qubits)))
+        return ops
+
+
+def main():
+    features, qubits, layers = 8, 3, 2
+    data = make_spiral(n_features=features, n_points=600, seed=0)
+    split = stratified_split(data, seed=0)
+
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        [
+            Dense(features, qubits, rng=rng, name="dense_in"),
+            CZRingLayer(qubits, layers, rng=rng),
+            Dense(qubits, 3, rng=rng, name="dense_out"),
+            Softmax(),
+        ],
+        name="hybrid_czring",
+    )
+
+    # Sanity: the adjoint gradients of the custom tape match the
+    # parameter-shift rule.
+    qlayer = model.layers[1]
+    x = rng.uniform(-1, 1, (4, qubits))
+    grad = rng.standard_normal((4, qubits))
+    qlayer.forward(x, training=True)
+    dx_adjoint = qlayer.backward(grad)
+    tape = qlayer.build_tape(x)
+    dx_shift, _ = parameter_shift_gradients(
+        tape, qubits, 4, grad, qubits, qlayer.n_weights
+    )
+    assert np.allclose(dx_adjoint, dx_shift, atol=1e-9)
+    print("custom ansatz gradients verified against parameter-shift")
+
+    history = train_model(
+        model,
+        split.x_train,
+        split.y_train,
+        split.x_val,
+        split.y_val,
+        epochs=30,
+        batch_size=8,
+        rng=np.random.default_rng(1),
+        early_stop_threshold=0.9,
+    )
+    print(
+        f"CZ-ring hybrid: train {history.max_train_accuracy:.3f}, "
+        f"val {history.max_val_accuracy:.3f} "
+        f"in {history.epochs_run} epochs"
+    )
+    print(profile_model(model).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Table-I-style FLOPs ablation across counting conventions.
+
+Decomposes hybrid-model FLOPs into encoding (Enc), classical layers (CL)
+and quantum layer (QL) for the paper's reported feature sizes, under all
+three counting conventions.  The qualitative claims are convention-
+independent:
+
+* Enc depends only on the qubit count (constant across feature sizes);
+* CL grows linearly with the feature size;
+* QL is constant for a fixed circuit, regardless of the feature size.
+
+Run:  python examples/flops_ablation.py
+"""
+
+from repro.config import REPORTED_FEATURE_SIZES
+from repro.experiments.report import format_table
+from repro.flops import CONVENTIONS, hybrid_flops_breakdown
+
+#: The winning circuits the paper reports in Table I.
+PAPER_WINNERS = {
+    "bel": {10: (3, 2), 40: (3, 2), 80: (3, 4), 110: (4, 4)},
+    "sel": {10: (3, 2), 40: (3, 2), 80: (3, 2), 110: (3, 2)},
+}
+
+
+def main():
+    for convention in CONVENTIONS:
+        rows = []
+        for ansatz, winners in PAPER_WINNERS.items():
+            for fs in REPORTED_FEATURE_SIZES:
+                q, l = winners[fs]
+                bd = hybrid_flops_breakdown(
+                    fs, q, l, ansatz, convention=convention
+                )
+                rows.append(
+                    [
+                        f"hybrid({ansatz.upper()})",
+                        f"{fs}/({q},{l})",
+                        bd.total,
+                        bd.encoding_plus_classical,
+                        bd.classical,
+                        bd.encoding,
+                        bd.quantum,
+                    ]
+                )
+        print(
+            format_table(
+                ["model", "FS/BC", "TF", "Enc+CL", "CL", "Enc", "QL"],
+                rows,
+                title=f"\nTable I under convention {convention!r}",
+            )
+        )
+        sel_rows = [r for r in rows if r[0] == "hybrid(SEL)"]
+        constant_ql = len({r[6] for r in sel_rows}) == 1
+        print(f"SEL quantum layer constant across feature sizes: {constant_ql}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The paper's methodology in miniature: FLOPs-sorted grid search.
+
+At one complexity level, rank every candidate architecture by its
+statically-computed FLOPs, train candidates in ascending order, and stop
+at the first that reaches the accuracy threshold — by construction the
+cheapest sufficient model (paper sections III-B/C/E/F).
+
+Run:  python examples/model_search.py
+"""
+
+from repro import make_spiral, stratified_split
+from repro.core import TrainingSettings, grid_search, rank_by_flops
+from repro.core.search_space import classical_search_space, hybrid_search_space
+
+FEATURES = 10
+#: The reduced-profile iso-accuracy condition (see EXPERIMENTS.md).
+THRESHOLD = 0.85
+
+
+def show_search(name, specs, split):
+    print(f"\n=== {name}: {len(specs)} candidates ===")
+    ranked = rank_by_flops(specs)
+    preview = ", ".join(f"{s.label}:{s.flops()}" for s in ranked[:5])
+    print(f"cheapest five by FLOPs: {preview}, ...")
+    outcome = grid_search(
+        specs,
+        split,
+        threshold=THRESHOLD,
+        settings=TrainingSettings(
+            epochs=60, batch_size=8, runs=2, early_stop_threshold=THRESHOLD
+        ),
+        seed=0,
+        max_candidates=8,
+        progress=lambda c: print(
+            f"  trained {c.spec.label:<10} flops={c.flops:<6} "
+            f"train={c.mean_train_accuracy:.3f} val={c.mean_val_accuracy:.3f}"
+            f"{'  <-- winner' if c.passes(THRESHOLD) else ''}"
+        ),
+    )
+    if outcome.winner:
+        w = outcome.winner
+        print(
+            f"winner: {w.spec.label} ({w.flops} FLOPs, {w.params} params) "
+            f"after training {outcome.candidates_trained} of {len(specs)} "
+            "candidates"
+        )
+    else:
+        print("no winner within the candidate budget")
+
+
+def main():
+    data = make_spiral(n_features=FEATURES, n_points=900, seed=0)
+    split = stratified_split(data, seed=0)
+    show_search("classical", classical_search_space(FEATURES), split)
+    show_search("hybrid SEL", hybrid_search_space(FEATURES, "sel"), split)
+
+
+if __name__ == "__main__":
+    main()

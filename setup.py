@@ -1,0 +1,10 @@
+"""Legacy shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` / ``pip install -e .`` on older toolchains
+where PEP 660 editable installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

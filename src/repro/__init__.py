@@ -1,0 +1,81 @@
+"""repro — reproduction of "Computational Advantage in Hybrid Quantum
+Neural Networks: Myth or Reality?" (Kashif, Marchisio, Shafique, DAC 2025;
+arXiv:2412.04991).
+
+The library answers the paper's question — *does a quantum layer buy
+computational efficiency?* — by rebuilding, from scratch and on NumPy
+only, everything the study needs:
+
+* :mod:`repro.quantum` — a batched statevector simulator with the paper's
+  templates (angle embedding, BEL, SEL) and two exact gradient backends;
+* :mod:`repro.nn` — a Keras-style NN framework (Dense/ReLU/Softmax,
+  cross-entropy, Adam, the paper's training loop);
+* :mod:`repro.hybrid` — the quantum layer and the paper's classical /
+  hybrid model architectures;
+* :mod:`repro.flops` — a convention-parameterized FLOPs profiler
+  (the paper's complexity metric), calibrated against its Table I;
+* :mod:`repro.data` — the spiral dataset with the feature-count
+  complexity dial;
+* :mod:`repro.core` — the benchmarking methodology: search spaces,
+  FLOPs-sorted grid search, the 5x5 experiment protocol and the
+  rate-of-increase comparison;
+* :mod:`repro.experiments` — drivers that regenerate every figure and
+  table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import make_spiral, stratified_split, build_hybrid_model
+    from repro.nn import train_model
+    from repro.flops import profile_model
+
+    data = make_spiral(n_features=10)
+    split = stratified_split(data)
+    model = build_hybrid_model(10, n_qubits=3, n_layers=2, ansatz="sel")
+    history = train_model(model, split.x_train, split.y_train,
+                          split.x_val, split.y_val, epochs=30)
+    print(history.max_val_accuracy)
+    print(profile_model(model).summary())
+"""
+
+from . import config, core, data, experiments, flops, hybrid, nn, paperdata, quantum
+from .core import (
+    ClassicalSpec,
+    HybridSpec,
+    ProtocolConfig,
+    comparative_analysis,
+    grid_search,
+    run_protocol,
+)
+from .data import make_spiral, stratified_split
+from .flops import profile_model
+from .hybrid import QuantumLayer, build_classical_model, build_hybrid_model
+from .nn import Sequential, train_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "core",
+    "data",
+    "experiments",
+    "flops",
+    "hybrid",
+    "nn",
+    "paperdata",
+    "quantum",
+    "make_spiral",
+    "stratified_split",
+    "build_classical_model",
+    "build_hybrid_model",
+    "QuantumLayer",
+    "Sequential",
+    "train_model",
+    "profile_model",
+    "grid_search",
+    "run_protocol",
+    "comparative_analysis",
+    "ProtocolConfig",
+    "ClassicalSpec",
+    "HybridSpec",
+    "__version__",
+]

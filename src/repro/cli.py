@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Examples::
+
+    repro fig4  --profile smoke
+    repro fig6  --profile reduced --cache results/
+    repro fig10 --profile reduced --cache results/
+    repro table1 --profile smoke
+    repro all --profile smoke --cache results/
+
+Figures are emitted as text tables (the numeric series the paper plots);
+``--cache`` reuses protocol results across drivers so e.g. fig9/fig10
+do not re-run the searches fig6/7/8 already performed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import (
+    fig4_dataset_complexity,
+    fig6_classical_flops,
+    fig7_bel_flops,
+    fig8_sel_flops,
+    fig9_parameters,
+    fig10_comparative,
+    table1_ablation,
+)
+from .experiments.runner import PROFILES
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = ("fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table1")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Computational Advantage in Hybrid Quantum Neural "
+            "Networks: Myth or Reality?' (DAC 2025)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + ("all",),
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        default="smoke",
+        choices=sorted(PROFILES),
+        help="run scale: smoke (seconds), reduced (minutes), full (paper)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="directory for cached protocol results (reused across drivers)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-experiment progress lines",
+    )
+    return parser
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def emit(message: str) -> None:
+        print(f"  .. {message}", file=sys.stderr)
+
+    return emit
+
+
+def _dispatch(name: str, profile: str, cache: str | None, quiet: bool) -> str:
+    progress = _progress_printer(quiet)
+    if name == "fig4":
+        return fig4_dataset_complexity.render(
+            fig4_dataset_complexity.run(profile)
+        )
+    if name == "fig6":
+        return fig6_classical_flops.render(
+            fig6_classical_flops.run(profile, cache_dir=cache, progress=progress)
+        )
+    if name == "fig7":
+        return fig7_bel_flops.render(
+            fig7_bel_flops.run(profile, cache_dir=cache, progress=progress)
+        )
+    if name == "fig8":
+        return fig8_sel_flops.render(
+            fig8_sel_flops.run(profile, cache_dir=cache, progress=progress)
+        )
+    if name == "fig9":
+        return fig9_parameters.render(
+            fig9_parameters.run(profile, cache_dir=cache, progress=progress)
+        )
+    if name == "fig10":
+        results = fig10_comparative.run(
+            profile, cache_dir=cache, progress=progress
+        )
+        return fig10_comparative.render(fig10_comparative.analyze(results))
+    if name == "table1":
+        return table1_ablation.render(
+            table1_ablation.run(profile, cache_dir=cache, progress=progress)
+        )
+    raise AssertionError(f"unhandled experiment {name!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    targets = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        print(_dispatch(target, args.profile, args.cache, args.quiet))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

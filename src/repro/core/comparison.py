@@ -1,0 +1,165 @@
+"""Comparative analysis (paper section IV-E, Fig. 10).
+
+The paper's headline metric is the *rate of increase* of a quantity as
+the problem scales from its lowest to its highest complexity level.
+Back-deriving from the published numbers (e.g. SEL FLOPs: absolute
+increase 1800 on a 110-feature total of 3389 -> "53.1 %") shows the rate
+is normalized by the **high**-complexity value:
+
+    ``rate = (v_high - v_low) / v_high``.
+
+For the comparison the paper selects *the smallest of the five winning
+configurations* per level (section IV-E), which is what
+:func:`comparative_analysis` uses by default; pass ``use="mean"`` for the
+five-winner average instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from .experiment import ProtocolResult
+
+__all__ = [
+    "rate_of_increase",
+    "absolute_increase",
+    "SeriesSummary",
+    "ComparativeAnalysis",
+    "comparative_analysis",
+]
+
+
+def rate_of_increase(v_low: float, v_high: float) -> float:
+    """The paper's rate metric: ``(v_high - v_low) / v_high``."""
+    if v_high <= 0:
+        raise ExperimentError(
+            f"rate of increase needs a positive high value, got {v_high}"
+        )
+    return (v_high - v_low) / v_high
+
+
+def absolute_increase(v_low: float, v_high: float) -> float:
+    """Plain difference, as reported alongside the rates."""
+    return v_high - v_low
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """One quantity (FLOPs or params) across complexity levels."""
+
+    feature_sizes: tuple[int, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.feature_sizes) != len(self.values):
+            raise ExperimentError("feature_sizes and values length mismatch")
+        if len(self.values) < 2:
+            raise ExperimentError("a series needs at least two levels")
+
+    @property
+    def low(self) -> float:
+        return self.values[0]
+
+    @property
+    def high(self) -> float:
+        return self.values[-1]
+
+    @property
+    def absolute_increase(self) -> float:
+        return absolute_increase(self.low, self.high)
+
+    @property
+    def rate(self) -> float:
+        return rate_of_increase(self.low, self.high)
+
+    @property
+    def rate_percent(self) -> float:
+        return 100.0 * self.rate
+
+    def pairwise_rates(self) -> list[float]:
+        """Rates from the first level to each later level (Fig. 10's
+        x-axis: 10-20, 10-30, ..., 10-110)."""
+        return [
+            rate_of_increase(self.low, v) if v > 0 else float("nan")
+            for v in self.values[1:]
+        ]
+
+
+@dataclass
+class ComparativeAnalysis:
+    """Fig. 10: rate-of-increase comparison across model families."""
+
+    feature_sizes: tuple[int, ...]
+    flops: dict[str, SeriesSummary]
+    params: dict[str, SeriesSummary]
+
+    def summary_table(self) -> str:
+        """Text rendering of the paper's headline comparison."""
+        lines = [
+            "Rate of increase, complexity "
+            f"{self.feature_sizes[0]} -> {self.feature_sizes[-1]} features "
+            "(rate = (high - low) / high)",
+            f"{'family':<12}{'FLOPs lo':>10}{'FLOPs hi':>10}"
+            f"{'dFLOPs':>10}{'rate%':>8}   "
+            f"{'par lo':>8}{'par hi':>8}{'dpar':>8}{'rate%':>8}",
+            "-" * 92,
+        ]
+        for family in self.flops:
+            f = self.flops[family]
+            p = self.params[family]
+            lines.append(
+                f"{family:<12}{f.low:>10.1f}{f.high:>10.1f}"
+                f"{f.absolute_increase:>10.1f}{f.rate_percent:>8.1f}   "
+                f"{p.low:>8.1f}{p.high:>8.1f}"
+                f"{p.absolute_increase:>8.1f}{p.rate_percent:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _series(
+    result: ProtocolResult, quantity: str, use: str
+) -> SeriesSummary:
+    if use == "smallest":
+        values = (
+            result.smallest_flops_series()
+            if quantity == "flops"
+            else result.smallest_params_series()
+        )
+    elif use == "mean":
+        values = (
+            result.mean_flops_series()
+            if quantity == "flops"
+            else result.mean_params_series()
+        )
+    else:
+        raise ExperimentError(f"use must be 'smallest' or 'mean', got {use!r}")
+    if any(np.isnan(v) for v in values):
+        raise ExperimentError(
+            f"{result.family}: some levels have no winner; cannot compare"
+        )
+    return SeriesSummary(
+        feature_sizes=tuple(result.feature_sizes), values=tuple(values)
+    )
+
+
+def comparative_analysis(
+    results: Sequence[ProtocolResult], use: str = "smallest"
+) -> ComparativeAnalysis:
+    """Build the Fig. 10 comparison from per-family protocol results."""
+    if not results:
+        raise ExperimentError("need at least one protocol result")
+    sizes = tuple(results[0].feature_sizes)
+    for r in results[1:]:
+        if tuple(r.feature_sizes) != sizes:
+            raise ExperimentError(
+                "protocol results cover different feature sizes"
+            )
+    return ComparativeAnalysis(
+        feature_sizes=sizes,
+        flops={r.family: _series(r, "flops", use) for r in results},
+        params={r.family: _series(r, "params", use) for r in results},
+    )

@@ -1,0 +1,213 @@
+"""The paper's full experimental protocol (Fig. 3).
+
+For every complexity level (feature size):
+
+1. generate the spiral dataset at that level;
+2. run the FLOPs-sorted grid search; each candidate is averaged over
+   ``runs_per_candidate`` independent runs;
+3. repeat the whole search ``n_experiments`` times (the paper uses 5) so
+   training stochasticity is averaged at the *winner* level too;
+4. record the list of winning configurations, their FLOPs and parameter
+   counts.
+
+:class:`ProtocolConfig` holds every knob so the experiment drivers can
+define smoke/reduced/full profiles by replacing a few fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import config as paper_config
+from ..data.spiral import make_spiral
+from ..data.splits import DataSplit, stratified_split
+from ..exceptions import ExperimentError
+from .grid_search import (
+    CandidateResult,
+    SearchOutcome,
+    TrainingSettings,
+    grid_search,
+)
+from .search_space import search_space_for_family
+
+__all__ = ["ProtocolConfig", "LevelResult", "ProtocolResult", "run_protocol"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Every knob of the benchmarking protocol.
+
+    Defaults are the paper's full-fidelity settings; the experiment
+    drivers override them for the smoke/reduced profiles.
+    """
+
+    feature_sizes: tuple[int, ...] = paper_config.FEATURE_SIZES
+    n_experiments: int = paper_config.N_EXPERIMENTS
+    runs_per_candidate: int = paper_config.RUNS_PER_CANDIDATE
+    threshold: float = paper_config.ACCURACY_THRESHOLD
+    epochs: int = paper_config.EPOCHS
+    batch_size: int = paper_config.BATCH_SIZE
+    learning_rate: float = paper_config.LEARNING_RATE
+    n_points: int = paper_config.N_POINTS
+    val_fraction: float = paper_config.VALIDATION_FRACTION
+    early_stop: bool = False
+    max_candidates: int | None = None
+    convention: str = "paper"
+    dataset_seed: int = 0
+    base_seed: int = 0
+
+    def training_settings(self) -> TrainingSettings:
+        return TrainingSettings(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            runs=self.runs_per_candidate,
+            early_stop_threshold=self.threshold if self.early_stop else None,
+        )
+
+    def with_(self, **overrides) -> "ProtocolConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class LevelResult:
+    """All experiments at one complexity level."""
+
+    feature_size: int
+    outcomes: list[SearchOutcome] = field(default_factory=list)
+
+    @property
+    def winners(self) -> list[CandidateResult]:
+        """Winning candidates of the successful experiments."""
+        return [o.winner for o in self.outcomes if o.winner is not None]
+
+    @property
+    def n_successes(self) -> int:
+        return len(self.winners)
+
+    @property
+    def mean_flops(self) -> float:
+        """Average FLOPs of the winning models (paper's plotted value)."""
+        winners = self.winners
+        if not winners:
+            return float("nan")
+        return float(np.mean([w.flops for w in winners]))
+
+    @property
+    def mean_params(self) -> float:
+        winners = self.winners
+        if not winners:
+            return float("nan")
+        return float(np.mean([w.params for w in winners]))
+
+    @property
+    def smallest_winner(self) -> CandidateResult | None:
+        """Lowest-FLOPs winner (used by the paper's section IV-E)."""
+        winners = self.winners
+        if not winners:
+            return None
+        return min(winners, key=lambda w: (w.flops, w.params))
+
+    @property
+    def candidates_trained(self) -> int:
+        return int(sum(o.candidates_trained for o in self.outcomes))
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of the protocol for one model family."""
+
+    family: str
+    config: ProtocolConfig
+    levels: list[LevelResult] = field(default_factory=list)
+
+    @property
+    def feature_sizes(self) -> list[int]:
+        return [lvl.feature_size for lvl in self.levels]
+
+    def mean_flops_series(self) -> list[float]:
+        return [lvl.mean_flops for lvl in self.levels]
+
+    def mean_params_series(self) -> list[float]:
+        return [lvl.mean_params for lvl in self.levels]
+
+    def smallest_flops_series(self) -> list[float]:
+        return [
+            float(w.flops) if (w := lvl.smallest_winner) else float("nan")
+            for lvl in self.levels
+        ]
+
+    def smallest_params_series(self) -> list[float]:
+        return [
+            float(w.params) if (w := lvl.smallest_winner) else float("nan")
+            for lvl in self.levels
+        ]
+
+    def level(self, feature_size: int) -> LevelResult:
+        for lvl in self.levels:
+            if lvl.feature_size == feature_size:
+                return lvl
+        raise ExperimentError(
+            f"no level for feature size {feature_size} in this result"
+        )
+
+
+def _level_seed(cfg: ProtocolConfig, feature_size: int, experiment: int) -> int:
+    """Deterministic, collision-free seed per (config, level, experiment)."""
+    return (
+        cfg.base_seed * 1_000_003 + feature_size * 101 + experiment
+    ) % (2**31)
+
+
+def make_level_split(cfg: ProtocolConfig, feature_size: int) -> DataSplit:
+    """The dataset split shared by all experiments at one level."""
+    dataset = make_spiral(
+        feature_size, n_points=cfg.n_points, seed=cfg.dataset_seed
+    )
+    return stratified_split(
+        dataset, val_fraction=cfg.val_fraction, seed=cfg.dataset_seed
+    )
+
+
+def run_protocol(
+    family: str,
+    cfg: ProtocolConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ProtocolResult:
+    """Run the full protocol for one model family.
+
+    ``family`` is ``"classical"``, ``"bel"`` or ``"sel"``.
+    """
+    cfg = cfg or ProtocolConfig()
+    if cfg.n_experiments < 1:
+        raise ExperimentError("n_experiments must be >= 1")
+    result = ProtocolResult(family=family, config=cfg)
+    settings = cfg.training_settings()
+    for feature_size in cfg.feature_sizes:
+        split = make_level_split(cfg, feature_size)
+        specs = search_space_for_family(family, feature_size)
+        level = LevelResult(feature_size=feature_size)
+        for experiment in range(cfg.n_experiments):
+            outcome = grid_search(
+                specs,
+                split,
+                threshold=cfg.threshold,
+                settings=settings,
+                convention=cfg.convention,
+                seed=_level_seed(cfg, feature_size, experiment),
+                max_candidates=cfg.max_candidates,
+            )
+            level.outcomes.append(outcome)
+            if progress is not None:
+                winner = outcome.winner.spec.label if outcome.winner else "-"
+                progress(
+                    f"[{family}] fs={feature_size} exp={experiment + 1}/"
+                    f"{cfg.n_experiments} winner={winner} "
+                    f"({outcome.candidates_trained} candidates)"
+                )
+        result.levels.append(level)
+    return result

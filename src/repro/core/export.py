@@ -1,0 +1,126 @@
+"""Export protocol results to CSV and Markdown.
+
+Protocol runs are stored as JSON (:mod:`repro.core.results`); these
+helpers flatten them into spreadsheet-friendly CSV and publication-ready
+Markdown, which is how EXPERIMENTS.md embeds the measured numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import ExperimentError
+from .comparison import ComparativeAnalysis
+from .experiment import ProtocolResult
+
+__all__ = [
+    "winners_csv",
+    "write_winners_csv",
+    "winners_markdown",
+    "comparison_markdown",
+]
+
+_WINNER_FIELDS = (
+    "family",
+    "feature_size",
+    "experiment",
+    "winner",
+    "flops",
+    "params",
+    "mean_train_accuracy",
+    "mean_val_accuracy",
+    "candidates_trained",
+)
+
+
+def _winner_rows(results: Sequence[ProtocolResult]) -> list[dict]:
+    rows: list[dict] = []
+    for result in results:
+        for lvl in result.levels:
+            for exp_index, outcome in enumerate(lvl.outcomes):
+                winner = outcome.winner
+                rows.append(
+                    {
+                        "family": result.family,
+                        "feature_size": lvl.feature_size,
+                        "experiment": exp_index,
+                        "winner": winner.spec.label if winner else "",
+                        "flops": winner.flops if winner else "",
+                        "params": winner.params if winner else "",
+                        "mean_train_accuracy": (
+                            round(winner.mean_train_accuracy, 4) if winner else ""
+                        ),
+                        "mean_val_accuracy": (
+                            round(winner.mean_val_accuracy, 4) if winner else ""
+                        ),
+                        "candidates_trained": outcome.candidates_trained,
+                    }
+                )
+    return rows
+
+
+def winners_csv(results: Sequence[ProtocolResult]) -> str:
+    """One CSV row per (family, level, experiment) winner."""
+    if not results:
+        raise ExperimentError("nothing to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_WINNER_FIELDS)
+    writer.writeheader()
+    writer.writerows(_winner_rows(results))
+    return buffer.getvalue()
+
+
+def write_winners_csv(
+    results: Sequence[ProtocolResult], path: str | Path
+) -> None:
+    """Write :func:`winners_csv` output to a file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(winners_csv(results))
+
+
+def winners_markdown(results: Sequence[ProtocolResult]) -> str:
+    """A Markdown table of the smallest winner per family and level."""
+    if not results:
+        raise ExperimentError("nothing to export")
+    lines = [
+        "| family | features | winner | FLOPs | params | train | val |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for result in results:
+        for lvl in result.levels:
+            winner = lvl.smallest_winner
+            if winner is None:
+                lines.append(
+                    f"| {result.family} | {lvl.feature_size} | — | — | — "
+                    "| — | — |"
+                )
+                continue
+            lines.append(
+                f"| {result.family} | {lvl.feature_size} "
+                f"| {winner.spec.label} | {winner.flops} | {winner.params} "
+                f"| {winner.mean_train_accuracy:.3f} "
+                f"| {winner.mean_val_accuracy:.3f} |"
+            )
+    return "\n".join(lines)
+
+
+def comparison_markdown(analysis: ComparativeAnalysis) -> str:
+    """Fig. 10 as a Markdown table (rates relative to the high level)."""
+    lines = [
+        "| family | FLOPs low | FLOPs high | FLOPs rate | params low "
+        "| params high | params rate |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for family in analysis.flops:
+        f = analysis.flops[family]
+        p = analysis.params[family]
+        lines.append(
+            f"| {family} | {f.low:.0f} | {f.high:.0f} "
+            f"| {f.rate_percent:.1f}% | {p.low:.0f} | {p.high:.0f} "
+            f"| {p.rate_percent:.1f}% |"
+        )
+    return "\n".join(lines)

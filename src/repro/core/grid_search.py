@@ -1,0 +1,191 @@
+"""FLOPs-ordered sequential grid search (paper sections III-E/F).
+
+The paper's trick for taming exhaustive search: sort all candidate
+architectures by (statically computed) FLOPs *before* training anything,
+then train in ascending order and stop at the first candidate whose
+averaged max-over-epochs train **and** validation accuracies reach the
+threshold.  The first success is, by construction, the cheapest
+successful model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.splits import DataSplit
+from ..exceptions import SearchError
+from ..flops.conventions import CountingConvention, get_convention
+from ..nn.optimizers import Adam
+from ..nn.training import History, train_model
+from .search_space import ModelSpec
+
+__all__ = ["TrainingSettings", "CandidateResult", "SearchOutcome", "rank_by_flops", "grid_search"]
+
+
+@dataclass(frozen=True)
+class TrainingSettings:
+    """How each candidate run is trained (paper defaults)."""
+
+    epochs: int = 100
+    batch_size: int = 8
+    learning_rate: float = 0.001
+    runs: int = 5
+    early_stop_threshold: float | None = None
+
+
+@dataclass
+class CandidateResult:
+    """Aggregated outcome of the runs of one candidate architecture."""
+
+    spec: ModelSpec
+    flops: int
+    params: int
+    train_accuracies: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+    epochs_run: list[int] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def mean_train_accuracy(self) -> float:
+        return float(np.mean(self.train_accuracies))
+
+    @property
+    def mean_val_accuracy(self) -> float:
+        return float(np.mean(self.val_accuracies))
+
+    def passes(self, threshold: float) -> bool:
+        """The paper's success condition: both averages >= threshold."""
+        return (
+            self.mean_train_accuracy >= threshold
+            and self.mean_val_accuracy >= threshold
+        )
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one grid search at one complexity level."""
+
+    threshold: float
+    winner: CandidateResult | None
+    evaluated: list[CandidateResult] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def candidates_trained(self) -> int:
+        return len(self.evaluated)
+
+
+def rank_by_flops(
+    specs: Sequence[ModelSpec],
+    convention: str | CountingConvention = "paper",
+) -> list[ModelSpec]:
+    """Sort ascending by FLOPs; ties broken by parameter count then label
+    (fully deterministic)."""
+    conv = get_convention(convention)
+    return sorted(
+        specs, key=lambda s: (s.flops(conv), s.param_count, s.label)
+    )
+
+
+def _evaluate_candidate(
+    spec: ModelSpec,
+    split: DataSplit,
+    settings: TrainingSettings,
+    seed: int,
+    candidate_index: int,
+    convention: CountingConvention,
+) -> CandidateResult:
+    """Train one candidate ``settings.runs`` times and aggregate."""
+    result = CandidateResult(
+        spec=spec, flops=spec.flops(convention), params=spec.param_count
+    )
+    for run in range(settings.runs):
+        rng = np.random.default_rng((seed, candidate_index, run))
+        model = spec.build(rng=rng)
+        history: History = train_model(
+            model,
+            split.x_train,
+            split.y_train,
+            split.x_val,
+            split.y_val,
+            epochs=settings.epochs,
+            batch_size=settings.batch_size,
+            optimizer=Adam(learning_rate=settings.learning_rate),
+            rng=rng,
+            early_stop_threshold=settings.early_stop_threshold,
+        )
+        result.train_accuracies.append(history.max_train_accuracy)
+        result.val_accuracies.append(history.max_val_accuracy)
+        result.epochs_run.append(history.epochs_run)
+        result.wall_time_s += history.wall_time_s
+    return result
+
+
+def grid_search(
+    specs: Sequence[ModelSpec],
+    split: DataSplit,
+    threshold: float = 0.90,
+    settings: TrainingSettings | None = None,
+    convention: str | CountingConvention = "paper",
+    seed: int = 0,
+    max_candidates: int | None = None,
+    progress: Callable[[CandidateResult], None] | None = None,
+) -> SearchOutcome:
+    """Run the FLOPs-sorted sequential search.
+
+    Parameters
+    ----------
+    specs:
+        The search space (any order; ranked internally).
+    split:
+        Train/validation data for this complexity level.
+    threshold:
+        Accuracy both averaged metrics must reach (paper: 0.90).
+    settings:
+        Per-candidate training configuration.
+    seed:
+        Base seed; run ``r`` of candidate ``c`` uses ``(seed, c, r)``
+        derived streams, so searches are reproducible.
+    max_candidates:
+        Optional cap on how many candidates may be trained (reduced
+        profiles); ``None`` trains until success or exhaustion.
+    progress:
+        Optional callback invoked after each candidate.
+
+    Returns
+    -------
+    SearchOutcome
+        ``winner`` is the first (lowest-FLOPs) passing candidate, or
+        ``None`` if the space (or the cap) was exhausted.
+    """
+    if not specs:
+        raise SearchError("empty search space")
+    settings = settings or TrainingSettings()
+    conv = get_convention(convention)
+    ranked = rank_by_flops(specs, conv)
+    if max_candidates is not None:
+        ranked = ranked[:max_candidates]
+
+    outcome = SearchOutcome(threshold=threshold, winner=None)
+    for index, spec in enumerate(ranked):
+        candidate = _evaluate_candidate(
+            spec,
+            split,
+            settings,
+            seed=seed,
+            candidate_index=index,
+            convention=conv,
+        )
+        outcome.evaluated.append(candidate)
+        if progress is not None:
+            progress(candidate)
+        if candidate.passes(threshold):
+            outcome.winner = candidate
+            break
+    return outcome

@@ -1,0 +1,16 @@
+"""Synthetic dataset generation (the paper's section III-A)."""
+
+from .complexity_probe import ProbeResult, probe_complexity
+from .spiral import DERIVED_FEATURE_KINDS, SpiralDataset, make_spiral
+from .splits import DataSplit, one_hot, stratified_split
+
+__all__ = [
+    "SpiralDataset",
+    "make_spiral",
+    "DERIVED_FEATURE_KINDS",
+    "DataSplit",
+    "one_hot",
+    "stratified_split",
+    "ProbeResult",
+    "probe_complexity",
+]

@@ -1,0 +1,88 @@
+"""Train/validation splitting and label encoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import VALIDATION_FRACTION
+from ..exceptions import ConfigurationError
+from .spiral import SpiralDataset
+
+__all__ = ["one_hot", "stratified_split", "DataSplit"]
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot rows."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ConfigurationError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ConfigurationError(
+            f"labels must lie in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    return np.eye(n_classes, dtype=np.float64)[labels]
+
+
+@dataclass(frozen=True)
+class DataSplit:
+    """A train/validation split with one-hot targets."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray  #: one-hot
+    x_val: np.ndarray
+    y_val: np.ndarray  #: one-hot
+    train_labels: np.ndarray
+    val_labels: np.ndarray
+
+    @property
+    def n_train(self) -> int:
+        return int(self.x_train.shape[0])
+
+    @property
+    def n_val(self) -> int:
+        return int(self.x_val.shape[0])
+
+
+def stratified_split(
+    dataset: SpiralDataset,
+    val_fraction: float = VALIDATION_FRACTION,
+    seed: int = 0,
+) -> DataSplit:
+    """Split preserving per-class proportions.
+
+    Each class contributes ``round(val_fraction * class_size)`` points to
+    the validation set (at least one when the class is non-empty).
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ConfigurationError(
+            f"val_fraction must be in (0, 1), got {val_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    val_idx: list[np.ndarray] = []
+    train_idx: list[np.ndarray] = []
+    for c in range(dataset.n_classes):
+        members = np.flatnonzero(dataset.labels == c)
+        rng.shuffle(members)
+        n_val = max(1, int(round(val_fraction * members.size)))
+        if n_val >= members.size:
+            raise ConfigurationError(
+                f"class {c} has too few points ({members.size}) for "
+                f"val_fraction={val_fraction}"
+            )
+        val_idx.append(members[:n_val])
+        train_idx.append(members[n_val:])
+    val = np.concatenate(val_idx)
+    train = np.concatenate(train_idx)
+    rng.shuffle(val)
+    rng.shuffle(train)
+    return DataSplit(
+        x_train=dataset.features[train],
+        y_train=one_hot(dataset.labels[train], dataset.n_classes),
+        x_val=dataset.features[val],
+        y_val=one_hot(dataset.labels[val], dataset.n_classes),
+        train_labels=dataset.labels[train],
+        val_labels=dataset.labels[val],
+    )

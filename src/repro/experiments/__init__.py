@@ -1,0 +1,57 @@
+"""Experiment drivers — one module per paper figure/table.
+
+========  =======================================  =========================
+Driver    Paper artifact                           What it regenerates
+========  =======================================  =========================
+fig4      Fig. 4(b)                                dataset-complexity probe
+fig6      Fig. 6                                   classical winners' FLOPs
+fig7      Fig. 7                                   hybrid-BEL winners' FLOPs
+fig8      Fig. 8                                   hybrid-SEL winners' FLOPs
+fig9      Fig. 9                                   winners' parameter counts
+fig10     Fig. 10(a,b)                             rate-of-increase analysis
+table1    Table I                                  Enc/CL/QL FLOPs ablation
+========  =======================================  =========================
+
+Every driver exposes ``run(profile, ...)`` returning structured results
+and ``render(...)`` producing the paper-style text table.
+"""
+
+from . import (
+    fig4_dataset_complexity,
+    fig6_classical_flops,
+    fig7_bel_flops,
+    fig8_sel_flops,
+    fig9_parameters,
+    fig10_comparative,
+    report,
+    table1_ablation,
+)
+from .runner import (
+    FULL,
+    PROFILES,
+    REDUCED,
+    SMOKE,
+    RunProfile,
+    get_profile,
+    run_family,
+    run_family_cached,
+)
+
+__all__ = [
+    "fig4_dataset_complexity",
+    "fig6_classical_flops",
+    "fig7_bel_flops",
+    "fig8_sel_flops",
+    "fig9_parameters",
+    "fig10_comparative",
+    "table1_ablation",
+    "report",
+    "RunProfile",
+    "SMOKE",
+    "REDUCED",
+    "FULL",
+    "PROFILES",
+    "get_profile",
+    "run_family",
+    "run_family_cached",
+]

@@ -1,0 +1,48 @@
+"""Experiment E2 — paper Fig. 4(b).
+
+Demonstrates the complexity dial: as the feature count (and its coupled
+noise) rises, a *fixed* reference classifier loses accuracy while its
+training time grows.
+"""
+
+from __future__ import annotations
+
+from ..data.complexity_probe import ProbeResult, probe_complexity
+from .report import format_table
+from .runner import RunProfile, get_profile
+
+__all__ = ["run", "render"]
+
+
+def run(profile: str | RunProfile = "smoke") -> list[ProbeResult]:
+    """Probe every feature size of the profile with a fixed MLP."""
+    prof = get_profile(profile)
+    return probe_complexity(
+        prof.feature_sizes,
+        hidden=(10,),
+        n_points=prof.n_points,
+        epochs=max(5, prof.epochs // 2),
+        batch_size=prof.batch_size,
+    )
+
+
+def render(results: list[ProbeResult]) -> str:
+    """Fig. 4(b) as a text table."""
+    rows = [
+        [
+            r.feature_size,
+            f"{r.noise:.3f}",
+            f"{r.train_accuracy:.3f}",
+            f"{r.val_accuracy:.3f}",
+            f"{r.train_time_s:.2f}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["features", "noise", "train_acc", "val_acc", "train_time_s"],
+        rows,
+        title=(
+            "Fig 4(b): fixed reference classifier vs problem complexity "
+            "(accuracy should fall, time should rise)"
+        ),
+    )

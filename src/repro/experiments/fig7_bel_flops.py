@@ -1,0 +1,33 @@
+"""Experiment E4 — paper Fig. 7.
+
+FLOPs consumption of the best-performing hybrid models with the Basic
+Entangling Layer (BEL) ansatz across complexity levels.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from ..core.experiment import ProtocolResult
+from .report import format_level_winners
+from .runner import RunProfile, run_family_cached
+
+__all__ = ["run", "render"]
+
+
+def run(
+    profile: str | RunProfile = "smoke",
+    cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ProtocolResult:
+    """Run (or load) the hybrid-BEL protocol under a profile."""
+    return run_family_cached(
+        "bel", profile, cache_dir=cache_dir, progress=progress
+    )
+
+
+def render(result: ProtocolResult) -> str:
+    """Fig. 7 as text: winners and average FLOPs per complexity level."""
+    header = "Fig 7: FLOPs of best-performing hybrid (BEL) models"
+    return header + "\n" + format_level_winners(result)

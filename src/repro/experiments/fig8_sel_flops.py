@@ -1,0 +1,35 @@
+"""Experiment E5 — paper Fig. 8.
+
+FLOPs consumption of the best-performing hybrid models with the Strongly
+Entangling Layer (SEL) ansatz across complexity levels.  The paper's
+finding: the same small SEL circuit suffices at every complexity level,
+so FLOPs grow only through the classical input layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from ..core.experiment import ProtocolResult
+from .report import format_level_winners
+from .runner import RunProfile, run_family_cached
+
+__all__ = ["run", "render"]
+
+
+def run(
+    profile: str | RunProfile = "smoke",
+    cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ProtocolResult:
+    """Run (or load) the hybrid-SEL protocol under a profile."""
+    return run_family_cached(
+        "sel", profile, cache_dir=cache_dir, progress=progress
+    )
+
+
+def render(result: ProtocolResult) -> str:
+    """Fig. 8 as text: winners and average FLOPs per complexity level."""
+    header = "Fig 8: FLOPs of best-performing hybrid (SEL) models"
+    return header + "\n" + format_level_winners(result)

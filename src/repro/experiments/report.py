@@ -1,0 +1,107 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+The repository is matplotlib-free by design (offline environment), so
+every "figure" is regenerated as the numeric series the paper plots,
+rendered as aligned text tables that can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.experiment import ProtocolResult
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_level_winners",
+    "format_protocol_overview",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not headers:
+        raise ExperimentError("table needs at least one column")
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(r[c]) for r in cells) for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(sep.join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_series(
+    feature_sizes: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    value_name: str = "value",
+) -> str:
+    """One row per feature size, one column per named series."""
+    headers = ["features"] + list(series)
+    rows = []
+    for i, fs in enumerate(feature_sizes):
+        rows.append([fs] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=f"{title} ({value_name})")
+
+
+def format_level_winners(result: ProtocolResult) -> str:
+    """The per-subplot content of the paper's Figs. 6-8: the winning
+    model of each independent experiment, its FLOPs, and the average."""
+    lines = [
+        f"Best-performing {result.family} models per complexity level "
+        f"(threshold {result.config.threshold:.0%}, "
+        f"{result.config.n_experiments} experiments)"
+    ]
+    for lvl in result.levels:
+        winners = lvl.winners
+        if not winners:
+            lines.append(f"  features={lvl.feature_size}: NO WINNER")
+            continue
+        entries = ", ".join(
+            f"{w.spec.label}:{w.flops}" for w in winners
+        )
+        lines.append(
+            f"  features={lvl.feature_size}: {entries}  "
+            f"avg_flops={lvl.mean_flops:.1f} avg_params={lvl.mean_params:.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_protocol_overview(results: Sequence[ProtocolResult]) -> str:
+    """Compact multi-family overview used by the CLI."""
+    headers = ["family", "features", "winner", "flops", "params"]
+    rows = []
+    for result in results:
+        for lvl in result.levels:
+            winner = lvl.smallest_winner
+            rows.append(
+                [
+                    result.family,
+                    lvl.feature_size,
+                    winner.spec.label if winner else "-",
+                    winner.flops if winner else "-",
+                    winner.params if winner else "-",
+                ]
+            )
+    return format_table(headers, rows, title="Smallest winning models")

@@ -1,0 +1,82 @@
+"""FLOPs accounting for classical layers.
+
+Costs are per data sample (batch size 1), forward and backward, matching
+the paper's profiler methodology (model graph + GradientTape graph).
+Loss-function FLOPs are excluded — the paper profiles the model graphs.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ProfileError
+from ..nn.layers import (
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .conventions import CountingConvention
+
+__all__ = ["classical_layer_flops", "dense_flops", "relu_flops", "softmax_flops"]
+
+
+def dense_flops(
+    conv: CountingConvention, n_in: int, n_out: int
+) -> tuple[int, int]:
+    """(forward, backward) FLOPs of a Dense layer for one sample."""
+    return conv.dense_fwd(n_in, n_out), conv.dense_bwd(n_in, n_out)
+
+
+def relu_flops(conv: CountingConvention, n: int) -> tuple[int, int]:
+    """(forward, backward) FLOPs of a ReLU over ``n`` units."""
+    return conv.relu_fwd(n), conv.relu_bwd(n)
+
+
+def softmax_flops(conv: CountingConvention, n: int) -> tuple[int, int]:
+    """(forward, backward) FLOPs of a softmax over ``n`` units."""
+    return conv.softmax_fwd(n), conv.softmax_bwd(n)
+
+
+def classical_layer_flops(
+    conv: CountingConvention, layer: Layer, input_dim: int
+) -> tuple[int, int, int]:
+    """(forward, backward, output_dim) for one classical layer.
+
+    Raises :class:`~repro.exceptions.ProfileError` for layer types this
+    module does not know (the profiler handles quantum layers itself).
+    """
+    if isinstance(layer, Dense):
+        fwd, bwd = dense_flops(conv, layer.in_features, layer.out_features)
+        return fwd, bwd, layer.out_features
+    if isinstance(layer, ReLU):
+        fwd, bwd = relu_flops(conv, input_dim)
+        return fwd, bwd, input_dim
+    if isinstance(layer, Softmax):
+        fwd, bwd = softmax_flops(conv, input_dim)
+        return fwd, bwd, input_dim
+    if isinstance(layer, Tanh):
+        return (
+            conv.tanh_fwd_per_unit * input_dim,
+            conv.tanh_bwd_per_unit * input_dim,
+            input_dim,
+        )
+    if isinstance(layer, Sigmoid):
+        return (
+            conv.sigmoid_fwd_per_unit * input_dim,
+            conv.sigmoid_bwd_per_unit * input_dim,
+            input_dim,
+        )
+    if isinstance(layer, Dropout):
+        return (
+            conv.dropout_fwd_per_unit * input_dim,
+            conv.dropout_bwd_per_unit * input_dim,
+            input_dim,
+        )
+    if isinstance(layer, Flatten):
+        return 0, 0, input_dim
+    raise ProfileError(
+        f"no classical FLOPs rule for layer type {type(layer).__name__}"
+    )

@@ -1,0 +1,214 @@
+"""FLOPs-counting conventions.
+
+There is no single agreed definition of "one FLOP" for a neural network,
+and the paper's absolute numbers are whatever TensorFlow's profiler counts
+on the frozen graph of a Keras/PennyLane model.  We therefore make the
+counting rules *explicit data*: a :class:`CountingConvention` holds every
+constant used to cost classical layers, statevector simulation and
+gradient computation.  Three conventions ship with the library:
+
+``PAPER``
+    Classical-layer costs calibrated against the paper's Table I, which
+    pins the classical component of the hybrid networks to
+    ``6*q*F + 26*q + 25`` FLOPs for an ``F -> q -> 3`` hybrid head
+    (Dense forward ``2*i*o + o``, backward ``4*i*o + 2*o``; ReLU forward
+    ``n``, backward ``4n``; Softmax ``3n - 1`` each way).  Quantum costs
+    use textbook statevector arithmetic with a backprop-through-simulation
+    backward (multiplier 2), matching how the paper trains (TensorFlow
+    differentiates the simulation).
+``FIRST_PRINCIPLES``
+    Textbook costs everywhere (ReLU backward ``n``, Softmax ``4n``, CNOT
+    free because it is an index permutation).
+``PARAMETER_SHIFT``
+    Same forward costs as ``PAPER`` but quantum gradients are costed as
+    they would be obtained on hardware: two extra full-circuit executions
+    per scalar circuit parameter.
+
+Every experiment in :mod:`repro.experiments` accepts a convention; the
+paper's qualitative conclusions are convention-independent (exercised by
+``benchmarks/test_ablation_conventions.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "CountingConvention",
+    "PAPER",
+    "FIRST_PRINCIPLES",
+    "PARAMETER_SHIFT",
+    "get_convention",
+    "CONVENTIONS",
+]
+
+_QUANTUM_GRADIENT_MODES = ("backprop", "adjoint", "parameter_shift")
+
+
+@dataclass(frozen=True)
+class CountingConvention:
+    """All constants of one FLOPs-accounting scheme.
+
+    Classical constants are FLOPs per scalar unless stated otherwise;
+    quantum constants cost operations on a ``2**n``-amplitude state.
+    """
+
+    name: str
+
+    # -- classical layers ---------------------------------------------------
+    #: FLOPs per multiply-accumulate in a matmul forward pass.
+    dense_fwd_per_mac: int = 2
+    #: FLOPs per output unit for the bias addition.
+    dense_fwd_bias: int = 1
+    #: Backward matmul cost as a multiple of the forward matmul cost
+    #: (2 covers dL/dW and dL/dx, each the same size as the forward).
+    dense_bwd_matmul_factor: int = 2
+    #: FLOPs per output unit for the bias gradient.
+    dense_bwd_bias: int = 2
+    relu_fwd_per_unit: int = 1
+    relu_bwd_per_unit: int = 4
+    softmax_fwd_per_unit: int = 3
+    softmax_fwd_const: int = -1
+    softmax_bwd_per_unit: int = 3
+    softmax_bwd_const: int = -1
+    #: Extension layers (not used by the paper's architectures).
+    tanh_fwd_per_unit: int = 5
+    tanh_bwd_per_unit: int = 3
+    sigmoid_fwd_per_unit: int = 4
+    sigmoid_bwd_per_unit: int = 3
+    dropout_fwd_per_unit: int = 2
+    dropout_bwd_per_unit: int = 1
+
+    # -- complex arithmetic ---------------------------------------------------
+    complex_mul: int = 6
+    complex_add: int = 2
+
+    # -- statevector simulation ----------------------------------------------
+    #: FLOPs to build a rotation matrix from one angle (trig + assembly).
+    gate_build_single: int = 8
+    #: FLOPs to build a ``Rot(phi, theta, omega)`` matrix.
+    gate_build_rot: int = 24
+    #: Extra FLOPs per amplitude for a CNOT (an index permutation; the
+    #: paper's TF graph realizes it with arithmetic, so PAPER counts 1).
+    cnot_per_amplitude: int = 1
+    #: Same for CZ (a sign flip on a quarter of the amplitudes).
+    cz_per_amplitude: int = 1
+
+    # -- measurement -----------------------------------------------------------
+    #: FLOPs per amplitude to square amplitudes into probabilities
+    #: (re^2 + im^2: 2 muls + 1 add).
+    amp_square_per_amplitude: int = 3
+    #: FLOPs per amplitude per measured wire for the signed reduction.
+    expval_reduce_per_amplitude: int = 1
+
+    # -- quantum gradients -------------------------------------------------------
+    #: One of "backprop", "adjoint", "parameter_shift".
+    quantum_gradient_mode: str = "backprop"
+    #: Backward cost as a multiple of forward cost (backprop mode).
+    backprop_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.quantum_gradient_mode not in _QUANTUM_GRADIENT_MODES:
+            raise ConfigurationError(
+                f"quantum_gradient_mode must be one of "
+                f"{_QUANTUM_GRADIENT_MODES}, got {self.quantum_gradient_mode!r}"
+            )
+        if self.dense_fwd_per_mac < 1:
+            raise ConfigurationError("dense_fwd_per_mac must be >= 1")
+        if self.backprop_multiplier < 0:
+            raise ConfigurationError("backprop_multiplier must be >= 0")
+
+    # -- classical cost helpers ---------------------------------------------
+
+    def dense_fwd(self, n_in: int, n_out: int) -> int:
+        """Forward FLOPs of a Dense layer (matmul + bias), one sample."""
+        return self.dense_fwd_per_mac * n_in * n_out + self.dense_fwd_bias * n_out
+
+    def dense_bwd(self, n_in: int, n_out: int) -> int:
+        """Backward FLOPs of a Dense layer, one sample."""
+        matmul = self.dense_fwd_per_mac * n_in * n_out
+        return self.dense_bwd_matmul_factor * matmul + self.dense_bwd_bias * n_out
+
+    def relu_fwd(self, n: int) -> int:
+        return self.relu_fwd_per_unit * n
+
+    def relu_bwd(self, n: int) -> int:
+        return self.relu_bwd_per_unit * n
+
+    def softmax_fwd(self, n: int) -> int:
+        return self.softmax_fwd_per_unit * n + self.softmax_fwd_const
+
+    def softmax_bwd(self, n: int) -> int:
+        return self.softmax_bwd_per_unit * n + self.softmax_bwd_const
+
+    # -- quantum cost helpers -----------------------------------------------
+
+    def single_qubit_gate(self, n_qubits: int) -> int:
+        """Apply a dense 2x2 gate to a ``2**n`` state: ``2**(n-1)`` little
+        matvecs of 4 complex muls + 2 complex adds each."""
+        pairs = 2 ** (n_qubits - 1)
+        return pairs * (4 * self.complex_mul + 2 * self.complex_add)
+
+    def diagonal_gate(self, n_qubits: int) -> int:
+        """Apply a diagonal 2x2 gate (RZ/PhaseShift): one complex mul per
+        amplitude."""
+        return (2**n_qubits) * self.complex_mul
+
+    def cnot(self, n_qubits: int) -> int:
+        return self.cnot_per_amplitude * 2 ** (n_qubits - 1)
+
+    def cz(self, n_qubits: int) -> int:
+        return self.cz_per_amplitude * 2 ** (n_qubits - 2) if n_qubits >= 2 else 0
+
+    def expval_z(self, n_qubits: int, n_wires: int) -> int:
+        """Per-wire Z expectations with a shared ``|amp|^2`` pass."""
+        dim = 2**n_qubits
+        return self.amp_square_per_amplitude * dim + (
+            self.expval_reduce_per_amplitude * dim * n_wires
+        )
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_(self, **overrides) -> "CountingConvention":
+        """Return a copy with some constants replaced (ablation helper)."""
+        return replace(self, **overrides)
+
+
+#: Convention calibrated to the paper's Table I classical decomposition.
+PAPER = CountingConvention(name="paper")
+
+#: Textbook statevector/NN costs.
+FIRST_PRINCIPLES = CountingConvention(
+    name="first_principles",
+    relu_bwd_per_unit=1,
+    softmax_fwd_per_unit=4,
+    softmax_fwd_const=0,
+    softmax_bwd_per_unit=4,
+    softmax_bwd_const=0,
+    cnot_per_amplitude=0,
+    cz_per_amplitude=0,
+)
+
+#: Hardware-realistic gradient costing (two circuit runs per parameter).
+PARAMETER_SHIFT = CountingConvention(
+    name="parameter_shift",
+    quantum_gradient_mode="parameter_shift",
+)
+
+CONVENTIONS: dict[str, CountingConvention] = {
+    c.name: c for c in (PAPER, FIRST_PRINCIPLES, PARAMETER_SHIFT)
+}
+
+
+def get_convention(name: str | CountingConvention) -> CountingConvention:
+    """Look a convention up by name (pass-through for instances)."""
+    if isinstance(name, CountingConvention):
+        return name
+    try:
+        return CONVENTIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown convention {name!r}; options: {sorted(CONVENTIONS)}"
+        ) from None

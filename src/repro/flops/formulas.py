@@ -1,0 +1,167 @@
+"""Closed-form cost formulas on model *specifications*.
+
+The grid search ranks hundreds of candidate architectures by FLOPs before
+training anything (paper section III-E).  Instantiating each model just to
+cost it would be wasteful, so these helpers compute FLOPs and parameter
+counts directly from the specification.  They are guaranteed to agree
+with :func:`repro.flops.profiler.profile_model` on built models — the
+test suite checks the equivalence exhaustively over both search spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..quantum.templates import (
+    angle_embedding,
+    basic_entangler_layers,
+    bel_param_count,
+    sel_param_count,
+    strongly_entangling_layers,
+)
+from .conventions import CountingConvention, get_convention
+from .profiler import FlopsBreakdown
+from .quantum import quantum_layer_flops
+
+__all__ = [
+    "classical_param_count",
+    "classical_model_flops",
+    "hybrid_param_count",
+    "hybrid_model_flops",
+    "hybrid_flops_breakdown",
+]
+
+
+def classical_param_count(
+    n_features: int, hidden: Sequence[int], n_classes: int = 3
+) -> int:
+    """Trainable parameters of a classical MLP spec."""
+    if not hidden:
+        raise ConfigurationError("classical spec needs >= 1 hidden layer")
+    total = 0
+    dim = n_features
+    for width in hidden:
+        total += dim * width + width
+        dim = width
+    total += dim * n_classes + n_classes
+    return total
+
+
+def classical_model_flops(
+    n_features: int,
+    hidden: Sequence[int],
+    n_classes: int = 3,
+    convention: str | CountingConvention = "paper",
+) -> int:
+    """Per-sample forward+backward FLOPs of a classical MLP spec."""
+    conv = get_convention(convention)
+    total = 0
+    dim = n_features
+    for width in hidden:
+        total += conv.dense_fwd(dim, width) + conv.dense_bwd(dim, width)
+        total += conv.relu_fwd(width) + conv.relu_bwd(width)
+        dim = width
+    total += conv.dense_fwd(dim, n_classes) + conv.dense_bwd(dim, n_classes)
+    total += conv.softmax_fwd(n_classes) + conv.softmax_bwd(n_classes)
+    return int(total)
+
+
+def hybrid_param_count(
+    n_features: int,
+    n_qubits: int,
+    n_layers: int,
+    ansatz: str = "sel",
+    n_classes: int = 3,
+) -> int:
+    """Trainable parameters of an HQNN spec (Fig. 3 architecture)."""
+    ansatz = ansatz.lower()
+    if ansatz == "bel":
+        q_params = bel_param_count(n_layers, n_qubits)
+    elif ansatz == "sel":
+        q_params = sel_param_count(n_layers, n_qubits)
+    else:
+        raise ConfigurationError(f"unknown ansatz {ansatz!r}")
+    input_dense = n_features * n_qubits + n_qubits
+    output_dense = n_qubits * n_classes + n_classes
+    return input_dense + q_params + output_dense
+
+
+def _spec_tape(n_qubits: int, n_layers: int, ansatz: str):
+    """Representative tape for a hybrid spec (zero weights/inputs)."""
+    x = np.zeros((1, n_qubits))
+    ops = angle_embedding(x, n_qubits)
+    ansatz = ansatz.lower()
+    if ansatz == "bel":
+        ops += basic_entangler_layers(
+            np.zeros((n_layers, n_qubits)), n_qubits
+        )
+    elif ansatz == "sel":
+        ops += strongly_entangling_layers(
+            np.zeros((n_layers, n_qubits, 3)), n_qubits
+        )
+    else:
+        raise ConfigurationError(f"unknown ansatz {ansatz!r}")
+    return ops
+
+
+def hybrid_flops_breakdown(
+    n_features: int,
+    n_qubits: int,
+    n_layers: int,
+    ansatz: str = "sel",
+    n_classes: int = 3,
+    convention: str | CountingConvention = "paper",
+    input_activation: str | None = None,
+) -> FlopsBreakdown:
+    """Table I decomposition (Enc / CL / QL) for an HQNN spec.
+
+    ``input_activation`` must match the builder's choice (``None`` for
+    the default linear input layer, ``"relu"`` for the Table-I-calibrated
+    variant); see :func:`repro.hybrid.build_hybrid_model`.
+    """
+    conv = get_convention(convention)
+    if input_activation not in (None, "relu"):
+        raise ConfigurationError(
+            f"input_activation must be None or 'relu', "
+            f"got {input_activation!r}"
+        )
+    classical = (
+        conv.dense_fwd(n_features, n_qubits)
+        + conv.dense_bwd(n_features, n_qubits)
+        + conv.dense_fwd(n_qubits, n_classes)
+        + conv.dense_bwd(n_qubits, n_classes)
+        + conv.softmax_fwd(n_classes)
+        + conv.softmax_bwd(n_classes)
+    )
+    if input_activation == "relu":
+        classical += conv.relu_fwd(n_qubits) + conv.relu_bwd(n_qubits)
+    qf = quantum_layer_flops(conv, _spec_tape(n_qubits, n_layers, ansatz), n_qubits)
+    return FlopsBreakdown(
+        encoding=qf.encoding_total,
+        classical=int(classical),
+        quantum=qf.quantum_total,
+    )
+
+
+def hybrid_model_flops(
+    n_features: int,
+    n_qubits: int,
+    n_layers: int,
+    ansatz: str = "sel",
+    n_classes: int = 3,
+    convention: str | CountingConvention = "paper",
+    input_activation: str | None = None,
+) -> int:
+    """Per-sample forward+backward FLOPs of an HQNN spec."""
+    return hybrid_flops_breakdown(
+        n_features,
+        n_qubits,
+        n_layers,
+        ansatz,
+        n_classes,
+        convention,
+        input_activation,
+    ).total

@@ -1,0 +1,181 @@
+"""Model-level FLOPs profiler.
+
+Walks a :class:`repro.nn.Sequential` model layer by layer, costing
+classical layers via :mod:`repro.flops.classical` and quantum layers via
+:mod:`repro.flops.quantum`, and produces:
+
+* a per-layer table (forward / backward / parameters),
+* the paper's Table I decomposition: total, encoding, classical,
+  quantum-layer FLOPs.
+
+This replaces the paper's TensorFlow-profiler-on-frozen-graph procedure.
+All numbers are per data sample, forward + backward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ProfileError
+from ..hybrid.quantum_layer import QuantumLayer
+from ..nn.model import Sequential
+from .classical import classical_layer_flops
+from .conventions import CountingConvention, get_convention
+from .quantum import QuantumLayerFlops, quantum_layer_flops
+
+__all__ = ["LayerProfile", "FlopsBreakdown", "ModelProfile", "profile_model"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """FLOPs and parameters of one layer."""
+
+    name: str
+    kind: str  # "classical" or "quantum"
+    forward: int
+    backward: int
+    params: int
+
+    @property
+    def total(self) -> int:
+        return self.forward + self.backward
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """The paper's Table I columns (per sample, forward + backward)."""
+
+    encoding: int
+    classical: int
+    quantum: int
+
+    @property
+    def total(self) -> int:
+        """Table I "TF": encoding + classical + quantum."""
+        return self.encoding + self.classical + self.quantum
+
+    @property
+    def encoding_plus_classical(self) -> int:
+        """Table I "Enc+CL"."""
+        return self.encoding + self.classical
+
+    def as_table_row(self) -> dict[str, int]:
+        """Render with the paper's column names."""
+        return {
+            "TF": self.total,
+            "Enc+CL": self.encoding_plus_classical,
+            "CL": self.classical,
+            "Enc": self.encoding,
+            "QL": self.quantum,
+        }
+
+
+@dataclass
+class ModelProfile:
+    """Complete cost profile of a model."""
+
+    model_name: str
+    convention: str
+    layers: list[LayerProfile] = field(default_factory=list)
+    breakdown: FlopsBreakdown = FlopsBreakdown(0, 0, 0)
+
+    @property
+    def total_flops(self) -> int:
+        return self.breakdown.total
+
+    @property
+    def forward_flops(self) -> int:
+        return int(sum(l.forward for l in self.layers))
+
+    @property
+    def backward_flops(self) -> int:
+        return int(sum(l.backward for l in self.layers))
+
+    @property
+    def param_count(self) -> int:
+        return int(sum(l.params for l in self.layers))
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [
+            f"FLOPs profile of {self.model_name} "
+            f"(convention: {self.convention}, per sample)",
+            f"{'layer':<22}{'kind':<12}{'fwd':>10}{'bwd':>10}{'params':>8}",
+            "-" * 62,
+        ]
+        for l in self.layers:
+            lines.append(
+                f"{l.name:<22}{l.kind:<12}{l.forward:>10}{l.backward:>10}"
+                f"{l.params:>8}"
+            )
+        lines.append("-" * 62)
+        row = self.breakdown.as_table_row()
+        lines.append(
+            f"total={row['TF']}  Enc+CL={row['Enc+CL']}  CL={row['CL']}  "
+            f"Enc={row['Enc']}  QL={row['QL']}"
+        )
+        return "\n".join(lines)
+
+
+def _infer_input_dim(model: Sequential) -> int:
+    """The input feature dimension implied by the first sized layer."""
+    for layer in model.layers:
+        in_features = getattr(layer, "in_features", None)
+        if in_features is not None:
+            return int(in_features)
+        n_qubits = getattr(layer, "n_qubits", None)
+        if n_qubits is not None:
+            return int(n_qubits)
+    raise ProfileError(
+        "cannot infer the input dimension: model has no Dense or quantum "
+        "layer; pass input_dim explicitly"
+    )
+
+
+def profile_model(
+    model: Sequential,
+    convention: str | CountingConvention = "paper",
+    input_dim: int | None = None,
+) -> ModelProfile:
+    """Cost every layer of ``model`` under a counting convention."""
+    conv = get_convention(convention)
+    if input_dim is None:
+        input_dim = _infer_input_dim(model)
+
+    profile = ModelProfile(model_name=model.name, convention=conv.name)
+    encoding = classical = quantum = 0
+    dim = input_dim
+    for layer in model.layers:
+        if isinstance(layer, QuantumLayer):
+            tape = layer.representative_tape()
+            qf: QuantumLayerFlops = quantum_layer_flops(
+                conv, tape, layer.n_qubits
+            )
+            profile.layers.append(
+                LayerProfile(
+                    name=layer.name,
+                    kind="quantum",
+                    forward=qf.forward_total,
+                    backward=qf.backward_total,
+                    params=layer.param_count,
+                )
+            )
+            encoding += qf.encoding_total
+            quantum += qf.quantum_total
+            dim = layer.n_qubits
+        else:
+            fwd, bwd, dim = classical_layer_flops(conv, layer, dim)
+            profile.layers.append(
+                LayerProfile(
+                    name=layer.name,
+                    kind="classical",
+                    forward=fwd,
+                    backward=bwd,
+                    params=layer.param_count,
+                )
+            )
+            classical += fwd + bwd
+    profile.breakdown = FlopsBreakdown(
+        encoding=encoding, classical=classical, quantum=quantum
+    )
+    return profile

@@ -1,0 +1,202 @@
+"""FLOPs accounting for simulated quantum layers.
+
+The tape produced by :class:`repro.hybrid.QuantumLayer` is split into its
+*encoding* segment (gates whose parameters are input features — the
+paper's "Enc" column in Table I) and its *ansatz* segment (trainable
+gates plus entanglers — together with measurement, the paper's "QL"
+column).  Costs are per data sample on a ``2**n``-amplitude statevector.
+
+Three gradient-costing modes (chosen by the convention):
+
+``backprop``
+    TensorFlow-style differentiation through the simulation: each
+    component's backward cost is ``backprop_multiplier x`` its forward
+    cost.  This is how the paper's models are actually trained.
+``adjoint``
+    Two reverse sweeps (bra and ket) plus one generator application and
+    one inner product per trainable scalar.
+``parameter_shift``
+    Hardware-realistic: two additional *full-circuit* executions per
+    scalar parameter.  All shift-execution cost is attributed to the
+    quantum layer (the shifts exist only to differentiate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ProfileError
+from ..quantum.circuit import Operation
+from .conventions import CountingConvention
+
+__all__ = [
+    "operation_fwd_flops",
+    "tape_fwd_flops",
+    "split_tape",
+    "count_tape_params",
+    "QuantumLayerFlops",
+    "quantum_layer_flops",
+]
+
+#: Gates applied as dense 2x2 matrices.
+_DENSE_1Q = {"RX", "RY", "H", "X", "Y", "S", "T"}
+#: Gates applied as diagonal matrices.
+_DIAGONAL_1Q = {"RZ", "PhaseShift", "Z"}
+#: Controlled rotations: a 2x2 applied to the control=1 half-space.
+_CONTROLLED_1Q = {"CRX", "CRY", "CRZ"}
+
+
+def operation_fwd_flops(
+    conv: CountingConvention, op: Operation, n_qubits: int
+) -> int:
+    """Forward cost of one gate: matrix construction + state update."""
+    name = op.name
+    if name in _DENSE_1Q:
+        build = conv.gate_build_single if op.is_parametrized else 0
+        return build + conv.single_qubit_gate(n_qubits)
+    if name in _DIAGONAL_1Q:
+        build = conv.gate_build_single if op.is_parametrized else 0
+        return build + conv.diagonal_gate(n_qubits)
+    if name == "Rot":
+        return conv.gate_build_rot + conv.single_qubit_gate(n_qubits)
+    if name in _CONTROLLED_1Q:
+        return conv.gate_build_single + conv.single_qubit_gate(n_qubits) // 2
+    if name == "CNOT":
+        return conv.cnot(n_qubits)
+    if name == "CZ":
+        return conv.cz(n_qubits)
+    if name == "SWAP":
+        return 3 * conv.cnot(n_qubits)
+    raise ProfileError(f"no FLOPs rule for gate {name!r}")
+
+
+def tape_fwd_flops(
+    conv: CountingConvention, ops: Sequence[Operation], n_qubits: int
+) -> int:
+    """Forward cost of a whole tape."""
+    return int(sum(operation_fwd_flops(conv, op, n_qubits) for op in ops))
+
+
+def split_tape(
+    ops: Sequence[Operation],
+) -> tuple[list[Operation], list[Operation]]:
+    """Split a tape into (encoding ops, ansatz ops).
+
+    An operation belongs to the encoding segment iff any of its parameters
+    is an ``input`` reference.
+    """
+    encoding: list[Operation] = []
+    ansatz: list[Operation] = []
+    for op in ops:
+        refs = [r for r in op.refs if r is not None]
+        if refs and all(r.kind == "input" for r in refs):
+            encoding.append(op)
+        elif any(r.kind == "input" for r in refs):
+            raise ProfileError(
+                f"{op.name} mixes input and weight parameters; the "
+                "encoding/ansatz split is undefined"
+            )
+        else:
+            ansatz.append(op)
+    return encoding, ansatz
+
+
+def count_tape_params(ops: Sequence[Operation]) -> tuple[int, int]:
+    """Count referenced (input, weight) scalar parameters of a tape."""
+    n_in = sum(
+        1 for op in ops for r in op.refs if r is not None and r.kind == "input"
+    )
+    n_w = sum(
+        1 for op in ops for r in op.refs if r is not None and r.kind == "weight"
+    )
+    return n_in, n_w
+
+
+@dataclass(frozen=True)
+class QuantumLayerFlops:
+    """Per-sample FLOPs of one quantum layer, split like the paper's
+    Table I."""
+
+    encoding_fwd: int
+    encoding_bwd: int
+    ansatz_fwd: int
+    ansatz_bwd: int
+    measurement_fwd: int
+    measurement_bwd: int
+
+    @property
+    def encoding_total(self) -> int:
+        """The paper's "Enc" column."""
+        return self.encoding_fwd + self.encoding_bwd
+
+    @property
+    def quantum_total(self) -> int:
+        """The paper's "QL" column (ansatz + measurement)."""
+        return (
+            self.ansatz_fwd
+            + self.ansatz_bwd
+            + self.measurement_fwd
+            + self.measurement_bwd
+        )
+
+    @property
+    def forward_total(self) -> int:
+        return self.encoding_fwd + self.ansatz_fwd + self.measurement_fwd
+
+    @property
+    def backward_total(self) -> int:
+        return self.encoding_bwd + self.ansatz_bwd + self.measurement_bwd
+
+    @property
+    def total(self) -> int:
+        return self.forward_total + self.backward_total
+
+
+def quantum_layer_flops(
+    conv: CountingConvention,
+    ops: Sequence[Operation],
+    n_qubits: int,
+    n_measured_wires: int | None = None,
+) -> QuantumLayerFlops:
+    """Cost a quantum layer's tape under a convention."""
+    if n_measured_wires is None:
+        n_measured_wires = n_qubits
+    encoding_ops, ansatz_ops = split_tape(ops)
+    enc_fwd = tape_fwd_flops(conv, encoding_ops, n_qubits)
+    ans_fwd = tape_fwd_flops(conv, ansatz_ops, n_qubits)
+    meas_fwd = conv.expval_z(n_qubits, n_measured_wires)
+
+    mode = conv.quantum_gradient_mode
+    if mode == "backprop":
+        mult = conv.backprop_multiplier
+        enc_bwd = int(round(mult * enc_fwd))
+        ans_bwd = int(round(mult * ans_fwd))
+        meas_bwd = int(round(mult * meas_fwd))
+    elif mode == "adjoint":
+        # Two reverse sweeps (bra and ket) re-apply every gate inverse,
+        # plus one generator application and one inner product per scalar.
+        n_in, n_w = count_tape_params(ops)
+        dim = 2**n_qubits
+        inner_product = dim * (conv.complex_mul + conv.complex_add)
+        per_param = conv.single_qubit_gate(n_qubits) + inner_product
+        enc_bwd = 2 * enc_fwd + n_in * per_param
+        ans_bwd = 2 * ans_fwd + n_w * per_param
+        # Seeding the bra applies the Z linear combination once.
+        meas_bwd = conv.expval_z(n_qubits, n_measured_wires)
+    else:  # parameter_shift
+        n_in, n_w = count_tape_params(ops)
+        circuit_fwd = enc_fwd + ans_fwd + meas_fwd
+        enc_bwd = 0
+        ans_bwd = 2 * (n_in + n_w) * circuit_fwd
+        meas_bwd = 0
+    return QuantumLayerFlops(
+        encoding_fwd=enc_fwd,
+        encoding_bwd=enc_bwd,
+        ansatz_fwd=ans_fwd,
+        ansatz_bwd=ans_bwd,
+        measurement_fwd=meas_fwd,
+        measurement_bwd=meas_bwd,
+    )

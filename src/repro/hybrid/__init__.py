@@ -1,0 +1,12 @@
+"""Hybrid quantum-classical models (classical layers + quantum layer)."""
+
+from .builders import build_classical_model, build_hybrid_model
+from .quantum_layer import ANSATZE, GRADIENT_METHODS, QuantumLayer
+
+__all__ = [
+    "QuantumLayer",
+    "ANSATZE",
+    "GRADIENT_METHODS",
+    "build_classical_model",
+    "build_hybrid_model",
+]

@@ -1,0 +1,118 @@
+"""Model builders matching the paper's architectures (Fig. 3).
+
+Classical models:
+
+    Input(features) -> [Dense(h_i) + ReLU]* -> Dense(classes) + Softmax
+
+with hidden widths drawn from {2, 4, 6, 8, 10} and at most three hidden
+layers.
+
+Hybrid models:
+
+    Input(features) -> Dense(n_qubits)              (input layer, paper:
+                                                    "neurons = # of qubits")
+                    -> angle embedding -> BEL/SEL ansatz -> per-wire <Z>
+                    -> Dense(classes) + Softmax     (output layer)
+
+Only the quantum block (qubits, depth, ansatz) is varied during the hybrid
+model search; the two classical layers are fixed by the feature count and
+the number of classes.
+
+The paper's Fig. 3 is ambiguous about whether the hybrid input layer has
+a ReLU.  We default to a *linear* input layer: a ReLU in front of the
+angle encoding zeroes half of each projected coordinate, which through a
+``n_qubits``-wide bottleneck discards the sign information the spiral
+task needs (empirically it costs several accuracy points at high feature
+counts).  Pass ``input_activation="relu"`` for the ReLU variant — the
+FLOPs conventions were calibrated against Table I using that variant, and
+``repro.flops.formulas`` accepts the same switch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.layers import Dense, ReLU, Softmax
+from ..nn.model import Sequential
+from .quantum_layer import QuantumLayer
+
+__all__ = ["build_classical_model", "build_hybrid_model"]
+
+
+def build_classical_model(
+    n_features: int,
+    hidden: Sequence[int],
+    n_classes: int = 3,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a classical MLP for one grid-search combination.
+
+    ``hidden`` is the tuple of hidden-layer widths, e.g. ``(4, 10)``.
+    """
+    if n_features < 1:
+        raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+    if n_classes < 2:
+        raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+    if not hidden:
+        raise ConfigurationError("classical models need >= 1 hidden layer")
+    if any(h < 1 for h in hidden):
+        raise ConfigurationError(f"hidden widths must be >= 1, got {hidden}")
+    rng = rng or np.random.default_rng()
+    layers = []
+    in_dim = n_features
+    for i, width in enumerate(hidden):
+        layers.append(Dense(in_dim, width, rng=rng, name=f"dense_{i}"))
+        layers.append(ReLU(name=f"relu_{i}"))
+        in_dim = width
+    layers.append(Dense(in_dim, n_classes, rng=rng, name="dense_out"))
+    layers.append(Softmax(name="softmax"))
+    name = "classical_" + "x".join(str(h) for h in hidden)
+    return Sequential(layers, name=name)
+
+
+def build_hybrid_model(
+    n_features: int,
+    n_qubits: int,
+    n_layers: int,
+    ansatz: str = "sel",
+    n_classes: int = 3,
+    rotation: str = "Y",
+    gradient_method: str = "adjoint",
+    input_activation: str | None = None,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build an HQNN for one grid-search combination (Fig. 3, right).
+
+    ``input_activation`` is ``None`` (linear input layer, default) or
+    ``"relu"`` — see the module docstring for the trade-off.
+    """
+    if n_features < 1:
+        raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+    if n_classes < 2:
+        raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+    if input_activation not in (None, "relu"):
+        raise ConfigurationError(
+            f"input_activation must be None or 'relu', "
+            f"got {input_activation!r}"
+        )
+    rng = rng or np.random.default_rng()
+    layers: list = [Dense(n_features, n_qubits, rng=rng, name="dense_in")]
+    if input_activation == "relu":
+        layers.append(ReLU(name="relu_in"))
+    layers += [
+        QuantumLayer(
+            n_qubits,
+            n_layers,
+            ansatz=ansatz,
+            rotation=rotation,
+            gradient_method=gradient_method,
+            rng=rng,
+        ),
+        Dense(n_qubits, n_classes, rng=rng, name="dense_out"),
+        Softmax(name="softmax"),
+    ]
+    name = f"hybrid_{ansatz}_q{n_qubits}_l{n_layers}"
+    return Sequential(layers, name=name)

@@ -1,0 +1,182 @@
+"""The quantum layer: a Keras-style layer backed by the statevector
+simulator.
+
+This is our replacement for PennyLane's ``qml.qnn.KerasLayer`` (which the
+paper uses to embed QNodes into TensorFlow models).  The layer maps a
+``(B, n_qubits)`` activation to ``(B, n_qubits)`` Pauli-Z expectation
+values:
+
+    angle embedding (RY per qubit) -> BEL or SEL ansatz -> per-wire <Z>.
+
+Backward uses adjoint differentiation by default (exact, cheap); the
+parameter-shift rule is available as an alternative backend and as a
+hardware-realistic cost model for :mod:`repro.flops`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn.layers import Layer
+from ..quantum.adjoint import adjoint_gradients
+from ..quantum.circuit import Operation, run
+from ..quantum.measurements import expval_z
+from ..quantum.parameter_shift import parameter_shift_gradients
+from ..quantum.templates import (
+    angle_embedding,
+    basic_entangler_layers,
+    bel_param_count,
+    random_bel_weights,
+    random_sel_weights,
+    sel_param_count,
+    strongly_entangling_layers,
+)
+
+__all__ = ["QuantumLayer", "ANSATZE", "GRADIENT_METHODS"]
+
+ANSATZE = ("bel", "sel")
+GRADIENT_METHODS = ("adjoint", "parameter_shift")
+
+
+class QuantumLayer(Layer):
+    """Angle-encoded variational quantum circuit as a neural layer.
+
+    Parameters
+    ----------
+    n_qubits:
+        Width of the register; also the layer's input and output
+        dimension (one encoded feature and one measured wire per qubit).
+    n_layers:
+        Ansatz depth (repetitions of the entangling block).
+    ansatz:
+        ``"bel"`` (Basic Entangling Layer, one RY per qubit + CNOT ring)
+        or ``"sel"`` (Strongly Entangling Layer, full ``Rot`` per qubit +
+        cycling-range CNOT ring), per the paper's Fig. 5.
+    rotation:
+        Axis for the encoding rotations and BEL rotations (paper: Y).
+    gradient_method:
+        ``"adjoint"`` (default) or ``"parameter_shift"``.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        n_layers: int,
+        ansatz: str = "sel",
+        rotation: str = "Y",
+        gradient_method: str = "adjoint",
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name or f"quantum_{ansatz}")
+        if n_qubits < 1:
+            raise ConfigurationError(f"n_qubits must be >= 1, got {n_qubits}")
+        if n_layers < 1:
+            raise ConfigurationError(f"n_layers must be >= 1, got {n_layers}")
+        ansatz = ansatz.lower()
+        if ansatz not in ANSATZE:
+            raise ConfigurationError(
+                f"ansatz must be one of {ANSATZE}, got {ansatz!r}"
+            )
+        if gradient_method not in GRADIENT_METHODS:
+            raise ConfigurationError(
+                f"gradient_method must be one of {GRADIENT_METHODS}, "
+                f"got {gradient_method!r}"
+            )
+        self.n_qubits = n_qubits
+        self.n_layers = n_layers
+        self.ansatz = ansatz
+        self.rotation = rotation
+        self.gradient_method = gradient_method
+
+        rng = rng or np.random.default_rng()
+        if ansatz == "bel":
+            self.weights = random_bel_weights(n_layers, n_qubits, rng)
+        else:
+            self.weights = random_sel_weights(n_layers, n_qubits, rng)
+        self.params = [self.weights]
+        self.grads = [np.zeros_like(self.weights)]
+
+        self._cache_ops: list[Operation] | None = None
+        self._cache_state: np.ndarray | None = None
+        self._cache_batch: int = 0
+
+    # -- tape construction -----------------------------------------------
+
+    @property
+    def n_weights(self) -> int:
+        """Number of trainable circuit parameters."""
+        if self.ansatz == "bel":
+            return bel_param_count(self.n_layers, self.n_qubits)
+        return sel_param_count(self.n_layers, self.n_qubits)
+
+    def build_tape(self, x: np.ndarray) -> list[Operation]:
+        """Encoding + ansatz tape for a batch of inputs ``(B, n_qubits)``."""
+        ops = angle_embedding(x, self.n_qubits, rotation=self.rotation)
+        if self.ansatz == "bel":
+            ops += basic_entangler_layers(
+                self.weights, self.n_qubits, rotation=self.rotation
+            )
+        else:
+            ops += strongly_entangling_layers(self.weights, self.n_qubits)
+        return ops
+
+    def representative_tape(self) -> list[Operation]:
+        """A batch-1, all-zero-input tape (for structural FLOPs analysis)."""
+        return self.build_tape(np.zeros((1, self.n_qubits)))
+
+    # -- layer interface ---------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_qubits:
+            raise ShapeError(
+                f"{self.name} expected (batch, {self.n_qubits}), "
+                f"got {x.shape}"
+            )
+        ops = self.build_tape(x)
+        state = run(ops, self.n_qubits, batch=x.shape[0])
+        if training:
+            self._cache_ops = ops
+            self._cache_state = state
+            self._cache_batch = x.shape[0]
+        return expval_z(state)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_ops is None or self._cache_state is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        if self.gradient_method == "adjoint":
+            input_grads, weight_grads = adjoint_gradients(
+                self._cache_ops,
+                self._cache_state,
+                grad,
+                n_inputs=self.n_qubits,
+                n_weights=self.n_weights,
+            )
+        else:
+            input_grads, weight_grads = parameter_shift_gradients(
+                self._cache_ops,
+                self.n_qubits,
+                self._cache_batch,
+                grad,
+                n_inputs=self.n_qubits,
+                n_weights=self.n_weights,
+            )
+        self.grads[0] += weight_grads.reshape(self.weights.shape)
+        return input_grads
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim != self.n_qubits:
+            raise ShapeError(
+                f"{self.name} expects {self.n_qubits} inputs, got {input_dim}"
+            )
+        return self.n_qubits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumLayer(qubits={self.n_qubits}, layers={self.n_layers}, "
+            f"ansatz={self.ansatz!r}, params={self.param_count})"
+        )

@@ -1,0 +1,63 @@
+"""Weight initializers.
+
+Keras defaults are mirrored because the paper builds its models with
+Keras: ``Dense`` uses Glorot-uniform weights and zero biases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["glorot_uniform", "he_uniform", "normal", "zeros", "get"]
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform(-limit, limit) with ``limit = sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform(-limit, limit) with ``limit = sqrt(6 / fan_in)``."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Standard-normal scaled by 0.05 (Keras ``RandomNormal`` default)."""
+    return 0.05 * rng.standard_normal(size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All zeros (Keras bias default).  ``rng`` accepted for uniformity."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+_REGISTRY = {
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "normal": normal,
+    "zeros": zeros,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; options: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ConfigurationError("initializer shape must be non-empty")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

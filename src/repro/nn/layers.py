@@ -1,0 +1,291 @@
+"""Keras-style layers with explicit forward/backward passes.
+
+Each layer caches whatever its backward pass needs during ``forward`` and
+exposes its trainable state through two parallel lists, ``params`` and
+``grads`` (same shapes).  Optimizers update ``params`` in place, which
+keeps the model, its layers and the optimizer views consistent.
+
+The gradient implementations are validated against central finite
+differences in ``tests/nn/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from . import initializers
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "Flatten",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+]
+
+
+class Layer:
+    """Base class: a differentiable, optionally-parametrized transform."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    # -- interface ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_dim(self, input_dim: int) -> int:
+        """Feature dimension produced for a given input dimension."""
+        return input_dim
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def param_count(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(p.size for p in self.params))
+
+    def zero_grads(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(params={self.param_count})"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    ``W`` has shape ``(in_features, out_features)``; ``b`` has shape
+    ``(out_features,)``.  Defaults mirror Keras (Glorot-uniform weights,
+    zero biases).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        weight_init: str = "glorot_uniform",
+        bias_init: str = "zeros",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError(
+                f"Dense dims must be positive, got ({in_features}, "
+                f"{out_features})"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng()
+        w_init = initializers.get(weight_init)
+        b_init = initializers.get(bias_init)
+        self.weight = w_init((in_features, out_features), rng)
+        self.bias = b_init((out_features,), rng)
+        self.params = [self.weight, self.bias]
+        self.grads = [np.zeros_like(self.weight), np.zeros_like(self.bias)]
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name} expected (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        if training:
+            self._cache_x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        x = self._cache_x
+        self.grads[0] += x.T @ grad
+        self.grads[1] += grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim != self.in_features:
+            raise ShapeError(
+                f"{self.name} expects {self.in_features} inputs, "
+                f"got {input_dim}"
+            )
+        return self.out_features
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0.0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        return grad * self._mask
+
+
+class Softmax(Layer):
+    """Row-wise softmax (the paper's output activation).
+
+    Backward implements the full Jacobian-vector product
+    ``p * (g - sum(g * p))`` so it composes with any loss defined on
+    probabilities.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._probs: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        if training:
+            self._probs = probs
+        return probs
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._probs is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        p = self._probs
+        dot = np.sum(grad * p, axis=1, keepdims=True)
+        return p * (grad - dot)
+
+
+class Tanh(Layer):
+    """Elementwise hyperbolic tangent.
+
+    Not used by the paper's architectures, but a common alternative for
+    the hybrid input layer: it bounds the encoded angles to (-1, 1)
+    without discarding sign information like a ReLU does.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        return grad * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic function."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        return grad * self._out * (1.0 - self._out)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training.
+
+    Provided for regularization experiments on the noisy high-feature
+    levels; the paper's models do not use it.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(
+                f"dropout rate must be in [0, 1), got {rate}"
+            )
+        self.rate = float(rate)
+        self._rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None if not training else np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all trailing axes into the feature axis."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        return grad.reshape(self._shape)

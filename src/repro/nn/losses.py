@@ -1,0 +1,86 @@
+"""Loss functions.
+
+The paper's models end in an explicit softmax layer followed by
+categorical cross-entropy, so :class:`CrossEntropy` operates on
+*probabilities* (with an epsilon clip guarding the log/division).  The
+composition softmax-then-cross-entropy reproduces the familiar ``p - y``
+logits gradient exactly wherever the clip is inactive; the fused
+:class:`SoftmaxCrossEntropy` (on logits) is also provided for users who
+prefer the numerically fused form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["Loss", "CrossEntropy", "SoftmaxCrossEntropy", "MeanSquaredError"]
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class: scalar loss plus gradient w.r.t. the model output."""
+
+    def value(self, output: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, output: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(output: np.ndarray, targets: np.ndarray) -> None:
+        if output.shape != targets.shape:
+            raise ShapeError(
+                f"output {output.shape} and targets {targets.shape} differ"
+            )
+
+
+class CrossEntropy(Loss):
+    """Categorical cross-entropy on probabilities with one-hot targets.
+
+    ``L = -mean_b sum_c y_{bc} log(p_{bc})``.
+    """
+
+    def value(self, output: np.ndarray, targets: np.ndarray) -> float:
+        self._check(output, targets)
+        clipped = np.clip(output, _EPS, 1.0)
+        return float(-np.mean(np.sum(targets * np.log(clipped), axis=1)))
+
+    def gradient(self, output: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(output, targets)
+        clipped = np.clip(output, _EPS, 1.0)
+        batch = output.shape[0]
+        return -(targets / clipped) / batch
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy on *logits* (stable log-sum-exp)."""
+
+    def value(self, output: np.ndarray, targets: np.ndarray) -> float:
+        self._check(output, targets)
+        shifted = output - output.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(
+            np.sum(np.exp(shifted), axis=1, keepdims=True)
+        )
+        return float(-np.mean(np.sum(targets * log_probs, axis=1)))
+
+    def gradient(self, output: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(output, targets)
+        shifted = output - output.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        return (probs - targets) / output.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """``L = mean_b mean_c (p - y)^2`` — provided for completeness."""
+
+    def value(self, output: np.ndarray, targets: np.ndarray) -> float:
+        self._check(output, targets)
+        return float(np.mean((output - targets) ** 2))
+
+    def gradient(self, output: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(output, targets)
+        return 2.0 * (output - targets) / output.size

@@ -1,0 +1,45 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["accuracy", "confusion_matrix"]
+
+
+def _to_labels(y: np.ndarray) -> np.ndarray:
+    """Accept either integer labels or one-hot rows."""
+    y = np.asarray(y)
+    if y.ndim == 2:
+        return np.argmax(y, axis=1)
+    if y.ndim == 1:
+        return y.astype(np.int64)
+    raise ShapeError(f"labels must be 1-D or one-hot 2-D, got shape {y.shape}")
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct argmax predictions.
+
+    ``y_pred`` may be class probabilities/logits ``(B, C)`` or labels
+    ``(B,)``; likewise ``y_true``.
+    """
+    t = _to_labels(y_true)
+    p = _to_labels(y_pred)
+    if t.shape != p.shape:
+        raise ShapeError(f"label shapes differ: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ShapeError("cannot compute accuracy of zero samples")
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Row = true class, column = predicted class."""
+    t = _to_labels(y_true)
+    p = _to_labels(y_pred)
+    if t.shape != p.shape:
+        raise ShapeError(f"label shapes differ: {t.shape} vs {p.shape}")
+    out = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(out, (t, p), 1)
+    return out

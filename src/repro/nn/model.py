@@ -1,0 +1,81 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .layers import Layer
+from .metrics import accuracy
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A linear stack of layers with joint forward/backward passes."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "sequential"):
+        if not layers:
+            raise ConfigurationError("Sequential needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    # -- execution -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference forward pass (no caches kept)."""
+        return self.forward(x, training=False)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    # -- parameters ----------------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    @property
+    def param_count(self) -> int:
+        return int(sum(layer.param_count for layer in self.layers))
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Argmax accuracy of ``predict(x)`` against labels/one-hot ``y``."""
+        return accuracy(y, self.predict(x))
+
+    def summary(self) -> str:
+        """Human-readable architecture table."""
+        lines = [f"Model: {self.name}", "-" * 46]
+        lines.append(f"{'layer':<24}{'params':>10}")
+        for layer in self.layers:
+            lines.append(f"{layer.name:<24}{layer.param_count:>10}")
+        lines.append("-" * 46)
+        lines.append(f"{'total':<24}{self.param_count:>10}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,96 @@
+"""Gradient-descent optimizers.
+
+:class:`Adam` mirrors Keras' implementation and defaults (the paper trains
+every model with Adam at learning rate 0.001).  Optimizers mutate the
+parameter arrays in place so the layers' views stay valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class for in-place parameter updates."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ConfigurationError(
+                f"{len(params)} params but {len(grads)} grads"
+            )
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.learning_rate * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with Keras defaults."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta_1 < 1.0 or not 0.0 <= beta_2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        lr_t = self.learning_rate * (
+            np.sqrt(1.0 - self.beta_2**self._t) / (1.0 - self.beta_1**self._t)
+        )
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta_1
+            m += (1.0 - self.beta_1) * g
+            v *= self.beta_2
+            v += (1.0 - self.beta_2) * np.square(g)
+            p -= lr_t * m / (np.sqrt(v) + self.epsilon)

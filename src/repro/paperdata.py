@@ -1,0 +1,84 @@
+"""The paper's published numbers, as data.
+
+Everything the paper reports numerically — the Table I decomposition,
+the Fig. 10 headline rates, and the abstract's claims — collected in one
+module so reports, tests and EXPERIMENTS.md compare against a single
+source of truth (with page references).
+
+Note: the paper's percentages are internally inconsistent in places
+(e.g. the abstract quotes 88.1% for classical FLOPs growth where section
+IV-E derives 88.5%; section IV-E quotes BEL parameter growth as both
+89.6% and, in the abstract, 81.4% is attributed to HQNNs generally).
+We record the section IV-E values and the derivable identities; the
+inconsistencies are annotated in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PaperRates",
+    "FLOPS_RATES",
+    "PARAM_RATES",
+    "FLOPS_ABSOLUTE_INCREASE",
+    "PARAM_ABSOLUTE_INCREASE",
+    "TABLE1_WINNERS",
+    "ACCURACY_THRESHOLD",
+    "headline_claim_ordering",
+]
+
+#: The paper's iso-accuracy condition (section III).
+ACCURACY_THRESHOLD = 0.90
+
+
+@dataclass(frozen=True)
+class PaperRates:
+    """One family's published low->high complexity growth."""
+
+    family: str
+    rate_percent: float  #: (v110 - v10) / v110 * 100, section IV-E
+    absolute: float  #: v110 - v10
+
+
+#: Fig. 10(a) / section IV-E(a): FLOPs growth from 10 to 110 features.
+FLOPS_RATES = {
+    "classical": PaperRates("classical", 88.5, 3285.0),
+    "bel": PaperRates("bel", 80.13, 3941.6),
+    "sel": PaperRates("sel", 53.1, 1800.0),
+}
+
+#: Fig. 10(b) / section IV-E(b): parameter growth from 10 to 110 features.
+PARAM_RATES = {
+    "classical": PaperRates("classical", 88.5, 520.8),
+    "bel": PaperRates("bel", 89.6, 441.0),
+    "sel": PaperRates("sel", 81.4, 276.0),
+}
+
+#: Convenience views.
+FLOPS_ABSOLUTE_INCREASE = {k: v.absolute for k, v in FLOPS_RATES.items()}
+PARAM_ABSOLUTE_INCREASE = {k: v.absolute for k, v in PARAM_RATES.items()}
+
+#: Table I's winning circuit per (ansatz, feature size): (qubits, layers).
+TABLE1_WINNERS = {
+    ("bel", 10): (3, 2),
+    ("bel", 40): (3, 2),
+    ("bel", 80): (3, 4),
+    ("bel", 110): (4, 4),
+    ("sel", 10): (3, 2),
+    ("sel", 40): (3, 2),
+    ("sel", 80): (3, 2),
+    ("sel", 110): (3, 2),
+}
+
+
+def headline_claim_ordering(rates: dict[str, float]) -> bool:
+    """The paper's central claim, as a predicate over measured rates:
+    hybrid-SEL grows slowest, classical fastest.
+
+    >>> headline_claim_ordering({"classical": 0.885, "bel": 0.80, "sel": 0.53})
+    True
+    """
+    return rates["sel"] < rates["bel"] < rates["classical"] or (
+        rates["sel"] < rates["classical"] and rates["sel"] < rates["bel"]
+    )

@@ -1,0 +1,79 @@
+"""Measurement post-processing on batched statevectors.
+
+The paper's hybrid models read out one Pauli-Z expectation value per qubit;
+these become the activations fed to the final classical layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError, WireError
+from .state import as_matrix, num_qubits
+
+__all__ = ["expval_z", "apply_z_linear_combination", "marginal_probabilities"]
+
+
+def expval_z(
+    state: np.ndarray, wires: Sequence[int] | None = None
+) -> np.ndarray:
+    """Per-wire Pauli-Z expectations, shape ``(B, len(wires))``.
+
+    ``<Z_w> = P(bit_w = 0) - P(bit_w = 1)``.
+    """
+    n = num_qubits(state)
+    if wires is None:
+        wires = range(n)
+    wires = list(wires)
+    for w in wires:
+        if not 0 <= w < n:
+            raise WireError(f"wire {w} out of range for {n} qubits")
+    probs = np.abs(state) ** 2
+    out = np.empty((state.shape[0], len(wires)), dtype=np.float64)
+    axes = tuple(range(1, n + 1))
+    for j, w in enumerate(wires):
+        reduce_axes = tuple(a for a in axes if a != w + 1)
+        marg = probs.sum(axis=reduce_axes)  # (B, 2) for wire w
+        out[:, j] = marg[:, 0] - marg[:, 1]
+    return out
+
+
+def apply_z_linear_combination(
+    state: np.ndarray, coeffs: np.ndarray, wires: Sequence[int] | None = None
+) -> np.ndarray:
+    """Apply the per-sample operator ``sum_k coeffs[b, k] * Z_{wires[k]}``.
+
+    This is the seed "bra" of the adjoint differentiation sweep: the
+    vector-Jacobian product of a batch loss with per-wire Z expectations is
+    exactly ``O_b |psi_b>`` with ``O_b = sum_k g_{bk} Z_k``.
+    """
+    n = num_qubits(state)
+    if wires is None:
+        wires = range(n)
+    wires = list(wires)
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.shape != (state.shape[0], len(wires)):
+        raise ShapeError(
+            f"coeffs must be (batch, {len(wires)}), got {coeffs.shape}"
+        )
+    out = np.zeros_like(state)
+    for k, w in enumerate(wires):
+        signed = state.copy()
+        sel: list = [slice(None)] * state.ndim
+        sel[w + 1] = 1
+        signed[tuple(sel)] *= -1.0
+        c = coeffs[:, k].reshape((-1,) + (1,) * n)
+        out += c * signed
+    return out
+
+
+def marginal_probabilities(state: np.ndarray, wire: int) -> np.ndarray:
+    """``(B, 2)`` marginal distribution of a single wire."""
+    n = num_qubits(state)
+    if not 0 <= wire < n:
+        raise WireError(f"wire {wire} out of range for {n} qubits")
+    probs = np.abs(state) ** 2
+    reduce_axes = tuple(a for a in range(1, n + 1) if a != wire + 1)
+    return probs.sum(axis=reduce_axes)

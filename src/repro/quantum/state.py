@@ -1,0 +1,183 @@
+"""Batched statevector manipulation.
+
+A batch of ``B`` statevectors over ``n`` qubits is stored as a complex128
+ndarray of shape ``(B, 2, 2, ..., 2)`` — one leading batch axis followed by
+one axis per qubit.  Wire ``w`` corresponds to array axis ``w + 1``, with
+wire 0 the most significant bit of the computational-basis index (the same
+convention as PennyLane/Qiskit statevector layouts with ``|q0 q1 ... >``).
+
+The batch dimension is what makes simulation of the paper's hybrid models
+practical: during training the quantum layer encodes a different data point
+(different rotation angles) on every element of a mini-batch, so all gate
+application helpers accept either one shared ``(2, 2)`` matrix or a batch
+of per-sample ``(B, 2, 2)`` matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError, WireError
+
+__all__ = [
+    "zero_state",
+    "basis_state",
+    "num_qubits",
+    "as_matrix",
+    "apply_single_qubit",
+    "apply_cnot",
+    "apply_cz",
+    "apply_two_qubit",
+    "norms",
+    "probabilities",
+]
+
+
+def zero_state(n_qubits: int, batch: int = 1) -> np.ndarray:
+    """Return ``|0...0>`` replicated over a batch.
+
+    Shape is ``(batch, 2, ..., 2)`` with ``n_qubits`` qubit axes.
+    """
+    if n_qubits < 1:
+        raise ShapeError(f"need at least one qubit, got {n_qubits}")
+    if batch < 1:
+        raise ShapeError(f"batch size must be positive, got {batch}")
+    state = np.zeros((batch,) + (2,) * n_qubits, dtype=np.complex128)
+    state[(slice(None),) + (0,) * n_qubits] = 1.0
+    return state
+
+
+def basis_state(bits: tuple[int, ...], batch: int = 1) -> np.ndarray:
+    """Return the computational basis state ``|bits>`` over a batch."""
+    if not bits:
+        raise ShapeError("bits must be a non-empty tuple")
+    if any(b not in (0, 1) for b in bits):
+        raise ShapeError(f"bits must be 0/1, got {bits}")
+    state = np.zeros((batch,) + (2,) * len(bits), dtype=np.complex128)
+    state[(slice(None),) + tuple(bits)] = 1.0
+    return state
+
+
+def num_qubits(state: np.ndarray) -> int:
+    """Number of qubit axes of a batched state."""
+    return state.ndim - 1
+
+
+def as_matrix(state: np.ndarray) -> np.ndarray:
+    """View a batched state as a flat ``(B, 2**n)`` matrix."""
+    return state.reshape(state.shape[0], -1)
+
+
+def _check_wire(state: np.ndarray, wire: int) -> None:
+    n = num_qubits(state)
+    if not 0 <= wire < n:
+        raise WireError(f"wire {wire} out of range for {n} qubits")
+
+
+def apply_single_qubit(
+    state: np.ndarray, mat: np.ndarray, wire: int
+) -> np.ndarray:
+    """Apply a single-qubit gate to ``wire`` of every state in the batch.
+
+    ``mat`` may be a shared ``(2, 2)`` matrix or per-sample ``(B, 2, 2)``.
+    Returns a new array; the input is not modified.
+    """
+    _check_wire(state, wire)
+    axis = wire + 1
+    moved = np.moveaxis(state, axis, -1)
+    if mat.ndim == 2:
+        out = moved @ mat.T
+    elif mat.ndim == 3:
+        if mat.shape[0] != state.shape[0]:
+            raise ShapeError(
+                f"batched gate ({mat.shape[0]}) does not match state batch "
+                f"({state.shape[0]})"
+            )
+        # Contract the amplitude axis with each sample's own matrix.  The
+        # gate batch axis must broadcast against the sample axis, which is
+        # axis 0 of `moved`; einsum keeps this explicit and allocation-free.
+        flat = moved.reshape(state.shape[0], -1, 2)
+        out = np.einsum("bij,baj->bai", mat, flat).reshape(moved.shape)
+    else:
+        raise ShapeError(f"gate matrix must be (2,2) or (B,2,2), got {mat.shape}")
+    return np.moveaxis(out, -1, axis)
+
+
+def apply_cnot(state: np.ndarray, control: int, target: int) -> np.ndarray:
+    """Apply CNOT(control, target) to every state in the batch.
+
+    Implemented as an index permutation: amplitudes with the control bit
+    set have their target axis flipped.  No floating-point arithmetic is
+    performed (relevant to FLOPs-counting conventions, see
+    :mod:`repro.flops.conventions`).
+    """
+    _check_wire(state, control)
+    _check_wire(state, target)
+    if control == target:
+        raise WireError("control and target must differ")
+    out = state.copy()
+    sel: list = [slice(None)] * state.ndim
+    sel[control + 1] = 1
+    sel_t = tuple(sel)
+    # Flip the target axis within the control=1 subspace.  The target axis
+    # index shifts down by one inside the sliced view iff it comes after
+    # the (now removed) control axis.
+    target_axis = target + 1 if target < control else target
+    out[sel_t] = np.flip(out[sel_t], axis=target_axis)
+    return out
+
+
+def apply_cz(state: np.ndarray, wire_a: int, wire_b: int) -> np.ndarray:
+    """Apply CZ between two wires (symmetric)."""
+    _check_wire(state, wire_a)
+    _check_wire(state, wire_b)
+    if wire_a == wire_b:
+        raise WireError("CZ wires must differ")
+    out = state.copy()
+    sel: list = [slice(None)] * state.ndim
+    sel[wire_a + 1] = 1
+    sel[wire_b + 1] = 1
+    out[tuple(sel)] *= -1.0
+    return out
+
+
+def apply_two_qubit(
+    state: np.ndarray, mat: np.ndarray, wire_a: int, wire_b: int
+) -> np.ndarray:
+    """Apply an arbitrary two-qubit gate given as a ``(4, 4)`` matrix.
+
+    ``wire_a`` is the more significant wire of the gate's basis ordering
+    (``|a b>``).  Supports shared ``(4, 4)`` or batched ``(B, 4, 4)``.
+    """
+    _check_wire(state, wire_a)
+    _check_wire(state, wire_b)
+    if wire_a == wire_b:
+        raise WireError("two-qubit gate wires must differ")
+    moved = np.moveaxis(state, (wire_a + 1, wire_b + 1), (-2, -1))
+    lead = moved.shape[:-2]
+    flat = moved.reshape(lead + (4,))
+    if mat.ndim == 2:
+        if mat.shape != (4, 4):
+            raise ShapeError(f"two-qubit gate must be 4x4, got {mat.shape}")
+        out = flat @ mat.T
+    elif mat.ndim == 3:
+        if mat.shape[0] != state.shape[0]:
+            raise ShapeError("batched two-qubit gate does not match batch")
+        rest = flat.reshape(state.shape[0], -1, 4)
+        out = np.einsum("bij,baj->bai", mat, rest).reshape(flat.shape)
+    else:
+        raise ShapeError(f"invalid two-qubit gate shape {mat.shape}")
+    out = out.reshape(lead + (2, 2))
+    return np.moveaxis(out, (-2, -1), (wire_a + 1, wire_b + 1))
+
+
+def norms(state: np.ndarray) -> np.ndarray:
+    """Per-sample L2 norms, shape ``(B,)``."""
+    flat = as_matrix(state)
+    return np.sqrt(np.sum(np.abs(flat) ** 2, axis=1))
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Per-sample computational-basis probabilities, shape ``(B, 2**n)``."""
+    flat = as_matrix(state)
+    return np.abs(flat) ** 2

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_spiral, stratified_split
+from repro.experiments.runner import RunProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_split():
+    """A small spiral split reused by training-heavy tests."""
+    dataset = make_spiral(6, n_points=120, seed=3)
+    return stratified_split(dataset, seed=3)
+
+
+@pytest.fixture(scope="session")
+def micro_profile() -> RunProfile:
+    """A profile even smaller than 'smoke', for driver tests."""
+    return RunProfile(
+        name="micro",
+        feature_sizes=(4, 6),
+        n_experiments=1,
+        runs_per_candidate=1,
+        epochs=15,
+        batch_size=8,
+        n_points=90,
+        early_stop=True,
+        max_candidates=3,
+        threshold=0.4,
+    )

@@ -1,0 +1,51 @@
+"""Unit tests for the rate-of-increase comparison (Fig. 10 math)."""
+
+import pytest
+
+from repro.core.comparison import (
+    SeriesSummary,
+    absolute_increase,
+    rate_of_increase,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestRateMetric:
+    def test_paper_sel_flops_numbers(self):
+        """Back-check the paper's arithmetic: SEL totals 1589 -> 3389
+        gives the published 53.1% rate and 1800 absolute increase."""
+        assert absolute_increase(1589, 3389) == 1800
+        assert rate_of_increase(1589, 3389) == pytest.approx(0.531, abs=1e-3)
+
+    def test_paper_bel_table_numbers(self):
+        """BEL Table I totals 977 -> 4797 give a 79.6% rate (the paper
+        text says 80.13% using the five-run averages)."""
+        assert rate_of_increase(977, 4797) == pytest.approx(0.7963, abs=1e-3)
+
+    def test_zero_low_value(self):
+        assert rate_of_increase(0, 10) == 1.0
+
+    def test_high_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            rate_of_increase(1, 0)
+
+
+class TestSeriesSummary:
+    def test_properties(self):
+        s = SeriesSummary(
+            feature_sizes=(10, 40, 110), values=(100.0, 200.0, 400.0)
+        )
+        assert s.low == 100 and s.high == 400
+        assert s.absolute_increase == 300
+        assert s.rate == pytest.approx(0.75)
+        assert s.rate_percent == pytest.approx(75.0)
+
+    def test_pairwise_rates(self):
+        s = SeriesSummary(feature_sizes=(10, 20, 40), values=(100.0, 200.0, 400.0))
+        assert s.pairwise_rates() == pytest.approx([0.5, 0.75])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            SeriesSummary(feature_sizes=(10,), values=(1.0,))
+        with pytest.raises(ExperimentError):
+            SeriesSummary(feature_sizes=(10, 20), values=(1.0,))

@@ -1,0 +1,144 @@
+"""Unit tests for the FLOPs-sorted grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid_search import (
+    CandidateResult,
+    TrainingSettings,
+    grid_search,
+    rank_by_flops,
+)
+from repro.core.search_space import ClassicalSpec, classical_search_space
+from repro.data import make_spiral, stratified_split
+from repro.exceptions import SearchError
+
+
+@pytest.fixture(scope="module")
+def easy_split():
+    """A split an MLP can fit within a few epochs: a gentle, noise-free
+    half-turn spiral."""
+    ds = make_spiral(4, n_points=150, noise=0.0, turns=0.4, seed=7)
+    return stratified_split(ds, seed=7)
+
+
+def small_space(n_features=4):
+    return classical_search_space(
+        n_features, neuron_options=(2, 8), max_layers=2
+    )
+
+
+class TestRanking:
+    def test_ascending_flops(self):
+        ranked = rank_by_flops(small_space())
+        flops = [s.flops() for s in ranked]
+        assert flops == sorted(flops)
+
+    def test_deterministic_tie_break(self):
+        specs = small_space()
+        assert rank_by_flops(specs) == rank_by_flops(list(reversed(specs)))
+
+    def test_smallest_first(self):
+        ranked = rank_by_flops(small_space())
+        assert ranked[0].hidden == (2,)
+
+
+class TestCandidateResult:
+    def test_pass_logic(self):
+        cand = CandidateResult(
+            spec=ClassicalSpec(n_features=4, hidden=(2,)),
+            flops=100,
+            params=10,
+            train_accuracies=[0.95, 0.91],
+            val_accuracies=[0.92, 0.90],
+        )
+        assert cand.passes(0.90)
+        assert not cand.passes(0.92)
+        assert cand.mean_train_accuracy == pytest.approx(0.93)
+
+    def test_fails_if_either_metric_low(self):
+        cand = CandidateResult(
+            spec=ClassicalSpec(n_features=4, hidden=(2,)),
+            flops=1,
+            params=1,
+            train_accuracies=[0.99],
+            val_accuracies=[0.50],
+        )
+        assert not cand.passes(0.9)
+
+
+class TestGridSearch:
+    def test_finds_cheapest_winner(self, easy_split):
+        settings = TrainingSettings(
+            epochs=60, batch_size=16, runs=1, early_stop_threshold=0.85
+        )
+        outcome = grid_search(
+            small_space(), easy_split, threshold=0.85, settings=settings, seed=3
+        )
+        assert outcome.succeeded
+        # sequential early stop: only candidates up to the winner trained
+        assert outcome.evaluated[-1] is outcome.winner
+        flops = [c.flops for c in outcome.evaluated]
+        assert flops == sorted(flops)
+        # every earlier candidate failed
+        assert all(
+            not c.passes(0.85) for c in outcome.evaluated[:-1]
+        )
+
+    def test_impossible_threshold_exhausts(self, easy_split):
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        outcome = grid_search(
+            small_space(),
+            easy_split,
+            threshold=1.01,  # unreachable
+            settings=settings,
+            max_candidates=2,
+        )
+        assert not outcome.succeeded
+        assert outcome.candidates_trained == 2
+
+    def test_deterministic_given_seed(self, easy_split):
+        settings = TrainingSettings(
+            epochs=8, batch_size=16, runs=2, early_stop_threshold=0.9
+        )
+        a = grid_search(
+            small_space(), easy_split, settings=settings, seed=11
+        )
+        b = grid_search(
+            small_space(), easy_split, settings=settings, seed=11
+        )
+        assert [c.train_accuracies for c in a.evaluated] == [
+            c.train_accuracies for c in b.evaluated
+        ]
+
+    def test_progress_callback(self, easy_split):
+        seen = []
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        grid_search(
+            small_space(),
+            easy_split,
+            settings=settings,
+            max_candidates=2,
+            threshold=1.01,
+            progress=seen.append,
+        )
+        assert len(seen) == 2
+        assert all(isinstance(c, CandidateResult) for c in seen)
+
+    def test_runs_are_aggregated(self, easy_split):
+        settings = TrainingSettings(epochs=2, batch_size=32, runs=3)
+        outcome = grid_search(
+            small_space(),
+            easy_split,
+            settings=settings,
+            threshold=1.01,
+            max_candidates=1,
+        )
+        cand = outcome.evaluated[0]
+        assert len(cand.train_accuracies) == 3
+        assert len(cand.epochs_run) == 3
+        assert cand.wall_time_s > 0
+
+    def test_empty_space_rejected(self, easy_split):
+        with pytest.raises(SearchError):
+            grid_search([], easy_split)

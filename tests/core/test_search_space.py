@@ -1,0 +1,97 @@
+"""Unit tests for search spaces and model specs."""
+
+import pytest
+
+from repro.core.search_space import (
+    ClassicalSpec,
+    HybridSpec,
+    classical_search_space,
+    combination_count,
+    hybrid_search_space,
+    search_space_for_family,
+)
+from repro.exceptions import ConfigurationError
+from repro.flops import classical_model_flops, hybrid_model_flops
+
+
+class TestCombinationCount:
+    def test_paper_values(self):
+        # the paper: 155 classical combinations for m=5 options, n=3 layers
+        assert combination_count(5, 3) == 155
+        # the paper's worked example: m=2, n=2 -> 6 combinations
+        assert combination_count(2, 2) == 6
+
+    def test_degenerate_cases(self):
+        assert combination_count(1, 4) == 4
+        with pytest.raises(ConfigurationError):
+            combination_count(0, 3)
+
+
+class TestClassicalSpace:
+    def test_size_matches_formula(self):
+        specs = classical_search_space(10)
+        assert len(specs) == 155
+        assert len(set(specs)) == 155  # all distinct
+
+    def test_orderings_shallow_first(self):
+        specs = classical_search_space(10, neuron_options=(2, 3), max_layers=2)
+        hiddens = [s.hidden for s in specs]
+        assert hiddens == [(2,), (3,), (2, 2), (2, 3), (3, 2), (3, 3)]
+
+    def test_spec_properties(self):
+        spec = ClassicalSpec(n_features=10, hidden=(4, 6))
+        assert spec.label == "C[4,6]"
+        assert spec.param_count == 10 * 4 + 4 + 4 * 6 + 6 + 6 * 3 + 3
+        assert spec.flops() == classical_model_flops(10, (4, 6))
+
+    def test_spec_build(self, rng):
+        model = ClassicalSpec(n_features=5, hidden=(4,)).build(rng=rng)
+        assert model.param_count == 5 * 4 + 4 + 4 * 3 + 3
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassicalSpec(n_features=5, hidden=())
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classical_search_space(5, neuron_options=())
+
+
+class TestHybridSpace:
+    def test_size_is_30_per_ansatz(self):
+        assert len(hybrid_search_space(10, "sel")) == 30
+        assert len(hybrid_search_space(10, "bel")) == 30
+
+    def test_contents(self):
+        specs = hybrid_search_space(10, "bel", qubit_options=(3,), depth_options=(1, 2))
+        assert [(s.n_qubits, s.n_layers) for s in specs] == [(3, 1), (3, 2)]
+        assert all(s.ansatz == "bel" for s in specs)
+
+    def test_spec_properties(self):
+        spec = HybridSpec(n_features=20, n_qubits=3, n_layers=2, ansatz="sel")
+        assert spec.label == "SEL(3,2)"
+        assert spec.param_count == 20 * 3 + 3 + 18 + 3 * 3 + 3
+        assert spec.flops() == hybrid_model_flops(20, 3, 2, "sel")
+
+    def test_spec_build(self, rng):
+        model = HybridSpec(
+            n_features=6, n_qubits=3, n_layers=1, ansatz="bel"
+        ).build(rng=rng)
+        assert model.param_count == 6 * 3 + 3 + 3 + 3 * 3 + 3
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            HybridSpec(n_features=5, n_qubits=3, n_layers=1, ansatz="foo")
+        with pytest.raises(ConfigurationError):
+            HybridSpec(n_features=5, n_qubits=0, n_layers=1)
+
+
+class TestFamilyDispatch:
+    def test_families(self):
+        assert len(search_space_for_family("classical", 10)) == 155
+        assert len(search_space_for_family("bel", 10)) == 30
+        assert len(search_space_for_family("sel", 10)) == 30
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            search_space_for_family("quantum", 10)

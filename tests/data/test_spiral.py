@@ -1,0 +1,102 @@
+"""Unit tests for the spiral dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import noise_for_features
+from repro.data import DERIVED_FEATURE_KINDS, make_spiral
+from repro.exceptions import ConfigurationError
+
+
+class TestBasicProperties:
+    def test_shapes_and_counts(self):
+        ds = make_spiral(10, n_points=300)
+        assert ds.features.shape == (300, 10)
+        assert ds.labels.shape == (300,)
+        assert ds.n_points == 300
+        assert ds.n_features == 10
+
+    def test_class_balance(self):
+        ds = make_spiral(5, n_points=300, n_classes=3)
+        assert ds.class_counts().tolist() == [100, 100, 100]
+
+    def test_uneven_points_distributed(self):
+        ds = make_spiral(4, n_points=301, n_classes=3)
+        counts = ds.class_counts()
+        assert counts.sum() == 301
+        assert counts.max() - counts.min() <= 1
+
+    def test_standardization(self):
+        ds = make_spiral(20, n_points=600)
+        assert np.allclose(ds.features.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(ds.features.std(axis=0), 1.0, atol=1e-9)
+
+    def test_one_hot(self):
+        ds = make_spiral(4, n_points=90)
+        onehot = ds.one_hot()
+        assert onehot.shape == (90, 3)
+        assert np.allclose(onehot.sum(axis=1), 1.0)
+        assert np.array_equal(np.argmax(onehot, axis=1), ds.labels)
+
+    def test_feature_recipe_recorded(self):
+        ds = make_spiral(8, n_points=60)
+        assert len(ds.feature_recipe) == 8
+        assert ds.feature_recipe[:2] == ("spiral_x", "spiral_y")
+        assert all(
+            k in DERIVED_FEATURE_KINDS for k in ds.feature_recipe[2:]
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_spiral(15, n_points=200, seed=9)
+        b = make_spiral(15, n_points=200, seed=9)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_different_data(self):
+        a = make_spiral(15, n_points=200, seed=1)
+        b = make_spiral(15, n_points=200, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+
+class TestNoiseSchedule:
+    def test_paper_formula_default(self):
+        assert make_spiral(10, n_points=60).noise == pytest.approx(0.13)
+        assert make_spiral(110, n_points=60).noise == pytest.approx(0.43)
+        assert noise_for_features(50) == pytest.approx(0.25)
+
+    def test_noise_override(self):
+        assert make_spiral(10, n_points=60, noise=0.05).noise == 0.05
+
+    def test_spiral_arms_separate_at_low_noise(self):
+        """With zero noise the two base features determine the class via
+        a clean spiral: a 1-nearest-neighbour rule on many points should
+        be nearly perfect."""
+        ds = make_spiral(2, n_points=300, noise=0.0)
+        x = ds.features
+        correct = 0
+        for i in range(0, 300, 10):
+            d = np.sum((x - x[i]) ** 2, axis=1)
+            d[i] = np.inf
+            correct += ds.labels[np.argmin(d)] == ds.labels[i]
+        assert correct / 30 > 0.9
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            make_spiral(1)
+        with pytest.raises(ConfigurationError):
+            make_spiral(5, n_points=2, n_classes=3)
+        with pytest.raises(ConfigurationError):
+            make_spiral(5, n_classes=1)
+        with pytest.raises(ConfigurationError):
+            make_spiral(5, noise=-0.1)
+        with pytest.raises(ConfigurationError):
+            make_spiral(5, angle_noise_fraction=1.5)
+
+    def test_dataset_is_frozen(self):
+        ds = make_spiral(4, n_points=60)
+        with pytest.raises(AttributeError):
+            ds.noise = 1.0

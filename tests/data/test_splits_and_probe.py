@@ -1,0 +1,90 @@
+"""Unit tests for splitting, one-hot encoding and the complexity probe."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_spiral, one_hot, probe_complexity, stratified_split
+from repro.exceptions import ConfigurationError
+
+
+class TestOneHot:
+    def test_round_trip(self):
+        labels = np.array([0, 2, 1, 2])
+        enc = one_hot(labels, 3)
+        assert enc.shape == (4, 3)
+        assert np.array_equal(np.argmax(enc, axis=1), labels)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([[0, 1]]), 3)
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([-1]), 3)
+
+
+class TestStratifiedSplit:
+    def test_sizes_and_stratification(self):
+        ds = make_spiral(6, n_points=300)
+        split = stratified_split(ds, val_fraction=0.2, seed=1)
+        assert split.n_train + split.n_val == 300
+        assert split.n_val == 60
+        # each class contributes exactly 20% of its members
+        for c in range(3):
+            assert (split.val_labels == c).sum() == 20
+            assert (split.train_labels == c).sum() == 80
+
+    def test_one_hot_targets(self):
+        ds = make_spiral(4, n_points=90)
+        split = stratified_split(ds)
+        assert split.y_train.shape == (split.n_train, 3)
+        assert np.allclose(split.y_train.sum(axis=1), 1.0)
+        assert np.array_equal(
+            np.argmax(split.y_val, axis=1), split.val_labels
+        )
+
+    def test_deterministic(self):
+        ds = make_spiral(4, n_points=120)
+        a = stratified_split(ds, seed=5)
+        b = stratified_split(ds, seed=5)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.val_labels, b.val_labels)
+
+    def test_no_leakage(self):
+        """Every point lands in exactly one of train/val."""
+        ds = make_spiral(4, n_points=90)
+        split = stratified_split(ds, seed=0)
+        all_rows = np.vstack([split.x_train, split.x_val])
+        # sort rows lexicographically and compare to the dataset rows
+        def canon(arr):
+            return np.sort(arr.view([("", arr.dtype)] * arr.shape[1]), axis=0)
+
+        assert np.array_equal(canon(all_rows), canon(ds.features))
+
+    def test_bad_fraction(self):
+        ds = make_spiral(4, n_points=90)
+        with pytest.raises(ConfigurationError):
+            stratified_split(ds, val_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            stratified_split(ds, val_fraction=1.0)
+
+    def test_tiny_class_rejected(self):
+        ds = make_spiral(4, n_points=6, n_classes=3)
+        with pytest.raises(ConfigurationError):
+            stratified_split(ds, val_fraction=0.9)
+
+
+class TestComplexityProbe:
+    def test_returns_ordered_results(self):
+        results = probe_complexity(
+            (6, 12), n_points=90, epochs=3, batch_size=32
+        )
+        assert [r.feature_size for r in results] == [6, 12]
+        for r in results:
+            assert 0.0 <= r.val_accuracy <= 1.0
+            assert r.train_time_s > 0
+            assert r.noise == pytest.approx(0.1 + 0.003 * r.feature_size)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            probe_complexity(())

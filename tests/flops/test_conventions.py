@@ -1,0 +1,92 @@
+"""Unit tests for the counting conventions."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.flops import (
+    CONVENTIONS,
+    FIRST_PRINCIPLES,
+    PAPER,
+    PARAMETER_SHIFT,
+    get_convention,
+)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(CONVENTIONS) == {
+            "paper",
+            "first_principles",
+            "parameter_shift",
+        }
+
+    def test_get_by_name_and_passthrough(self):
+        assert get_convention("paper") is PAPER
+        assert get_convention(PAPER) is PAPER
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_convention("tf_profiler")
+
+
+class TestClassicalCosts:
+    def test_dense_paper(self):
+        # forward 2io + o, backward 4io + 2o
+        assert PAPER.dense_fwd(10, 4) == 84
+        assert PAPER.dense_bwd(10, 4) == 168
+        # total 6io + 3o
+        assert PAPER.dense_fwd(10, 4) + PAPER.dense_bwd(10, 4) == 6 * 40 + 12
+
+    def test_relu(self):
+        assert PAPER.relu_fwd(5) == 5
+        assert PAPER.relu_bwd(5) == 20
+        assert FIRST_PRINCIPLES.relu_bwd(5) == 5
+
+    def test_softmax_paper_total_is_16_for_3_classes(self):
+        assert PAPER.softmax_fwd(3) + PAPER.softmax_bwd(3) == 16
+
+    def test_softmax_first_principles(self):
+        assert FIRST_PRINCIPLES.softmax_fwd(3) == 12
+        assert FIRST_PRINCIPLES.softmax_bwd(3) == 12
+
+
+class TestQuantumCosts:
+    def test_single_qubit_gate_scaling(self):
+        # 14 * 2^n with default complex costs
+        assert PAPER.single_qubit_gate(3) == 14 * 8
+        assert PAPER.single_qubit_gate(4) == 2 * PAPER.single_qubit_gate(3)
+
+    def test_diagonal_gate(self):
+        assert PAPER.diagonal_gate(3) == 6 * 8
+
+    def test_cnot_conventions_differ(self):
+        assert PAPER.cnot(3) == 4
+        assert FIRST_PRINCIPLES.cnot(3) == 0
+
+    def test_expval(self):
+        # shared |amp|^2 pass (3 * 2^n) + per-wire reduction (2^n each)
+        assert PAPER.expval_z(3, 3) == 3 * 8 + 3 * 8
+
+    def test_cz_single_qubit_register(self):
+        assert PAPER.cz(1) == 0
+
+
+class TestDerivation:
+    def test_with_override(self):
+        custom = PAPER.with_(relu_bwd_per_unit=1, name="custom")
+        assert custom.relu_bwd(4) == 4
+        assert PAPER.relu_bwd(4) == 16  # original untouched
+        assert custom.name == "custom"
+
+    def test_invalid_gradient_mode(self):
+        with pytest.raises(ConfigurationError):
+            PAPER.with_(quantum_gradient_mode="symbolic")
+
+    def test_invalid_constants(self):
+        with pytest.raises(ConfigurationError):
+            PAPER.with_(dense_fwd_per_mac=0)
+        with pytest.raises(ConfigurationError):
+            PAPER.with_(backprop_multiplier=-1)
+
+    def test_parameter_shift_convention_mode(self):
+        assert PARAMETER_SHIFT.quantum_gradient_mode == "parameter_shift"

@@ -1,0 +1,149 @@
+"""Unit tests for the model profiler and the closed-form spec formulas.
+
+The critical guarantee: ``profile_model`` (walking a built model) and the
+``formulas`` module (pure arithmetic on a spec) agree exactly — the grid
+search ranks with formulas but the library reports with the profiler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import classical_search_space, hybrid_search_space
+from repro.exceptions import ProfileError
+from repro.flops import (
+    FIRST_PRINCIPLES,
+    PAPER,
+    classical_model_flops,
+    classical_param_count,
+    hybrid_flops_breakdown,
+    hybrid_model_flops,
+    hybrid_param_count,
+    profile_model,
+)
+from repro.hybrid import build_classical_model, build_hybrid_model
+from repro.nn import Dense, ReLU, Sequential, Softmax
+from repro.nn.layers import Layer
+
+
+class TestCalibration:
+    """The PAPER convention reproduces the paper's Table I classical
+    column (the hybrid head with a ReLU input layer)."""
+
+    @pytest.mark.parametrize(
+        "features,qubits,expected_cl",
+        [(10, 3, 283), (40, 3, 823), (80, 3, 1543), (110, 4, 2769)],
+    )
+    def test_table1_classical_column(self, features, qubits, expected_cl):
+        bd = hybrid_flops_breakdown(
+            features, qubits, 2, "bel", input_activation="relu"
+        )
+        assert bd.classical == expected_cl
+
+    def test_closed_form_cl(self):
+        """CL(F, q) == 6qF + 26q + 25 for the ReLU variant."""
+        for f, q in [(10, 3), (30, 5), (100, 4)]:
+            bd = hybrid_flops_breakdown(f, q, 1, "sel", input_activation="relu")
+            assert bd.classical == 6 * q * f + 26 * q + 25
+
+    def test_linear_variant_cl_drops_by_relu_cost(self):
+        relu = hybrid_flops_breakdown(10, 3, 2, "sel", input_activation="relu")
+        lin = hybrid_flops_breakdown(10, 3, 2, "sel")
+        assert relu.classical - lin.classical == PAPER.relu_fwd(3) + PAPER.relu_bwd(3)
+        assert relu.encoding == lin.encoding
+        assert relu.quantum == lin.quantum
+
+
+class TestProfilerAgreesWithFormulas:
+    def test_whole_classical_search_space(self, rng):
+        for spec in classical_search_space(7):
+            model = build_classical_model(7, spec.hidden, rng=rng)
+            prof = profile_model(model)
+            assert prof.total_flops == classical_model_flops(7, spec.hidden)
+            assert prof.param_count == classical_param_count(7, spec.hidden)
+
+    @pytest.mark.parametrize("ansatz", ["bel", "sel"])
+    def test_hybrid_search_space_sample(self, ansatz, rng):
+        specs = hybrid_search_space(9, ansatz)[::5]  # every 5th of 30
+        for spec in specs:
+            model = build_hybrid_model(
+                9, spec.n_qubits, spec.n_layers, ansatz=ansatz, rng=rng
+            )
+            prof = profile_model(model)
+            assert prof.total_flops == hybrid_model_flops(
+                9, spec.n_qubits, spec.n_layers, ansatz
+            )
+            assert prof.param_count == hybrid_param_count(
+                9, spec.n_qubits, spec.n_layers, ansatz
+            )
+
+    @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES])
+    def test_breakdown_agreement(self, conv, rng):
+        model = build_hybrid_model(12, 4, 3, ansatz="sel", rng=rng)
+        prof = profile_model(model, convention=conv)
+        formula = hybrid_flops_breakdown(12, 4, 3, "sel", convention=conv)
+        assert prof.breakdown == formula
+
+
+class TestProfiler:
+    def test_classical_breakdown_has_no_quantum(self, rng):
+        prof = profile_model(build_classical_model(6, (4,), rng=rng))
+        assert prof.breakdown.quantum == 0
+        assert prof.breakdown.encoding == 0
+        assert prof.breakdown.total == prof.breakdown.classical
+
+    def test_table_row_keys(self, rng):
+        prof = profile_model(build_hybrid_model(6, 3, 1, rng=rng))
+        row = prof.breakdown.as_table_row()
+        assert set(row) == {"TF", "Enc+CL", "CL", "Enc", "QL"}
+        assert row["TF"] == row["Enc+CL"] + row["QL"]
+
+    def test_summary_text(self, rng):
+        prof = profile_model(build_hybrid_model(6, 3, 1, rng=rng))
+        text = prof.summary()
+        assert "dense_in" in text and "quantum" in text and "total=" in text
+
+    def test_forward_backward_totals(self, rng):
+        prof = profile_model(build_classical_model(5, (4,), rng=rng))
+        assert prof.total_flops == prof.forward_flops + prof.backward_flops
+
+    def test_unknown_layer_rejected(self, rng):
+        class Mystery(Layer):
+            def forward(self, x, training=False):
+                return x
+
+            def backward(self, grad):
+                return grad
+
+        model = Sequential([Dense(3, 2, rng=rng), Mystery()])
+        with pytest.raises(ProfileError):
+            profile_model(model)
+
+    def test_input_dim_inference_failure(self):
+        model = Sequential([ReLU(), Softmax()])
+        with pytest.raises(ProfileError):
+            profile_model(model)
+
+    def test_explicit_input_dim(self):
+        model = Sequential([ReLU(), Softmax()])
+        prof = profile_model(model, input_dim=4)
+        assert prof.total_flops > 0
+
+
+class TestMonotonicity:
+    """Sanity properties the search relies on."""
+
+    def test_classical_flops_monotone_in_features(self):
+        values = [classical_model_flops(f, (4, 6)) for f in (5, 20, 80)]
+        assert values == sorted(values)
+
+    def test_hybrid_flops_monotone_in_depth(self):
+        values = [hybrid_model_flops(10, 3, l, "sel") for l in (1, 3, 7)]
+        assert values == sorted(values)
+
+    def test_hybrid_flops_monotone_in_qubits(self):
+        values = [hybrid_model_flops(10, q, 2, "bel") for q in (3, 4, 5)]
+        assert values == sorted(values)
+
+    def test_param_counts_positive(self):
+        assert classical_param_count(5, (2,)) == 5 * 2 + 2 + 2 * 3 + 3
+        assert hybrid_param_count(5, 3, 2, "bel") == 15 + 3 + 6 + 12

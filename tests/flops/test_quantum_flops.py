@@ -1,0 +1,139 @@
+"""Unit tests for quantum-tape FLOPs accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.flops import (
+    FIRST_PRINCIPLES,
+    PAPER,
+    PARAMETER_SHIFT,
+    count_tape_params,
+    operation_fwd_flops,
+    quantum_layer_flops,
+    split_tape,
+    tape_fwd_flops,
+)
+from repro.quantum import angle_embedding, basic_entangler_layers, strongly_entangling_layers
+from repro.quantum.circuit import Operation, input_ref, weight_ref
+
+
+def sel_tape(n_qubits=3, n_layers=2):
+    x = np.zeros((1, n_qubits))
+    w = np.zeros((n_layers, n_qubits, 3))
+    return angle_embedding(x, n_qubits) + strongly_entangling_layers(w, n_qubits)
+
+
+def bel_tape(n_qubits=3, n_layers=2):
+    x = np.zeros((1, n_qubits))
+    w = np.zeros((n_layers, n_qubits))
+    return angle_embedding(x, n_qubits) + basic_entangler_layers(w, n_qubits)
+
+
+class TestOperationCosts:
+    def test_dense_vs_diagonal(self):
+        ry = Operation("RY", (0,), (0.1,))
+        rz = Operation("RZ", (0,), (0.1,))
+        assert operation_fwd_flops(PAPER, ry, 3) == 8 + 14 * 8
+        assert operation_fwd_flops(PAPER, rz, 3) == 8 + 6 * 8
+
+    def test_fixed_gates_have_no_build_cost(self):
+        h = Operation("H", (0,))
+        assert operation_fwd_flops(PAPER, h, 2) == 14 * 4
+
+    def test_rot_build_cost(self):
+        rot = Operation("Rot", (0,), (0.1, 0.2, 0.3))
+        assert operation_fwd_flops(PAPER, rot, 3) == 24 + 14 * 8
+
+    def test_permutation_gates(self):
+        cnot = Operation("CNOT", (0, 1))
+        assert operation_fwd_flops(FIRST_PRINCIPLES, cnot, 3) == 0
+        assert operation_fwd_flops(PAPER, cnot, 3) == 4
+        swap = Operation("SWAP", (0, 1))
+        assert operation_fwd_flops(PAPER, swap, 3) == 12
+
+    def test_tape_total(self):
+        tape = [Operation("H", (0,)), Operation("CNOT", (0, 1))]
+        assert tape_fwd_flops(PAPER, tape, 2) == 14 * 4 + 2
+
+
+class TestSplitTape:
+    def test_split_sel(self):
+        enc, ansatz = split_tape(sel_tape())
+        assert len(enc) == 3  # three encoding RYs
+        assert all(op.name == "RY" for op in enc)
+        assert len(ansatz) == 6 + 6  # 6 Rots + 6 CNOTs
+
+    def test_mixed_refs_rejected(self):
+        bad = Operation(
+            "Rot",
+            (0,),
+            (0.1, 0.2, 0.3),
+            (input_ref(0), weight_ref(0), None),
+        )
+        with pytest.raises(ProfileError):
+            split_tape([bad])
+
+    def test_count_params(self):
+        n_in, n_w = count_tape_params(sel_tape(3, 2))
+        assert (n_in, n_w) == (3, 18)
+        n_in, n_w = count_tape_params(bel_tape(4, 3))
+        assert (n_in, n_w) == (4, 12)
+
+
+class TestBreakdownInvariants:
+    """The paper's Table I qualitative claims, convention-independent."""
+
+    @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES, PARAMETER_SHIFT])
+    def test_encoding_cost_independent_of_depth(self, conv):
+        a = quantum_layer_flops(conv, sel_tape(3, 1), 3)
+        b = quantum_layer_flops(conv, sel_tape(3, 8), 3)
+        assert a.encoding_fwd == b.encoding_fwd
+
+    @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES])
+    def test_sel_costs_more_than_bel_same_size(self, conv):
+        sel = quantum_layer_flops(conv, sel_tape(3, 2), 3)
+        bel = quantum_layer_flops(conv, bel_tape(3, 2), 3)
+        assert sel.quantum_total > bel.quantum_total
+
+    @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES])
+    def test_deeper_ansatz_costs_more(self, conv):
+        shallow = quantum_layer_flops(conv, bel_tape(3, 2), 3)
+        deep = quantum_layer_flops(conv, bel_tape(3, 6), 3)
+        assert deep.quantum_total > shallow.quantum_total
+        assert deep.encoding_total == shallow.encoding_total
+
+    @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES])
+    def test_more_qubits_cost_more(self, conv):
+        q3 = quantum_layer_flops(conv, bel_tape(3, 2), 3)
+        q5 = quantum_layer_flops(conv, bel_tape(5, 2), 5)
+        assert q5.quantum_total > q3.quantum_total
+        assert q5.encoding_total > q3.encoding_total
+
+    def test_totals_are_consistent(self):
+        qf = quantum_layer_flops(PAPER, sel_tape(), 3)
+        assert qf.total == qf.forward_total + qf.backward_total
+        assert (
+            qf.total
+            == qf.encoding_total + qf.quantum_total
+        )
+
+    def test_backprop_multiplier(self):
+        qf = quantum_layer_flops(PAPER, sel_tape(), 3)
+        assert qf.encoding_bwd == 2 * qf.encoding_fwd
+        assert qf.ansatz_bwd == 2 * qf.ansatz_fwd
+
+    def test_parameter_shift_mode_scales_with_params(self):
+        shallow = quantum_layer_flops(PARAMETER_SHIFT, sel_tape(3, 1), 3)
+        deep = quantum_layer_flops(PARAMETER_SHIFT, sel_tape(3, 2), 3)
+        # twice the weights -> much more than twice the shift cost of the
+        # shallow tape because the circuit also got longer.
+        assert deep.ansatz_bwd > 2 * shallow.ansatz_bwd
+        assert shallow.encoding_bwd == 0
+
+    def test_adjoint_mode(self):
+        conv = PAPER.with_(quantum_gradient_mode="adjoint", name="adj")
+        qf = quantum_layer_flops(conv, sel_tape(3, 2), 3)
+        # adjoint backward >= 2 sweeps of the forward cost
+        assert qf.ansatz_bwd >= 2 * qf.ansatz_fwd
+        assert qf.total > 0

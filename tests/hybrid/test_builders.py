@@ -1,0 +1,90 @@
+"""Unit tests for the model builders (the paper's Fig. 3 architectures)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.flops import classical_param_count, hybrid_param_count
+from repro.hybrid import QuantumLayer, build_classical_model, build_hybrid_model
+from repro.nn.layers import Dense, ReLU, Softmax
+
+
+class TestClassicalBuilder:
+    def test_layer_sequence(self, rng):
+        model = build_classical_model(10, (4, 6), rng=rng)
+        kinds = [type(l).__name__ for l in model.layers]
+        assert kinds == ["Dense", "ReLU", "Dense", "ReLU", "Dense", "Softmax"]
+
+    def test_dims_chain(self, rng):
+        model = build_classical_model(7, (4,), n_classes=5, rng=rng)
+        dense_layers = [l for l in model.layers if isinstance(l, Dense)]
+        assert (dense_layers[0].in_features, dense_layers[0].out_features) == (7, 4)
+        assert (dense_layers[1].in_features, dense_layers[1].out_features) == (4, 5)
+
+    def test_param_count_matches_formula(self, rng):
+        for hidden in [(2,), (10, 10), (2, 4, 6)]:
+            model = build_classical_model(9, hidden, rng=rng)
+            assert model.param_count == classical_param_count(9, hidden)
+
+    def test_forward_shape(self, rng):
+        model = build_classical_model(5, (4,), rng=rng)
+        out = model.predict(rng.standard_normal((8, 5)))
+        assert out.shape == (8, 3)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ConfigurationError):
+            build_classical_model(0, (4,), rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_classical_model(5, (), rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_classical_model(5, (0,), rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_classical_model(5, (4,), n_classes=1, rng=rng)
+
+
+class TestHybridBuilder:
+    def test_layer_sequence_default_linear_input(self, rng):
+        model = build_hybrid_model(10, 3, 2, rng=rng)
+        kinds = [type(l).__name__ for l in model.layers]
+        assert kinds == ["Dense", "QuantumLayer", "Dense", "Softmax"]
+
+    def test_layer_sequence_relu_variant(self, rng):
+        model = build_hybrid_model(10, 3, 2, input_activation="relu", rng=rng)
+        kinds = [type(l).__name__ for l in model.layers]
+        assert kinds == ["Dense", "ReLU", "QuantumLayer", "Dense", "Softmax"]
+
+    def test_quantum_block_configured(self, rng):
+        model = build_hybrid_model(10, 4, 5, ansatz="bel", rng=rng)
+        qlayer = next(l for l in model.layers if isinstance(l, QuantumLayer))
+        assert qlayer.n_qubits == 4
+        assert qlayer.n_layers == 5
+        assert qlayer.ansatz == "bel"
+
+    def test_param_count_matches_formula(self, rng):
+        for ansatz in ("bel", "sel"):
+            for q, l in [(3, 2), (5, 10)]:
+                model = build_hybrid_model(20, q, l, ansatz=ansatz, rng=rng)
+                assert model.param_count == hybrid_param_count(
+                    20, q, l, ansatz
+                )
+
+    def test_paper_example_param_count(self, rng):
+        """SEL(3,2) on 10 features: 10*3+3 input + 18 quantum + 3*3+3
+        output = 63 trainable parameters."""
+        model = build_hybrid_model(10, 3, 2, ansatz="sel", rng=rng)
+        assert model.param_count == 63
+
+    def test_forward_shape(self, rng):
+        model = build_hybrid_model(6, 3, 1, rng=rng)
+        out = model.predict(rng.standard_normal((4, 6)))
+        assert out.shape == (4, 3)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ConfigurationError):
+            build_hybrid_model(0, 3, 1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_hybrid_model(5, 3, 1, n_classes=1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_hybrid_model(5, 3, 1, input_activation="tanh", rng=rng)

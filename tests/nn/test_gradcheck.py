@@ -1,0 +1,82 @@
+"""End-to-end finite-difference gradient checks on full models.
+
+The ultimate correctness test of the NN substrate: for random data,
+every parameter's analytic gradient (from the layer backward passes)
+must match the central finite difference of the loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hybrid import build_classical_model, build_hybrid_model
+from repro.nn import CrossEntropy
+
+
+def analytic_gradients(model, loss, x, y):
+    model.zero_grads()
+    out = model.forward(x, training=True)
+    model.backward(loss.gradient(out, y))
+    return [g.copy() for g in model.gradients()]
+
+
+def jitter_biases(model, rng):
+    """Move biases off zero so no ReLU pre-activation sits exactly on the
+    kink (finite differences are ill-defined there; Keras-style zero bias
+    init plus dead units puts entire activations at 0.0 exactly)."""
+    for param in model.parameters():
+        if param.ndim == 1:
+            param += 0.05 + 0.1 * rng.random(param.shape)
+
+
+def check_model_gradients(model, x, y, samples_per_param=4, atol=2e-5):
+    loss = CrossEntropy()
+    grads = analytic_gradients(model, loss, x, y)
+    params = model.parameters()
+    eps = 1e-6
+    rng = np.random.default_rng(0)
+    for p_idx, param in enumerate(params):
+        flat = param.ravel()
+        count = min(samples_per_param, flat.size)
+        for i in rng.choice(flat.size, size=count, replace=False):
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp = loss.value(model.forward(x), y)
+            flat[i] = orig - eps
+            lm = loss.value(model.forward(x), y)
+            flat[i] = orig
+            numeric = (lp - lm) / (2 * eps)
+            analytic = grads[p_idx].ravel()[i]
+            assert np.isclose(analytic, numeric, atol=atol), (
+                f"param {p_idx} index {i}: analytic={analytic} "
+                f"numeric={numeric}"
+            )
+
+
+@pytest.mark.parametrize("hidden", [(4,), (6, 4), (2, 4, 6)])
+def test_classical_model_gradients(hidden, rng):
+    x = rng.standard_normal((6, 5))
+    y = np.eye(3)[rng.integers(3, size=6)]
+    model = build_classical_model(5, hidden, rng=rng)
+    jitter_biases(model, rng)
+    check_model_gradients(model, x, y)
+
+
+@pytest.mark.parametrize("ansatz", ["bel", "sel"])
+@pytest.mark.parametrize("input_activation", [None, "relu"])
+def test_hybrid_model_gradients(ansatz, input_activation, rng):
+    x = rng.standard_normal((5, 7))
+    y = np.eye(3)[rng.integers(3, size=5)]
+    model = build_hybrid_model(
+        7, 3, 2, ansatz=ansatz, input_activation=input_activation, rng=rng
+    )
+    jitter_biases(model, rng)
+    check_model_gradients(model, x, y)
+
+
+def test_hybrid_parameter_shift_backend_gradients(rng):
+    x = rng.standard_normal((4, 5))
+    y = np.eye(3)[rng.integers(3, size=4)]
+    model = build_hybrid_model(
+        5, 3, 1, ansatz="sel", gradient_method="parameter_shift", rng=rng
+    )
+    check_model_gradients(model, x, y)

@@ -1,0 +1,138 @@
+"""Unit tests for the classical layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers import Dense, Flatten, ReLU, Softmax
+
+
+class TestDense:
+    def test_forward_matches_manual(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3))
+        assert np.allclose(layer.forward(x), x @ layer.weight + layer.bias)
+
+    def test_backward_gradients(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        g = rng.standard_normal((4, 2))
+        layer.forward(x, training=True)
+        dx = layer.backward(g)
+        assert np.allclose(dx, g @ layer.weight.T)
+        assert np.allclose(layer.grads[0], x.T @ g)
+        assert np.allclose(layer.grads[1], g.sum(axis=0))
+
+    def test_grads_accumulate_until_zeroed(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        x = rng.standard_normal((3, 2))
+        g = rng.standard_normal((3, 2))
+        layer.forward(x, training=True)
+        layer.backward(g)
+        first = layer.grads[0].copy()
+        layer.forward(x, training=True)
+        layer.backward(g)
+        assert np.allclose(layer.grads[0], 2 * first)
+        layer.zero_grads()
+        assert not layer.grads[0].any()
+
+    def test_param_count(self, rng):
+        assert Dense(10, 4, rng=rng).param_count == 44
+
+    def test_shape_validation(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((4, 5)))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros(3))
+
+    def test_backward_without_forward(self, rng):
+        with pytest.raises(ShapeError):
+            Dense(2, 2, rng=rng).backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 2)
+
+    def test_output_dim(self, rng):
+        layer = Dense(3, 7, rng=rng)
+        assert layer.output_dim(3) == 7
+        with pytest.raises(ShapeError):
+            layer.output_dim(4)
+
+    def test_deterministic_init_with_seed(self):
+        a = Dense(4, 3, rng=np.random.default_rng(1)).weight
+        b = Dense(4, 3, rng=np.random.default_rng(1)).weight
+        assert np.array_equal(a, b)
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.allclose(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x, training=True)
+        assert np.allclose(layer.backward(np.array([[5.0, 5.0]])), [[0.0, 5.0]])
+
+    def test_backward_without_forward(self):
+        with pytest.raises(ShapeError):
+            ReLU().backward(np.zeros((1, 2)))
+
+    def test_no_params(self):
+        assert ReLU().param_count == 0
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = Softmax().forward(rng.standard_normal((6, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_invariant_to_shift(self):
+        layer = Softmax()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(layer.forward(x), layer.forward(x + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probs = Softmax().forward(np.array([[1000.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        assert np.allclose(probs, [[1.0, 0.0]])
+
+    def test_backward_jvp(self, rng):
+        """Softmax backward against finite differences."""
+        layer = Softmax()
+        x = rng.standard_normal((1, 4))
+        g = rng.standard_normal((1, 4))
+        layer.forward(x, training=True)
+        dx = layer.backward(g)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for j in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[0, j] += eps
+            xm[0, j] -= eps
+            numeric[0, j] = (
+                np.sum(g * layer.forward(xp)) - np.sum(g * layer.forward(xm))
+            ) / (2 * eps)
+        assert np.allclose(dx, numeric, atol=1e-6)
+
+    def test_backward_without_forward(self):
+        with pytest.raises(ShapeError):
+            Softmax().backward(np.zeros((1, 2)))
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4))
+        flat = layer.forward(x, training=True)
+        assert flat.shape == (2, 12)
+        assert layer.backward(flat).shape == (2, 3, 4)
+
+    def test_backward_without_forward(self):
+        with pytest.raises(ShapeError):
+            Flatten().backward(np.zeros((1, 2)))

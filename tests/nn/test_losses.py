@@ -1,0 +1,81 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import Softmax
+from repro.nn.losses import CrossEntropy, MeanSquaredError, SoftmaxCrossEntropy
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_is_zero(self):
+        y = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert CrossEntropy().value(y, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_value(self):
+        p = np.array([[0.5, 0.5]])
+        y = np.array([[1.0, 0.0]])
+        assert CrossEntropy().value(p, y) == pytest.approx(np.log(2))
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = CrossEntropy()
+        p = rng.uniform(0.1, 0.9, (3, 4))
+        p /= p.sum(axis=1, keepdims=True)
+        y = np.eye(4)[rng.integers(4, size=3)]
+        g = loss.gradient(p, y)
+        eps = 1e-7
+        for i in range(3):
+            for j in range(4):
+                pp, pm = p.copy(), p.copy()
+                pp[i, j] += eps
+                pm[i, j] -= eps
+                numeric = (loss.value(pp, y) - loss.value(pm, y)) / (2 * eps)
+                assert np.isclose(g[i, j], numeric, atol=1e-5)
+
+    def test_clip_guards_zero_probability(self):
+        p = np.array([[0.0, 1.0]])
+        y = np.array([[1.0, 0.0]])
+        assert np.isfinite(CrossEntropy().value(p, y))
+        assert np.isfinite(CrossEntropy().gradient(p, y)).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            CrossEntropy().value(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestFusedEquivalence:
+    def test_softmax_plus_ce_equals_fused(self, rng):
+        """Softmax layer + CrossEntropy == SoftmaxCrossEntropy on logits,
+        both in value and in the gradient reaching the logits."""
+        logits = rng.standard_normal((5, 3))
+        y = np.eye(3)[rng.integers(3, size=5)]
+        softmax = Softmax()
+        probs = softmax.forward(logits, training=True)
+        composed_value = CrossEntropy().value(probs, y)
+        fused = SoftmaxCrossEntropy()
+        assert composed_value == pytest.approx(fused.value(logits, y))
+
+        composed_grad = softmax.backward(CrossEntropy().gradient(probs, y))
+        assert np.allclose(composed_grad, fused.gradient(logits, y), atol=1e-9)
+
+    def test_fused_gradient_is_probs_minus_targets(self, rng):
+        logits = rng.standard_normal((4, 3))
+        y = np.eye(3)[rng.integers(3, size=4)]
+        probs = Softmax().forward(logits)
+        g = SoftmaxCrossEntropy().gradient(logits, y)
+        assert np.allclose(g, (probs - y) / 4)
+
+
+class TestMSE:
+    def test_value_and_gradient(self, rng):
+        loss = MeanSquaredError()
+        p = rng.standard_normal((2, 3))
+        y = rng.standard_normal((2, 3))
+        assert loss.value(p, y) == pytest.approx(np.mean((p - y) ** 2))
+        g = loss.gradient(p, y)
+        eps = 1e-7
+        pp = p.copy()
+        pp[0, 0] += eps
+        numeric = (loss.value(pp, y) - loss.value(p, y)) / eps
+        assert np.isclose(g[0, 0], numeric, atol=1e-5)

@@ -1,0 +1,64 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optimizers import SGD, Adam
+
+
+def quadratic_descent(optimizer, steps=300):
+    """Minimize ||x - target||^2 and return the final parameter."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = np.zeros(3)
+    for _ in range(steps):
+        grad = 2 * (x - target)
+        optimizer.step([x], [grad])
+    return x, target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x, target = quadratic_descent(SGD(learning_rate=0.1))
+        assert np.allclose(x, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        x, target = quadratic_descent(SGD(learning_rate=0.05, momentum=0.9))
+        assert np.allclose(x, target, atol=1e-3)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+
+    def test_single_step_value(self):
+        x = np.array([1.0])
+        SGD(learning_rate=0.5).step([x], [np.array([2.0])])
+        assert np.allclose(x, [0.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, target = quadratic_descent(Adam(learning_rate=0.1), steps=600)
+        assert np.allclose(x, target, atol=1e-3)
+
+    def test_first_step_size_is_learning_rate(self):
+        """Adam's bias correction makes the first update ~lr * sign(g)."""
+        x = np.array([0.0])
+        Adam(learning_rate=0.01).step([x], [np.array([123.0])])
+        assert x[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_updates_in_place(self):
+        x = np.array([1.0, 2.0])
+        ref = x
+        Adam().step([x], [np.array([0.1, 0.1])])
+        assert ref is x  # same buffer mutated
+
+    def test_mismatched_lists(self):
+        with pytest.raises(ConfigurationError):
+            Adam().step([np.zeros(2)], [])
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=-1)
+        with pytest.raises(ConfigurationError):
+            Adam(beta_1=1.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the tape representation and executor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError, ShapeError, WireError
+from repro.quantum import gates, state
+from repro.quantum.circuit import (
+    GATE_SET,
+    Operation,
+    ParamRef,
+    input_ref,
+    run,
+    shift_parameter,
+    tape_summary,
+    weight_ref,
+)
+
+
+class TestParamRef:
+    def test_constructors(self):
+        assert input_ref(3) == ParamRef("input", 3)
+        assert weight_ref(0) == ParamRef("weight", 0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(GateError):
+            ParamRef("bias", 0)
+
+    def test_negative_index(self):
+        with pytest.raises(GateError):
+            ParamRef("input", -1)
+
+
+class TestOperationValidation:
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            Operation("FOO", (0,))
+
+    def test_wire_count_mismatch(self):
+        with pytest.raises(WireError):
+            Operation("CNOT", (0,))
+
+    def test_param_count_mismatch(self):
+        with pytest.raises(GateError):
+            Operation("RX", (0,))
+        with pytest.raises(GateError):
+            Operation("Rot", (0,), (0.1,))
+
+    def test_refs_length_mismatch(self):
+        with pytest.raises(GateError):
+            Operation("RX", (0,), (0.1,), (None, None))
+
+    def test_default_refs_filled(self):
+        op = Operation("Rot", (0,), (0.1, 0.2, 0.3))
+        assert op.refs == (None, None, None)
+        assert not op.is_trainable
+
+    def test_trainable_flag(self):
+        op = Operation("RY", (1,), (0.5,), (weight_ref(2),))
+        assert op.is_trainable and op.is_parametrized
+
+    def test_matrix_of_permutation_gate_raises(self):
+        with pytest.raises(GateError):
+            Operation("CNOT", (0, 1)).matrix()
+
+    def test_deriv_of_underivable_gate_raises(self):
+        with pytest.raises(GateError):
+            Operation("H", (0,)).deriv_matrices()
+
+    def test_gate_set_consistency(self):
+        for name, info in GATE_SET.items():
+            assert info.n_wires in (1, 2), name
+            assert info.n_params in (0, 1, 3), name
+
+
+class TestRun:
+    def test_empty_tape_returns_zero_state(self):
+        psi = run([], 2, batch=3)
+        assert np.allclose(psi, state.zero_state(2, batch=3))
+
+    def test_x_flips(self):
+        psi = run([Operation("X", (1,))], 2)
+        assert np.allclose(state.as_matrix(psi)[0], [0, 1, 0, 0])
+
+    def test_bell_state(self):
+        ops = [Operation("H", (0,)), Operation("CNOT", (0, 1))]
+        psi = state.as_matrix(run(ops, 2))[0]
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(psi, expected)
+
+    def test_initial_state_override(self):
+        init = state.basis_state((1, 1), batch=1)
+        psi = run([Operation("CNOT", (0, 1))], 2, initial_state=init)
+        assert np.allclose(state.as_matrix(psi)[0], [0, 0, 1, 0])
+
+    def test_initial_state_shape_check(self):
+        with pytest.raises(ShapeError):
+            run([], 2, batch=2, initial_state=state.zero_state(2, batch=1))
+
+    def test_swap_gate_runs(self):
+        init = state.basis_state((1, 0), batch=1)
+        psi = run([Operation("SWAP", (0, 1))], 2, initial_state=init)
+        assert np.allclose(state.as_matrix(psi)[0], [0, 1, 0, 0])
+
+    @pytest.mark.parametrize("name", ["S", "T", "Z", "PhaseShift"])
+    def test_diagonal_like_gates_preserve_probabilities(self, name):
+        params = (0.3,) if GATE_SET[name].n_params else ()
+        pre = [Operation("H", (0,))]
+        psi = run(pre + [Operation(name, (0,), params)], 1)
+        assert np.allclose(state.probabilities(psi).sum(), 1.0)
+
+
+class TestShiftParameter:
+    def test_shift_changes_only_target(self):
+        ops = [
+            Operation("RX", (0,), (0.5,), (weight_ref(0),)),
+            Operation("RY", (0,), (1.5,), (weight_ref(1),)),
+        ]
+        shifted = shift_parameter(ops, 1, 0, np.pi / 2)
+        assert shifted[0] is ops[0]
+        assert np.isclose(float(shifted[1].params[0]), 1.5 + np.pi / 2)
+        assert np.isclose(float(ops[1].params[0]), 1.5)  # original intact
+
+    def test_shift_batched_parameter(self):
+        ops = [Operation("RY", (0,), (np.array([0.1, 0.2]),), (input_ref(0),))]
+        shifted = shift_parameter(ops, 0, 0, 1.0)
+        assert np.allclose(shifted[0].params[0], [1.1, 1.2])
+
+    def test_shift_rot_middle_angle(self):
+        ops = [Operation("Rot", (0,), (0.1, 0.2, 0.3))]
+        shifted = shift_parameter(ops, 0, 1, -0.2)
+        assert np.isclose(float(shifted[0].params[1]), 0.0)
+        assert np.isclose(float(shifted[0].params[0]), 0.1)
+
+    def test_out_of_range(self):
+        ops = [Operation("RX", (0,), (0.5,))]
+        with pytest.raises(GateError):
+            shift_parameter(ops, 1, 0, 0.1)
+        with pytest.raises(GateError):
+            shift_parameter(ops, 0, 1, 0.1)
+
+
+class TestTapeSummary:
+    def test_counts(self):
+        ops = [
+            Operation("H", (0,)),
+            Operation("CNOT", (0, 1)),
+            Operation("CNOT", (1, 0)),
+            Operation("RY", (0,), (0.3,)),
+        ]
+        assert tape_summary(ops) == {"H": 1, "CNOT": 2, "RY": 1}
+
+    def test_empty(self):
+        assert tape_summary([]) == {}

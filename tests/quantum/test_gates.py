@@ -1,0 +1,163 @@
+"""Unit tests for gate matrices and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.quantum import gates
+
+
+class TestFixedGates:
+    def test_paulis_are_unitary_and_hermitian(self):
+        for mat in (gates.PAULI_X, gates.PAULI_Y, gates.PAULI_Z):
+            assert gates.is_unitary(mat)
+            assert np.allclose(mat, mat.conj().T)
+
+    def test_pauli_algebra(self):
+        # X Y = i Z and cyclic permutations.
+        assert np.allclose(
+            gates.PAULI_X @ gates.PAULI_Y, 1j * gates.PAULI_Z
+        )
+        assert np.allclose(
+            gates.PAULI_Y @ gates.PAULI_Z, 1j * gates.PAULI_X
+        )
+        assert np.allclose(
+            gates.PAULI_Z @ gates.PAULI_X, 1j * gates.PAULI_Y
+        )
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(gates.HADAMARD @ gates.HADAMARD, np.eye(2))
+
+    def test_s_and_t(self):
+        assert np.allclose(gates.S_GATE @ gates.S_GATE, gates.PAULI_Z)
+        assert np.allclose(gates.T_GATE @ gates.T_GATE, gates.S_GATE)
+
+    def test_cnot_is_permutation(self):
+        assert gates.is_unitary(gates.CNOT)
+        # |10> -> |11>, |11> -> |10>
+        assert gates.CNOT[3, 2] == 1 and gates.CNOT[2, 3] == 1
+
+    def test_swap(self):
+        # SWAP = CNOT(0,1) CNOT(1,0) CNOT(0,1); check action on |01>.
+        vec = np.zeros(4)
+        vec[1] = 1.0
+        assert np.allclose(gates.SWAP @ vec, [0, 0, 1, 0])
+
+
+class TestRotations:
+    @pytest.mark.parametrize("builder", [gates.rx, gates.ry, gates.rz])
+    def test_zero_angle_is_identity(self, builder):
+        assert np.allclose(builder(0.0), np.eye(2))
+
+    @pytest.mark.parametrize(
+        "builder,pauli",
+        [
+            (gates.rx, gates.PAULI_X),
+            (gates.ry, gates.PAULI_Y),
+            (gates.rz, gates.PAULI_Z),
+        ],
+    )
+    def test_pi_rotation_is_minus_i_pauli(self, builder, pauli):
+        assert np.allclose(builder(np.pi), -1j * pauli, atol=1e-12)
+
+    @pytest.mark.parametrize("builder", [gates.rx, gates.ry, gates.rz])
+    def test_unitarity_random_angles(self, builder):
+        rng = np.random.default_rng(0)
+        for theta in rng.uniform(-10, 10, size=5):
+            assert gates.is_unitary(builder(theta))
+
+    @pytest.mark.parametrize("builder", [gates.rx, gates.ry, gates.rz])
+    def test_additivity(self, builder):
+        # R(a) R(b) == R(a + b) for rotations about a fixed axis.
+        a, b = 0.7, -1.3
+        assert np.allclose(builder(a) @ builder(b), builder(a + b))
+
+    def test_batched_angles_shape_and_content(self):
+        thetas = np.array([0.1, 0.2, 0.3])
+        batch = gates.ry(thetas)
+        assert batch.shape == (3, 2, 2)
+        for i, t in enumerate(thetas):
+            assert np.allclose(batch[i], gates.ry(t))
+
+    def test_2d_angles_rejected(self):
+        with pytest.raises(GateError):
+            gates.rx(np.zeros((2, 2)))
+
+    def test_phase_shift(self):
+        assert np.allclose(
+            gates.phase_shift(np.pi), np.diag([1, -1]), atol=1e-12
+        )
+
+
+class TestRot:
+    def test_rot_composition(self):
+        phi, theta, omega = 0.3, 1.1, -0.7
+        expected = gates.rz(omega) @ gates.ry(theta) @ gates.rz(phi)
+        assert np.allclose(gates.rot(phi, theta, omega), expected)
+
+    def test_rot_unitary(self):
+        rng = np.random.default_rng(1)
+        for angles in rng.uniform(-5, 5, size=(5, 3)):
+            assert gates.is_unitary(gates.rot(*angles))
+
+    def test_rot_batched(self):
+        phis = np.array([0.1, 0.5])
+        thetas = np.array([0.2, 0.6])
+        omegas = np.array([0.3, 0.7])
+        batch = gates.rot(phis, thetas, omegas)
+        assert batch.shape == (2, 2, 2)
+        assert np.allclose(batch[1], gates.rot(0.5, 0.6, 0.7))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "builder,deriv",
+        [
+            (gates.rx, gates.rx_deriv),
+            (gates.ry, gates.ry_deriv),
+            (gates.rz, gates.rz_deriv),
+        ],
+    )
+    def test_against_finite_differences(self, builder, deriv):
+        eps = 1e-7
+        for theta in (-2.0, 0.0, 0.9):
+            numeric = (builder(theta + eps) - builder(theta - eps)) / (2 * eps)
+            assert np.allclose(deriv(theta), numeric, atol=1e-6)
+
+    def test_rot_derivs_against_finite_differences(self):
+        eps = 1e-7
+        angles = np.array([0.4, -1.2, 2.2])
+        analytic = gates.rot_deriv(*angles)
+        for k in range(3):
+            plus = angles.copy()
+            minus = angles.copy()
+            plus[k] += eps
+            minus[k] -= eps
+            numeric = (gates.rot(*plus) - gates.rot(*minus)) / (2 * eps)
+            assert np.allclose(analytic[k], numeric, atol=1e-6), f"angle {k}"
+
+    def test_batched_derivs(self):
+        thetas = np.array([0.3, 1.7])
+        batch = gates.ry_deriv(thetas)
+        assert batch.shape == (2, 2, 2)
+        assert np.allclose(batch[0], gates.ry_deriv(0.3))
+
+
+class TestControlled:
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(gates.controlled(gates.PAULI_X), gates.CNOT)
+
+    def test_controlled_z_is_cz(self):
+        assert np.allclose(gates.controlled(gates.PAULI_Z), gates.CZ)
+
+    def test_controlled_rejects_wrong_shape(self):
+        with pytest.raises(GateError):
+            gates.controlled(np.eye(4))
+
+
+class TestIsUnitary:
+    def test_rejects_non_square(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+
+    def test_rejects_non_unitary(self):
+        assert not gates.is_unitary(2 * np.eye(2))

@@ -1,0 +1,103 @@
+"""Unit tests for measurement post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, WireError
+from repro.quantum import gates, state
+from repro.quantum.circuit import Operation, run
+from repro.quantum.measurements import (
+    apply_z_linear_combination,
+    expval_z,
+    marginal_probabilities,
+)
+
+
+class TestExpvalZ:
+    def test_zero_state(self):
+        psi = state.zero_state(3, batch=2)
+        assert np.allclose(expval_z(psi), 1.0)
+
+    def test_one_state(self):
+        psi = state.basis_state((1, 0, 1), batch=1)
+        assert np.allclose(expval_z(psi)[0], [-1.0, 1.0, -1.0])
+
+    def test_plus_state_wire(self):
+        psi = state.apply_single_qubit(state.zero_state(2), gates.HADAMARD, 0)
+        e = expval_z(psi)
+        assert np.allclose(e[0], [0.0, 1.0], atol=1e-12)
+
+    def test_analytic_ry_angle(self):
+        theta = 0.77
+        psi = run([Operation("RY", (0,), (theta,))], 1)
+        assert np.isclose(expval_z(psi)[0, 0], np.cos(theta))
+
+    def test_wire_subset_and_order(self):
+        psi = state.basis_state((1, 0), batch=1)
+        e = expval_z(psi, wires=[1, 0])
+        assert np.allclose(e[0], [1.0, -1.0])
+
+    def test_bad_wire(self):
+        with pytest.raises(WireError):
+            expval_z(state.zero_state(2), wires=[2])
+
+
+class TestZLinearCombination:
+    def test_matches_definition(self, rng):
+        """O |psi> computed element-wise against explicit matrices."""
+        n, batch = 3, 4
+        psi = rng.standard_normal((batch, 2**n)) + 1j * rng.standard_normal(
+            (batch, 2**n)
+        )
+        shaped = psi.reshape((batch,) + (2,) * n)
+        coeffs = rng.standard_normal((batch, n))
+        got = state.as_matrix(apply_z_linear_combination(shaped, coeffs))
+        for b in range(batch):
+            op = np.zeros((2**n, 2**n), dtype=complex)
+            for k in range(n):
+                mat = np.eye(1, dtype=complex)
+                for w in range(n):
+                    mat = np.kron(mat, gates.PAULI_Z if w == k else np.eye(2))
+                op += coeffs[b, k] * mat
+            assert np.allclose(got[b], op @ psi[b])
+
+    def test_gradient_identity(self, rng):
+        """<psi| O |psi> equals sum_k c_k <Z_k>."""
+        n = 2
+        psi = run(
+            [
+                Operation("RY", (0,), (0.4,)),
+                Operation("RY", (1,), (1.3,)),
+                Operation("CNOT", (0, 1)),
+            ],
+            n,
+        )
+        coeffs = rng.standard_normal((1, n))
+        bra = apply_z_linear_combination(psi, coeffs)
+        inner = np.sum(np.conj(state.as_matrix(psi)) * state.as_matrix(bra))
+        expected = np.sum(coeffs * expval_z(psi))
+        assert np.isclose(np.real(inner), expected)
+        assert np.isclose(np.imag(inner), 0.0, atol=1e-12)
+
+    def test_shape_check(self):
+        psi = state.zero_state(2, batch=2)
+        with pytest.raises(ShapeError):
+            apply_z_linear_combination(psi, np.zeros((3, 2)))
+
+    def test_wire_subset(self):
+        psi = state.zero_state(2, batch=1)
+        out = apply_z_linear_combination(psi, np.array([[2.0]]), wires=[1])
+        assert np.allclose(state.as_matrix(out)[0], [2.0, 0, 0, 0])
+
+
+class TestMarginals:
+    def test_uniform_superposition(self):
+        psi = state.zero_state(2)
+        psi = state.apply_single_qubit(psi, gates.HADAMARD, 0)
+        marg = marginal_probabilities(psi, 0)
+        assert np.allclose(marg, [[0.5, 0.5]])
+        assert np.allclose(marginal_probabilities(psi, 1), [[1.0, 0.0]])
+
+    def test_bad_wire(self):
+        with pytest.raises(WireError):
+            marginal_probabilities(state.zero_state(2), 5)

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the quantum substrate.
+
+Invariants checked over randomly generated circuits:
+
+* unitarity: every tape preserves statevector norms;
+* physicality: Z expectations always lie in [-1, 1];
+* gradient consistency: adjoint == parameter-shift on arbitrary tapes;
+* rotation group structure: angles compose additively.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    adjoint_gradients,
+    angle_embedding,
+    basic_entangler_layers,
+    expval_z,
+    gates,
+    norms,
+    parameter_shift_gradients,
+    run,
+    strongly_entangling_layers,
+)
+
+angles = st.floats(
+    min_value=-2 * np.pi,
+    max_value=2 * np.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+def _tape(n_qubits, n_layers, ansatz, x_flat, w_flat):
+    x = np.asarray(x_flat, dtype=float).reshape(1, n_qubits)
+    if ansatz == "bel":
+        w = np.asarray(w_flat, dtype=float).reshape(n_layers, n_qubits)
+        return (
+            angle_embedding(x, n_qubits)
+            + basic_entangler_layers(w, n_qubits),
+            w.size,
+        )
+    w = np.asarray(w_flat, dtype=float).reshape(n_layers, n_qubits, 3)
+    return (
+        angle_embedding(x, n_qubits)
+        + strongly_entangling_layers(w, n_qubits),
+        w.size,
+    )
+
+
+@st.composite
+def circuit_cases(draw):
+    n_qubits = draw(st.integers(min_value=2, max_value=4))
+    n_layers = draw(st.integers(min_value=1, max_value=2))
+    ansatz = draw(st.sampled_from(["bel", "sel"]))
+    per_layer = n_qubits if ansatz == "bel" else 3 * n_qubits
+    x = draw(
+        st.lists(angles, min_size=n_qubits, max_size=n_qubits)
+    )
+    w = draw(
+        st.lists(
+            angles,
+            min_size=n_layers * per_layer,
+            max_size=n_layers * per_layer,
+        )
+    )
+    return n_qubits, n_layers, ansatz, x, w
+
+
+@given(circuit_cases())
+@settings(max_examples=25, deadline=None)
+def test_tapes_preserve_norm(case):
+    n_qubits, n_layers, ansatz, x, w = case
+    tape, _ = _tape(n_qubits, n_layers, ansatz, x, w)
+    psi = run(tape, n_qubits, batch=1)
+    assert np.allclose(norms(psi), 1.0, atol=1e-10)
+
+
+@given(circuit_cases())
+@settings(max_examples=25, deadline=None)
+def test_expectations_are_physical(case):
+    n_qubits, n_layers, ansatz, x, w = case
+    tape, _ = _tape(n_qubits, n_layers, ansatz, x, w)
+    e = expval_z(run(tape, n_qubits, batch=1))
+    assert (np.abs(e) <= 1.0 + 1e-10).all()
+
+
+@given(circuit_cases())
+@settings(max_examples=15, deadline=None)
+def test_adjoint_equals_parameter_shift(case):
+    n_qubits, n_layers, ansatz, x, w = case
+    tape, n_weights = _tape(n_qubits, n_layers, ansatz, x, w)
+    grad_out = np.ones((1, n_qubits))
+    final = run(tape, n_qubits, batch=1)
+    gi_a, gw_a = adjoint_gradients(tape, final, grad_out, n_qubits, n_weights)
+    gi_s, gw_s = parameter_shift_gradients(
+        tape, n_qubits, 1, grad_out, n_qubits, n_weights
+    )
+    np.testing.assert_allclose(gi_a, gi_s, atol=1e-8)
+    np.testing.assert_allclose(gw_a, gw_s, atol=1e-8)
+
+
+@given(a=angles, b=angles)
+@settings(max_examples=50, deadline=None)
+def test_rotation_additivity(a, b):
+    for builder in (gates.rx, gates.ry, gates.rz):
+        np.testing.assert_allclose(
+            builder(a) @ builder(b), builder(a + b), atol=1e-10
+        )
+
+
+@given(a=angles, b=angles, c=angles)
+@settings(max_examples=50, deadline=None)
+def test_rot_is_always_unitary(a, b, c):
+    assert gates.is_unitary(gates.rot(a, b, c))

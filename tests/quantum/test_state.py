@@ -1,0 +1,172 @@
+"""Unit tests for batched statevector operations.
+
+Gate applications are validated against the brute-force reference: build
+the full ``2**n x 2**n`` unitary with Kronecker products and multiply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, WireError
+from repro.quantum import gates, state
+
+
+def kron_on_wire(mat: np.ndarray, wire: int, n: int) -> np.ndarray:
+    """Full-space operator applying ``mat`` on one wire."""
+    out = np.eye(1, dtype=np.complex128)
+    for w in range(n):
+        out = np.kron(out, mat if w == wire else np.eye(2))
+    return out
+
+
+def full_cnot(control: int, target: int, n: int) -> np.ndarray:
+    """Brute-force CNOT on arbitrary wires of an n-qubit register."""
+    dim = 2**n
+    out = np.zeros((dim, dim), dtype=np.complex128)
+    for idx in range(dim):
+        bits = [(idx >> (n - 1 - w)) & 1 for w in range(n)]
+        if bits[control]:
+            bits[target] ^= 1
+        new = sum(b << (n - 1 - w) for w, b in enumerate(bits))
+        out[new, idx] = 1.0
+    return out
+
+
+class TestInitialStates:
+    def test_zero_state_shape_and_norm(self):
+        psi = state.zero_state(3, batch=4)
+        assert psi.shape == (4, 2, 2, 2)
+        assert np.allclose(state.norms(psi), 1.0)
+        assert psi[0, 0, 0, 0] == 1.0
+
+    def test_basis_state(self):
+        psi = state.basis_state((1, 0, 1), batch=2)
+        flat = state.as_matrix(psi)
+        assert np.allclose(flat[:, 0b101], 1.0)
+        assert np.allclose(np.abs(flat).sum(axis=1), 1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ShapeError):
+            state.zero_state(0)
+        with pytest.raises(ShapeError):
+            state.zero_state(2, batch=0)
+        with pytest.raises(ShapeError):
+            state.basis_state(())
+        with pytest.raises(ShapeError):
+            state.basis_state((0, 2))
+
+    def test_num_qubits(self):
+        assert state.num_qubits(state.zero_state(4)) == 4
+
+
+class TestSingleQubitApplication:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("wire_frac", [0.0, 0.5, 1.0])
+    def test_matches_kron_reference(self, n, wire_frac):
+        wire = min(n - 1, int(wire_frac * n))
+        rng = np.random.default_rng(7)
+        psi = rng.standard_normal((2, 2**n)) + 1j * rng.standard_normal(
+            (2, 2**n)
+        )
+        psi /= np.linalg.norm(psi, axis=1, keepdims=True)
+        shaped = psi.reshape((2,) + (2,) * n)
+        mat = gates.rot(0.3, 0.8, -0.4)
+        got = state.apply_single_qubit(shaped, mat, wire)
+        expected = psi @ kron_on_wire(mat, wire, n).T
+        assert np.allclose(state.as_matrix(got), expected)
+
+    def test_batched_matrices(self):
+        thetas = np.array([0.2, 1.4, -0.6])
+        mats = gates.ry(thetas)
+        psi = state.zero_state(2, batch=3)
+        got = state.apply_single_qubit(psi, mats, 0)
+        for b, t in enumerate(thetas):
+            single = state.apply_single_qubit(
+                state.zero_state(2, batch=1), gates.ry(t), 0
+            )
+            assert np.allclose(got[b], single[0])
+
+    def test_wire_out_of_range(self):
+        psi = state.zero_state(2)
+        with pytest.raises(WireError):
+            state.apply_single_qubit(psi, gates.PAULI_X, 2)
+
+    def test_batch_mismatch(self):
+        psi = state.zero_state(2, batch=2)
+        with pytest.raises(ShapeError):
+            state.apply_single_qubit(psi, gates.ry(np.zeros(3)), 0)
+
+    def test_bad_matrix_rank(self):
+        psi = state.zero_state(2)
+        with pytest.raises(ShapeError):
+            state.apply_single_qubit(psi, np.zeros((2, 2, 2, 2)), 0)
+
+
+class TestTwoQubitApplication:
+    @pytest.mark.parametrize("control,target", [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)])
+    def test_cnot_matches_reference(self, control, target):
+        n = 3
+        rng = np.random.default_rng(5)
+        psi = rng.standard_normal((2, 2**n)) + 1j * rng.standard_normal((2, 2**n))
+        shaped = psi.reshape((2,) + (2,) * n)
+        got = state.apply_cnot(shaped, control, target)
+        expected = psi @ full_cnot(control, target, n).T
+        assert np.allclose(state.as_matrix(got), expected)
+
+    def test_cnot_equals_generic_two_qubit(self):
+        psi = np.random.default_rng(3).standard_normal((1, 8)).astype(complex)
+        shaped = psi.reshape(1, 2, 2, 2)
+        via_perm = state.apply_cnot(shaped, 0, 2)
+        via_mat = state.apply_two_qubit(shaped, gates.CNOT, 0, 2)
+        assert np.allclose(via_perm, via_mat)
+
+    def test_cz_symmetry(self):
+        rng = np.random.default_rng(9)
+        psi = (rng.standard_normal((2, 8)) + 1j * rng.standard_normal((2, 8)))
+        shaped = psi.reshape(2, 2, 2, 2)
+        assert np.allclose(
+            state.apply_cz(shaped, 0, 2), state.apply_cz(shaped, 2, 0)
+        )
+
+    def test_cz_matches_matrix(self):
+        psi = np.random.default_rng(11).standard_normal((1, 4)).astype(complex)
+        shaped = psi.reshape(1, 2, 2)
+        via_perm = state.apply_cz(shaped, 0, 1)
+        via_mat = state.apply_two_qubit(shaped, gates.CZ, 0, 1)
+        assert np.allclose(via_perm, via_mat)
+
+    def test_swap_via_two_qubit(self):
+        psi = state.basis_state((0, 1), batch=1)
+        swapped = state.apply_two_qubit(psi, gates.SWAP, 0, 1)
+        assert np.allclose(state.as_matrix(swapped)[0], [0, 0, 1, 0])
+
+    def test_same_wire_rejected(self):
+        psi = state.zero_state(2)
+        with pytest.raises(WireError):
+            state.apply_cnot(psi, 1, 1)
+        with pytest.raises(WireError):
+            state.apply_cz(psi, 0, 0)
+        with pytest.raises(WireError):
+            state.apply_two_qubit(psi, gates.SWAP, 1, 1)
+
+    def test_bad_two_qubit_shape(self):
+        psi = state.zero_state(2)
+        with pytest.raises(ShapeError):
+            state.apply_two_qubit(psi, np.eye(3), 0, 1)
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self):
+        psi = state.apply_single_qubit(
+            state.zero_state(3, batch=2), gates.HADAMARD, 1
+        )
+        probs = state.probabilities(psi)
+        assert probs.shape == (2, 8)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_norm_preserved_by_gates(self):
+        psi = state.zero_state(3, batch=2)
+        psi = state.apply_single_qubit(psi, gates.rot(0.1, 2.2, 0.7), 0)
+        psi = state.apply_cnot(psi, 0, 1)
+        psi = state.apply_cz(psi, 1, 2)
+        assert np.allclose(state.norms(psi), 1.0)

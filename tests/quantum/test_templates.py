@@ -1,0 +1,159 @@
+"""Unit tests for the paper's circuit templates (PennyLane semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.quantum import expval_z, run, state, tape_summary
+from repro.quantum.templates import (
+    angle_embedding,
+    basic_entangler_layers,
+    bel_param_count,
+    bel_weight_shape,
+    random_bel_weights,
+    random_sel_weights,
+    sel_param_count,
+    sel_ranges,
+    sel_weight_shape,
+    strongly_entangling_layers,
+)
+
+
+class TestAngleEmbedding:
+    def test_structure(self):
+        x = np.zeros((4, 3))
+        ops = angle_embedding(x, 3)
+        assert [op.name for op in ops] == ["RY", "RY", "RY"]
+        assert [op.wires for op in ops] == [(0,), (1,), (2,)]
+        for i, op in enumerate(ops):
+            assert op.refs[0].kind == "input" and op.refs[0].index == i
+
+    def test_per_sample_angles(self):
+        x = np.array([[0.0], [np.pi]])
+        ops = angle_embedding(x, 1)
+        psi = run(ops, 1, batch=2)
+        e = expval_z(psi)
+        # RY(0)|0> stays |0> (<Z>=1); RY(pi)|0> = |1> (<Z>=-1).
+        assert np.allclose(e[:, 0], [1.0, -1.0], atol=1e-12)
+
+    def test_fewer_features_than_qubits(self):
+        ops = angle_embedding(np.zeros((1, 2)), 4)
+        assert len(ops) == 2
+
+    def test_too_many_features(self):
+        with pytest.raises(ShapeError):
+            angle_embedding(np.zeros((1, 5)), 4)
+
+    def test_requires_2d(self):
+        with pytest.raises(ShapeError):
+            angle_embedding(np.zeros(3), 3)
+
+    def test_rotation_axis(self):
+        ops = angle_embedding(np.zeros((1, 2)), 2, rotation="X")
+        assert all(op.name == "RX" for op in ops)
+        with pytest.raises(ConfigurationError):
+            angle_embedding(np.zeros((1, 2)), 2, rotation="Q")
+
+
+class TestBEL:
+    def test_structure_3q_2l(self):
+        w = np.zeros((2, 3))
+        ops = basic_entangler_layers(w, 3)
+        # per layer: 3 RY + 3 CNOT ring
+        assert tape_summary(ops) == {"RY": 6, "CNOT": 6}
+        ring = [op.wires for op in ops if op.name == "CNOT"][:3]
+        assert ring == [(0, 1), (1, 2), (2, 0)]
+
+    def test_two_qubit_ring_has_single_cnot(self):
+        ops = basic_entangler_layers(np.zeros((1, 2)), 2)
+        assert tape_summary(ops) == {"RY": 2, "CNOT": 1}
+
+    def test_single_qubit_no_entangler(self):
+        ops = basic_entangler_layers(np.zeros((1, 1)), 1)
+        assert tape_summary(ops) == {"RY": 1}
+
+    def test_weight_refs_are_flat_row_major(self):
+        w = np.zeros((2, 3))
+        ops = [o for o in basic_entangler_layers(w, 3) if o.name == "RY"]
+        assert [o.refs[0].index for o in ops] == list(range(6))
+        assert all(o.refs[0].kind == "weight" for o in ops)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            basic_entangler_layers(np.zeros((2, 4)), 3)
+        with pytest.raises(ShapeError):
+            basic_entangler_layers(np.zeros(3), 3)
+
+    def test_param_count_and_shape(self):
+        assert bel_weight_shape(4, 3) == (4, 3)
+        assert bel_param_count(4, 3) == 12
+
+    def test_custom_rotation(self):
+        ops = basic_entangler_layers(np.zeros((1, 2)), 2, rotation="X")
+        assert ops[0].name == "RX"
+
+
+class TestSEL:
+    def test_structure_3q_2l(self):
+        w = np.zeros((2, 3, 3))
+        ops = strongly_entangling_layers(w, 3)
+        assert tape_summary(ops) == {"Rot": 6, "CNOT": 6}
+        # Default ranges for 3 qubits: layer 0 -> r=1, layer 1 -> r=2.
+        cnots = [op.wires for op in ops if op.name == "CNOT"]
+        assert cnots[:3] == [(0, 1), (1, 2), (2, 0)]
+        assert cnots[3:] == [(0, 2), (1, 0), (2, 1)]
+
+    def test_default_ranges_cycle(self):
+        assert sel_ranges(4, 3) == (1, 2, 1, 2)
+        assert sel_ranges(2, 5) == (1, 2)
+        assert sel_ranges(3, 1) == (0, 0, 0)
+
+    def test_weight_refs_are_flat_row_major(self):
+        w = np.zeros((1, 2, 3))
+        rots = [o for o in strongly_entangling_layers(w, 2) if o.name == "Rot"]
+        flat = [r.index for o in rots for r in o.refs]
+        assert flat == list(range(6))
+
+    def test_explicit_ranges(self):
+        w = np.zeros((2, 4, 3))
+        ops = strongly_entangling_layers(w, 4, ranges=(3, 1))
+        cnots = [op.wires for op in ops if op.name == "CNOT"]
+        assert cnots[:4] == [(0, 3), (1, 0), (2, 1), (3, 2)]
+
+    def test_ranges_length_check(self):
+        with pytest.raises(ConfigurationError):
+            strongly_entangling_layers(np.zeros((2, 3, 3)), 3, ranges=(1,))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            strongly_entangling_layers(np.zeros((2, 3, 2)), 3)
+
+    def test_param_count_and_shape(self):
+        assert sel_weight_shape(2, 3) == (2, 3, 3)
+        assert sel_param_count(2, 3) == 18
+
+
+class TestRandomWeights:
+    def test_ranges_and_shapes(self, rng):
+        wb = random_bel_weights(3, 4, rng)
+        ws = random_sel_weights(3, 4, rng)
+        assert wb.shape == (3, 4) and ws.shape == (3, 4, 3)
+        assert (wb >= 0).all() and (wb < 2 * np.pi).all()
+        assert (ws >= 0).all() and (ws < 2 * np.pi).all()
+
+    def test_deterministic_given_seed(self):
+        a = random_sel_weights(2, 3, np.random.default_rng(42))
+        b = random_sel_weights(2, 3, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestTemplatesExecute:
+    def test_full_hybrid_tape_preserves_norm(self, rng):
+        x = rng.uniform(-2, 2, (5, 4))
+        w = random_sel_weights(3, 4, rng)
+        ops = angle_embedding(x, 4) + strongly_entangling_layers(w, 4)
+        psi = run(ops, 4, batch=5)
+        assert np.allclose(state.norms(psi), 1.0)
+        e = expval_z(psi)
+        assert e.shape == (5, 4)
+        assert (np.abs(e) <= 1 + 1e-12).all()

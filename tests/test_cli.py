@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.experiment == "fig4"
+        assert args.profile == "smoke"
+        assert args.cache is None
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["fig10", "--profile", "reduced", "--cache", "out", "--quiet"]
+        )
+        assert args.experiment == "fig10"
+        assert args.profile == "reduced"
+        assert args.cache == "out"
+        assert args.quiet
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--profile", "gigantic"])
+
+
+class TestMain:
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--profile", "smoke", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4(b)" in out
+
+    def test_table1_smoke_cached(self, capsys, tmp_path):
+        code = main(
+            [
+                "table1",
+                "--profile",
+                "smoke",
+                "--cache",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        # cache was populated for both hybrid families
+        assert (tmp_path / "bel_smoke.json").exists()
+        assert (tmp_path / "sel_smoke.json").exists()

@@ -1,0 +1,40 @@
+"""Sanity checks on the example scripts.
+
+Full example runs take minutes (they train models at realistic sizes),
+so the test suite verifies that each script compiles and has an
+executable ``main``; the fast ones are exercised end to end.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_declares_main(path):
+    source = path.read_text()
+    assert "def main()" in source
+    assert '__name__ == "__main__"' in source
+
+
+def test_flops_ablation_runs_end_to_end():
+    """The only training-free example: runs in well under a second."""
+    result = subprocess.run(
+        [sys.executable, "examples/flops_ablation.py"],
+        capture_output=True,
+        text=True,
+        cwd=Path(__file__).parent.parent,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "SEL quantum layer constant across feature sizes: True" in result.stdout

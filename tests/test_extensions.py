@@ -1,0 +1,205 @@
+"""Tests for the extension surface beyond the paper's core needs:
+extra activations, dropout, controlled rotations, result export, and the
+published-numbers module."""
+
+import numpy as np
+import pytest
+
+from repro import paperdata
+from repro.core.comparison import rate_of_increase
+from repro.core.export import (
+    comparison_markdown,
+    winners_csv,
+    winners_markdown,
+    write_winners_csv,
+)
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.flops import PAPER, operation_fwd_flops, profile_model
+from repro.nn import Dense, Dropout, Sequential, Sigmoid, Softmax, Tanh
+from repro.quantum import gates, run, state
+from repro.quantum.circuit import Operation
+
+
+class TestTanhSigmoid:
+    @pytest.mark.parametrize("layer_cls", [Tanh, Sigmoid])
+    def test_gradcheck(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.standard_normal((3, 4))
+        g = rng.standard_normal((3, 4))
+        layer.forward(x, training=True)
+        dx = layer.backward(g)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                numeric = (
+                    np.sum(g * layer.forward(xp))
+                    - np.sum(g * layer.forward(xm))
+                ) / (2 * eps)
+                assert np.isclose(dx[i, j], numeric, atol=1e-6)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.allclose(out, [[0.0, 0.5, 1.0]])
+        assert np.isfinite(out).all()
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.standard_normal((5, 5)) * 10)
+        assert (np.abs(out) <= 1.0).all()
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.standard_normal((4, 6))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_scales_survivors(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        kept = out != 0.0
+        # survivors are scaled by 1/keep
+        assert np.allclose(out[kept], 2.0)
+        # roughly half survive
+        assert 0.4 < kept.mean() < 0.6
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = rng.standard_normal((5, 5))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+    def test_zero_rate_passthrough(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.standard_normal((2, 3))
+        assert np.array_equal(layer.forward(x, training=True), x)
+
+
+class TestExtensionProfiling:
+    def test_profiler_costs_extension_layers(self, rng):
+        model = Sequential(
+            [
+                Dense(6, 4, rng=rng),
+                Tanh(),
+                Dropout(0.2, rng=rng),
+                Dense(4, 3, rng=rng),
+                Sigmoid(),
+                Softmax(),
+            ]
+        )
+        prof = profile_model(model)
+        assert prof.total_flops > 0
+        kinds = [l.name for l in prof.layers]
+        assert len(kinds) == 6
+
+
+class TestControlledRotations:
+    def test_matrices(self):
+        assert gates.is_unitary(gates.crx(0.7))
+        assert np.allclose(gates.crz(0.0), np.eye(4))
+        # control |0> leaves target alone
+        mat = gates.cry(1.3)
+        assert np.allclose(mat[:2, :2], np.eye(2))
+        assert np.allclose(mat[2:, 2:], gates.ry(1.3))
+
+    def test_batched(self):
+        batch = gates.crx(np.array([0.1, 0.2]))
+        assert batch.shape == (2, 4, 4)
+        assert np.allclose(batch[1], gates.crx(0.2))
+
+    def test_execution_on_state(self):
+        # |10> -> control is 1 -> RY(pi) flips target to |11>
+        ops = [Operation("X", (0,)), Operation("CRY", (0, 1), (np.pi,))]
+        psi = run(ops, 2)
+        flat = state.as_matrix(psi)[0]
+        assert np.isclose(np.abs(flat[3]), 1.0)
+
+    def test_control_zero_is_identity(self):
+        ops = [Operation("CRX", (0, 1), (2.1,))]
+        psi = run(ops, 2)
+        assert np.allclose(state.as_matrix(psi)[0], [1, 0, 0, 0])
+
+    def test_flops_rule(self):
+        op = Operation("CRX", (0, 1), (0.4,))
+        expected = PAPER.gate_build_single + PAPER.single_qubit_gate(3) // 2
+        assert operation_fwd_flops(PAPER, op, 3) == expected
+
+
+class TestPaperData:
+    def test_rate_tables_complete(self):
+        assert set(paperdata.FLOPS_RATES) == {"classical", "bel", "sel"}
+        assert set(paperdata.PARAM_RATES) == {"classical", "bel", "sel"}
+
+    def test_sel_table1_identity(self):
+        """The published SEL absolute increase and rate are consistent
+        with its Table I totals."""
+        rate = rate_of_increase(1589, 3389)
+        assert rate * 100 == pytest.approx(
+            paperdata.FLOPS_RATES["sel"].rate_percent, abs=0.05
+        )
+
+    def test_headline_ordering_predicate(self):
+        measured = {"classical": 0.9, "bel": 0.8, "sel": 0.5}
+        assert paperdata.headline_claim_ordering(measured)
+        assert not paperdata.headline_claim_ordering(
+            {"classical": 0.5, "bel": 0.8, "sel": 0.9}
+        )
+
+    def test_table1_winners(self):
+        assert paperdata.TABLE1_WINNERS[("sel", 110)] == (3, 2)
+        assert paperdata.TABLE1_WINNERS[("bel", 110)] == (4, 4)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def results(self, tmp_path_factory):
+        from repro.core import ProtocolConfig, run_protocol
+
+        cfg = ProtocolConfig(
+            feature_sizes=(4, 6),
+            n_experiments=1,
+            runs_per_candidate=1,
+            epochs=15,
+            batch_size=8,
+            n_points=90,
+            early_stop=True,
+            max_candidates=3,
+            threshold=0.4,
+        )
+        return [run_protocol("classical", cfg)]
+
+    def test_csv(self, results):
+        text = winners_csv(results)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("family,feature_size")
+        assert len(lines) == 1 + 2  # header + 2 levels x 1 experiment
+
+    def test_csv_file(self, results, tmp_path):
+        path = tmp_path / "sub" / "winners.csv"
+        write_winners_csv(results, path)
+        assert path.exists()
+
+    def test_markdown(self, results):
+        text = winners_markdown(results)
+        assert text.startswith("| family ")
+        assert "classical" in text
+
+    def test_comparison_markdown(self, results):
+        from repro.core import comparative_analysis
+
+        md = comparison_markdown(comparative_analysis(results))
+        assert "FLOPs rate" in md and "classical" in md
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            winners_csv([])
+        with pytest.raises(ExperimentError):
+            winners_markdown([])

@@ -1,0 +1,73 @@
+"""Tests for the library's infrastructure: exception hierarchy and the
+paper-constants module."""
+
+import pytest
+
+from repro import config
+from repro.exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    GateError,
+    ProfileError,
+    ReproError,
+    SearchError,
+    SearchExhaustedError,
+    ShapeError,
+    WireError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            WireError,
+            ShapeError,
+            GateError,
+            SearchError,
+            SearchExhaustedError,
+            ProfileError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_specializations(self):
+        assert issubclass(WireError, ConfigurationError)
+        assert issubclass(ShapeError, ConfigurationError)
+        assert issubclass(GateError, ConfigurationError)
+        assert issubclass(SearchExhaustedError, SearchError)
+
+    def test_single_catch_point(self):
+        """Library errors can all be caught with one except clause."""
+        with pytest.raises(ReproError):
+            raise WireError("wire 9")
+
+
+class TestPaperConstants:
+    def test_feature_sizes(self):
+        assert config.FEATURE_SIZES == tuple(range(10, 120, 10))
+        assert len(config.FEATURE_SIZES) == 11
+
+    def test_noise_schedule_endpoints(self):
+        assert config.noise_for_features(10) == pytest.approx(0.13)
+        assert config.noise_for_features(110) == pytest.approx(0.43)
+
+    def test_search_space_constants(self):
+        assert config.CLASSICAL_NEURON_OPTIONS == (2, 4, 6, 8, 10)
+        assert config.CLASSICAL_MAX_LAYERS == 3
+        assert config.HYBRID_QUBIT_OPTIONS == (3, 4, 5)
+        assert config.HYBRID_DEPTH_OPTIONS == tuple(range(1, 11))
+
+    def test_training_constants(self):
+        assert config.ACCURACY_THRESHOLD == 0.90
+        assert config.LEARNING_RATE == 0.001
+        assert config.BATCH_SIZE == 8
+        assert config.EPOCHS == 100
+        assert config.RUNS_PER_CANDIDATE == 5
+        assert config.N_EXPERIMENTS == 5
+
+    def test_reported_sizes(self):
+        assert config.REPORTED_FEATURE_SIZES == (10, 40, 80, 110)

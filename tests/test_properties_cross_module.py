@@ -1,0 +1,100 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants spanning the spec/FLOPs/build pipeline:
+
+* a spec's formula-based FLOPs and parameter counts always agree with
+  the profiler applied to the built model;
+* FLOPs are monotone in every architectural dimension the search varies;
+* the spiral generator is a pure function of its arguments.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search_space import ClassicalSpec, HybridSpec
+from repro.data import make_spiral
+from repro.flops import profile_model
+
+hidden_layers = st.lists(
+    st.sampled_from([2, 4, 6, 8, 10]), min_size=1, max_size=3
+).map(tuple)
+
+
+@given(
+    features=st.integers(min_value=2, max_value=64),
+    hidden=hidden_layers,
+)
+@settings(max_examples=20, deadline=None)
+def test_classical_spec_formula_matches_profiler(features, hidden):
+    spec = ClassicalSpec(n_features=features, hidden=hidden)
+    model = spec.build(rng=np.random.default_rng(0))
+    prof = profile_model(model)
+    assert prof.total_flops == spec.flops()
+    assert prof.param_count == spec.param_count == model.param_count
+
+
+@given(
+    features=st.integers(min_value=2, max_value=64),
+    qubits=st.integers(min_value=2, max_value=5),
+    layers=st.integers(min_value=1, max_value=6),
+    ansatz=st.sampled_from(["bel", "sel"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_hybrid_spec_formula_matches_profiler(features, qubits, layers, ansatz):
+    spec = HybridSpec(
+        n_features=features, n_qubits=qubits, n_layers=layers, ansatz=ansatz
+    )
+    model = spec.build(rng=np.random.default_rng(0))
+    prof = profile_model(model)
+    assert prof.total_flops == spec.flops()
+    assert prof.param_count == spec.param_count == model.param_count
+
+
+@given(
+    features=st.integers(min_value=2, max_value=50),
+    hidden=hidden_layers,
+    extra=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=25, deadline=None)
+def test_classical_flops_monotone_in_features(features, hidden, extra):
+    a = ClassicalSpec(n_features=features, hidden=hidden)
+    b = ClassicalSpec(n_features=features + extra, hidden=hidden)
+    assert b.flops() > a.flops()
+    assert b.param_count > a.param_count
+
+
+@given(
+    qubits=st.integers(min_value=2, max_value=5),
+    layers=st.integers(min_value=1, max_value=9),
+    ansatz=st.sampled_from(["bel", "sel"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_hybrid_flops_monotone_in_depth(qubits, layers, ansatz):
+    a = HybridSpec(n_features=10, n_qubits=qubits, n_layers=layers, ansatz=ansatz)
+    b = HybridSpec(
+        n_features=10, n_qubits=qubits, n_layers=layers + 1, ansatz=ansatz
+    )
+    assert b.flops() > a.flops()
+    assert b.param_count > a.param_count
+
+
+@given(
+    features=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_spiral_is_pure_function_of_arguments(features, seed):
+    a = make_spiral(features, n_points=60, seed=seed)
+    b = make_spiral(features, n_points=60, seed=seed)
+    assert np.array_equal(a.features, b.features)
+    assert np.array_equal(a.labels, b.labels)
+    assert a.feature_recipe == b.feature_recipe
+
+
+@given(features=st.integers(min_value=2, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_spiral_standardized_for_any_feature_count(features):
+    ds = make_spiral(features, n_points=120, seed=1)
+    assert np.allclose(ds.features.mean(axis=0), 0.0, atol=1e-8)
+    assert np.allclose(ds.features.std(axis=0), 1.0, atol=1e-8)

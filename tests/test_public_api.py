@@ -1,0 +1,50 @@
+"""Smoke tests for the package's public surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicImports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        ["quantum", "nn", "hybrid", "flops", "data", "core", "experiments"],
+    )
+    def test_subpackage_all_resolve(self, module):
+        pkg = getattr(repro, module)
+        for name in pkg.__all__:
+            assert hasattr(pkg, name), f"{module}.{name}"
+
+
+class TestQuickstartFlow:
+    """The README quickstart, end to end."""
+
+    def test_quickstart(self):
+        data = repro.make_spiral(n_features=6, n_points=120, seed=1)
+        split = repro.stratified_split(data, seed=1)
+        model = repro.build_hybrid_model(
+            6, n_qubits=3, n_layers=1, ansatz="sel",
+            rng=np.random.default_rng(1),
+        )
+        history = repro.train_model(
+            model,
+            split.x_train,
+            split.y_train,
+            split.x_val,
+            split.y_val,
+            epochs=3,
+            batch_size=16,
+            rng=np.random.default_rng(1),
+        )
+        assert 0.0 <= history.max_val_accuracy <= 1.0
+        profile = repro.profile_model(model)
+        assert profile.total_flops > 0
+        assert profile.param_count == model.param_count
