@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and snapshot the results for perf tracking.
+
+Writes ``benchmarks/BENCH_<rev>.json`` (``<rev>`` = short git revision,
+or ``worktree`` when the tree is dirty/not a checkout) containing one
+condensed entry per benchmark: mean / stddev / min runtimes in seconds
+plus round counts.  Committing a snapshot per PR gives the repo a perf
+trajectory that reviews can diff instead of re-measuring.
+
+Usage:
+
+    python benchmarks/run_benchmarks.py            # substrate micro suite
+    python benchmarks/run_benchmarks.py --full     # every benchmark file
+    python benchmarks/run_benchmarks.py --out PATH # explicit output path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def git_revision() -> str:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{rev}-dirty" if dirty else rev
+    except (OSError, subprocess.CalledProcessError):
+        return "worktree"
+
+
+def condense(raw: dict) -> dict:
+    """Keep the fields a perf-trajectory diff actually needs."""
+    machine = raw.get("machine_info", {})
+    snapshot = {
+        "datetime": raw.get("datetime"),
+        "python": machine.get("python_version"),
+        "machine": machine.get("machine"),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": {},
+    }
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        snapshot["benchmarks"][bench["fullname"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+        }
+    return snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run every benchmark file (the figure-level protocol "
+        "benchmarks are minutes-scale), not just the substrate micro suite",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    target = "benchmarks" if args.full else "benchmarks/test_substrate_micro.py"
+    rev = git_revision()
+    out_path = args.out or REPO / "benchmarks" / f"BENCH_{rev}.json"
+
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "bench.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                target,
+                "--benchmark-only",
+                f"--benchmark-json={raw_path}",
+                "-q",
+            ],
+            cwd=REPO,
+            env=env,
+        )
+        if result.returncode != 0:
+            return result.returncode
+        raw = json.loads(raw_path.read_text())
+
+    snapshot = condense(raw)
+    snapshot["rev"] = rev
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

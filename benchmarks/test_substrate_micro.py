@@ -13,9 +13,11 @@ from repro.flops import profile_model
 from repro.hybrid import QuantumLayer, build_classical_model, build_hybrid_model
 from repro.nn import Adam, CrossEntropy, Dense
 from repro.quantum import (
+    CompiledTape,
     adjoint_gradients,
     angle_embedding,
     apply_single_qubit,
+    compiled_parameter_shift_gradients,
     expval_z,
     gates,
     parameter_shift_gradients,
@@ -45,6 +47,58 @@ class TestStatevector:
         tape = angle_embedding(x, 4)
         state = run(tape, 4, 64)
         benchmark(expval_z, state)
+
+
+class TestCompiledEngine:
+    """The compiled engine against the reference executor on the same
+    workloads — the acceptance numbers for the compile-once/execute-many
+    engine (expect >= 2x on the SEL forward)."""
+
+    def test_sel_compiled_forward_batch64_4q(self, benchmark):
+        x = RNG.uniform(-1, 1, (64, 4))
+        w = random_sel_weights(2, 4, RNG)
+        tape = angle_embedding(x, 4) + strongly_entangling_layers(w, 4)
+        engine = CompiledTape(tape, 4)
+        flat = w.ravel()
+        benchmark(engine.execute, x, flat)
+
+    def test_sel_compiled_adjoint_batch32_3q(self, benchmark):
+        """Forward (recorded) + compiled adjoint sweep per round, which is
+        exactly one training step's quantum cost."""
+        n_qubits, batch = 3, 32
+        x = RNG.uniform(-1, 1, (batch, n_qubits))
+        w = random_sel_weights(2, n_qubits, RNG)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        engine = CompiledTape(tape, n_qubits)
+        flat = w.ravel()
+        grad = RNG.standard_normal((batch, n_qubits))
+
+        def step():
+            engine.execute(inputs=x, weights=flat, record=True)
+            return engine.adjoint_gradients(grad, n_qubits, w.size)
+
+        benchmark(step)
+
+    def test_sel_compiled_parameter_shift_batch32_3q(self, benchmark):
+        n_qubits, batch = 3, 32
+        x = RNG.uniform(-1, 1, (batch, n_qubits))
+        w = random_sel_weights(2, n_qubits, RNG)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        engine = CompiledTape(tape, n_qubits)
+        grad = RNG.standard_normal((batch, n_qubits))
+        benchmark(
+            compiled_parameter_shift_gradients,
+            engine,
+            grad,
+            n_qubits,
+            w.size,
+            x,
+            w.ravel(),
+        )
 
 
 class TestGradientBackends:

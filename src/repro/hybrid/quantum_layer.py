@@ -11,6 +11,15 @@ values:
 Backward uses adjoint differentiation by default (exact, cheap); the
 parameter-shift rule is available as an alternative backend and as a
 hardware-realistic cost model for :mod:`repro.flops`.
+
+Execution is routed through the compiled engine
+(:class:`repro.quantum.engine.CompiledTape`): the circuit structure from
+``build_tape`` is compiled once on the first forward pass, and every
+subsequent call only rebinds the per-batch encoding angles and the
+current trainable weights into the compiled parameter slots.  Subclasses
+that override ``build_tape`` get compiled automatically; tapes the engine
+cannot rebind (per-sample parameters without ``input`` refs) silently
+fall back to the reference executor, which stays the semantics oracle.
 """
 
 from __future__ import annotations
@@ -21,8 +30,12 @@ from ..exceptions import ConfigurationError, ShapeError
 from ..nn.layers import Layer
 from ..quantum.adjoint import adjoint_gradients
 from ..quantum.circuit import Operation, run
+from ..quantum.engine import CompiledTape
 from ..quantum.measurements import expval_z
-from ..quantum.parameter_shift import parameter_shift_gradients
+from ..quantum.parameter_shift import (
+    compiled_parameter_shift_gradients,
+    parameter_shift_gradients,
+)
 from ..quantum.templates import (
     angle_embedding,
     basic_entangler_layers,
@@ -101,6 +114,9 @@ class QuantumLayer(Layer):
         self._cache_ops: list[Operation] | None = None
         self._cache_state: np.ndarray | None = None
         self._cache_batch: int = 0
+        self._cache_x: np.ndarray | None = None
+        self._engine: CompiledTape | None = None
+        self._engine_disabled = False
 
     # -- tape construction -----------------------------------------------
 
@@ -128,6 +144,27 @@ class QuantumLayer(Layer):
 
     # -- layer interface ---------------------------------------------------
 
+    def _compile_engine(self, x: np.ndarray) -> CompiledTape | None:
+        """Compile ``build_tape`` once, if the engine can rebind it.
+
+        Per-sample (1-D) parameters are only rebindable through ``input``
+        refs; a tape carrying any other per-sample value — including a
+        batch-1 ``(1,)`` array — would go stale between batches, so such
+        layers permanently use the reference executor instead.  (A
+        data-dependent *scalar* parameter without a ref is
+        indistinguishable from a genuine constant and cannot be detected:
+        custom ``build_tape`` implementations must attach refs to, or
+        keep 1-D, anything derived from ``x``.)
+        """
+        tape = self.build_tape(x)
+        for op in tape:
+            for ref, param in zip(op.refs, op.params):
+                rebindable = ref is not None and ref.kind == "input"
+                if param.ndim == 1 and not rebindable:
+                    self._engine_disabled = True
+                    return None
+        return CompiledTape(tape, self.n_qubits)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.n_qubits:
@@ -135,6 +172,19 @@ class QuantumLayer(Layer):
                 f"{self.name} expected (batch, {self.n_qubits}), "
                 f"got {x.shape}"
             )
+        if self._engine is None and not self._engine_disabled:
+            self._engine = self._compile_engine(x)
+        if self._engine is None:
+            return self._forward_reference(x, training)
+        record = training and self.gradient_method == "adjoint"
+        state = self._engine.execute(
+            inputs=x, weights=self.weights.reshape(-1), record=record
+        )
+        if training and self.gradient_method == "parameter_shift":
+            self._cache_x = x
+        return self._engine.expvals(state)
+
+    def _forward_reference(self, x: np.ndarray, training: bool) -> np.ndarray:
         ops = self.build_tape(x)
         state = run(ops, self.n_qubits, batch=x.shape[0])
         if training:
@@ -144,20 +194,58 @@ class QuantumLayer(Layer):
         return expval_z(state)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._engine is not None:
+            input_grads, weight_grads = self._backward_compiled(grad)
+        else:
+            input_grads, weight_grads = self._backward_reference(grad)
+        self.grads[0] += weight_grads.reshape(self.weights.shape)
+        return input_grads
+
+    def _backward_compiled(
+        self, grad: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.gradient_method == "adjoint":
+            if not self._engine.has_record:
+                raise ShapeError(
+                    f"{self.name}.backward called without a training forward"
+                )
+            # adjoint_gradients consumes (and releases) the recorded
+            # forward, so nothing pins the batch statevectors afterwards.
+            return self._engine.adjoint_gradients(
+                grad, n_inputs=self.n_qubits, n_weights=self.n_weights
+            )
+        if self._cache_x is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        x = self._cache_x
+        self._cache_x = None
+        return compiled_parameter_shift_gradients(
+            self._engine,
+            grad,
+            n_inputs=self.n_qubits,
+            n_weights=self.n_weights,
+            inputs=x,
+            weights=self.weights.reshape(-1),
+        )
+
+    def _backward_reference(
+        self, grad: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         if self._cache_ops is None or self._cache_state is None:
             raise ShapeError(
                 f"{self.name}.backward called without a training forward"
             )
-        if self.gradient_method == "adjoint":
-            input_grads, weight_grads = adjoint_gradients(
-                self._cache_ops,
-                self._cache_state,
-                grad,
-                n_inputs=self.n_qubits,
-                n_weights=self.n_weights,
-            )
-        else:
-            input_grads, weight_grads = parameter_shift_gradients(
+        try:
+            if self.gradient_method == "adjoint":
+                return adjoint_gradients(
+                    self._cache_ops,
+                    self._cache_state,
+                    grad,
+                    n_inputs=self.n_qubits,
+                    n_weights=self.n_weights,
+                )
+            return parameter_shift_gradients(
                 self._cache_ops,
                 self.n_qubits,
                 self._cache_batch,
@@ -165,8 +253,11 @@ class QuantumLayer(Layer):
                 n_inputs=self.n_qubits,
                 n_weights=self.n_weights,
             )
-        self.grads[0] += weight_grads.reshape(self.weights.shape)
-        return input_grads
+        finally:
+            # Release the forward cache so long grid-search runs do not
+            # pin the largest batch statevector between steps.
+            self._cache_ops = None
+            self._cache_state = None
 
     def output_dim(self, input_dim: int) -> int:
         if input_dim != self.n_qubits:

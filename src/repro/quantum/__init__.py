@@ -8,10 +8,18 @@ and execution (:mod:`~repro.quantum.circuit`), the paper's three templates
 (:mod:`~repro.quantum.measurements`) and two exact differentiation
 backends (:mod:`~repro.quantum.adjoint`,
 :mod:`~repro.quantum.parameter_shift`).
+
+Production execution goes through the compiled engine
+(:mod:`~repro.quantum.engine`): compile a circuit's structure once with
+:class:`~repro.quantum.engine.CompiledTape`, then execute it many times
+with only parameter values changing.  The tape-walking reference
+executor (:func:`~repro.quantum.circuit.run`) remains the semantics
+oracle the engine is differentially tested against.
 """
 
 from . import gates
 from .adjoint import adjoint_gradients
+from .engine import CompiledTape
 from .circuit import (
     GATE_SET,
     Operation,
@@ -28,10 +36,12 @@ from .measurements import (
     marginal_probabilities,
 )
 from .parameter_shift import (
+    compiled_parameter_shift_gradients,
     count_shifted_executions,
     parameter_shift_gradients,
 )
 from .state import (
+    abs2,
     apply_cnot,
     apply_cz,
     apply_single_qubit,
@@ -45,6 +55,7 @@ from .state import (
 )
 from .templates import (
     angle_embedding,
+    angle_embedding_structure,
     basic_entangler_layers,
     bel_param_count,
     bel_weight_shape,
@@ -67,7 +78,9 @@ __all__ = [
     "shift_parameter",
     "tape_summary",
     "adjoint_gradients",
+    "CompiledTape",
     "parameter_shift_gradients",
+    "compiled_parameter_shift_gradients",
     "count_shifted_executions",
     "expval_z",
     "apply_z_linear_combination",
@@ -80,9 +93,11 @@ __all__ = [
     "apply_two_qubit",
     "apply_cnot",
     "apply_cz",
+    "abs2",
     "norms",
     "probabilities",
     "angle_embedding",
+    "angle_embedding_structure",
     "basic_entangler_layers",
     "strongly_entangling_layers",
     "bel_weight_shape",

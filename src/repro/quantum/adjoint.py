@@ -28,7 +28,7 @@ import numpy as np
 from ..exceptions import GateError
 from .circuit import Operation, _apply_inverse
 from .measurements import apply_z_linear_combination
-from .state import apply_single_qubit, as_matrix
+from .state import apply_single_qubit, as_matrix, double_real_overlap
 
 __all__ = ["adjoint_gradients"]
 
@@ -84,11 +84,8 @@ def adjoint_gradients(
             for d_mat, ref in zip(derivs, op.refs):
                 if ref is None:
                     continue
-                d_ket = apply_single_qubit(ket, d_mat, wire)
-                inner = np.sum(
-                    np.conj(bra_flat) * as_matrix(d_ket), axis=1
-                )
-                per_sample = 2.0 * np.real(inner)
+                d_ket = as_matrix(apply_single_qubit(ket, d_mat, wire))
+                per_sample = double_real_overlap(bra_flat, d_ket)
                 if ref.kind == "input":
                     input_grads[:, ref.index] += per_sample
                 else:

@@ -78,12 +78,23 @@ def weight_ref(index: int) -> ParamRef:
 
 @dataclass(frozen=True)
 class GateInfo:
-    """Static description of a gate type."""
+    """Static description of a gate type.
+
+    ``basis_perm`` / ``basis_diag`` describe gates whose action on the
+    computational basis is a pure index permutation (CNOT, SWAP) or a
+    ``+-1`` diagonal (CZ).  The compiled execution engine
+    (:mod:`repro.quantum.engine`) uses them to run those gates as index
+    shuffles / sign flips on a flat buffer instead of matrix products;
+    ``basis_perm[j]`` is the source basis index contributing to target
+    basis index ``j`` of the gate's local ``|wire_a wire_b>`` ordering.
+    """
 
     n_wires: int
     n_params: int
     matrix_fn: Callable[..., np.ndarray] | None
     deriv_fn: Callable[..., tuple | np.ndarray] | None
+    basis_perm: tuple[int, ...] | None = None
+    basis_diag: tuple[int, ...] | None = None
 
 
 #: Registry of supported gates.  Fixed gates carry their constant matrix
@@ -102,9 +113,9 @@ GATE_SET: dict[str, GateInfo] = {
     "Z": GateInfo(1, 0, lambda: gates.PAULI_Z, None),
     "S": GateInfo(1, 0, lambda: gates.S_GATE, None),
     "T": GateInfo(1, 0, lambda: gates.T_GATE, None),
-    "CNOT": GateInfo(2, 0, None, None),
-    "CZ": GateInfo(2, 0, None, None),
-    "SWAP": GateInfo(2, 0, lambda: gates.SWAP, None),
+    "CNOT": GateInfo(2, 0, None, None, basis_perm=(0, 1, 3, 2)),
+    "CZ": GateInfo(2, 0, None, None, basis_diag=(1, 1, 1, -1)),
+    "SWAP": GateInfo(2, 0, lambda: gates.SWAP, None, basis_perm=(0, 2, 1, 3)),
     # Controlled rotations: fixed-parameter building blocks for custom
     # ansatze.  They have no analytic derivative rule registered, so
     # giving their parameter a gradient reference is rejected by the

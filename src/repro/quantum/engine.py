@@ -1,0 +1,666 @@
+"""Compiled circuit execution engine: compile once, execute many times.
+
+The reference executor (:func:`repro.quantum.circuit.run`) walks a tape of
+:class:`~repro.quantum.circuit.Operation` objects, rebuilding each gate's
+matrix and paying a ``moveaxis`` round-trip (two full-state copies) per
+gate application.  That is the right *reference* semantics but the wrong
+cost model for training: the paper's protocol executes the same circuit
+structure thousands of times per grid-search cell with only the parameter
+values changing.
+
+:class:`CompiledTape` separates the two phases:
+
+**Compile (once per circuit structure).**  The tape is analysed into a
+flat instruction program:
+
+* fixed-gate matrices are built once and cached;
+* runs of single-qubit gates acting on the same wire (with no intervening
+  multi-qubit gate touching that wire) are fused into one 2x2 — or
+  batched ``(B, 2, 2)`` — matrix, so e.g. an encoding rotation and the
+  first ansatz rotation on each wire cost a single kernel application;
+* CNOT / SWAP become precomputed full-register index permutations and CZ
+  becomes an in-place sign flip of a precomputed index set — no
+  floating-point matrix arithmetic and no ``state.copy()``;
+* per-wire reshape factors are precomputed so single-qubit kernels act on
+  a flat ``(B, 2**n)`` buffer through free ``(B, left, 2, right)``
+  reshape views instead of ``moveaxis`` copies.
+
+**Execute (per batch / parameter binding).**  ``execute`` binds parameter
+values into the compiled slots — data features through ``input``
+:class:`~repro.quantum.circuit.ParamRef` slots, trainable angles through
+``weight`` slots — computes all dynamic gate matrices in one vectorised
+call per gate type, and then streams the instruction program over a pair
+of preallocated ping-pong buffers.  No per-gate allocation happens on the
+hot path.  The compiled adjoint sweep (``adjoint_gradients``) reuses the
+recorded forward matrices and three more pooled buffers (bra, bra
+scratch, derivative scratch) across the whole reversed tape.
+
+The engine is differentially tested against the reference executor and
+:func:`repro.quantum.adjoint.adjoint_gradients` to 1e-12
+(``tests/quantum/test_engine.py``); the reference implementations remain
+the semantics oracle.
+
+Contract notes:
+
+* Buffers are owned by the engine and reused: the array returned by a
+  plain ``execute`` is only valid until the next ``execute`` call.  Copy
+  it (or use :meth:`CompiledTape.run`) if you need it to survive.
+* ``execute(record=True)`` keeps the bound matrices and final state for
+  a subsequent ``adjoint_gradients`` call; the recorded state owns its
+  buffers, so it survives intervening (e.g. evaluation) executes.  The
+  adjoint call releases the record when done — and buffer pools are
+  bounded to a few batch sizes — so long training runs do not pin the
+  largest batch in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import GateError, ShapeError
+from .circuit import GATE_SET, Operation
+from .state import abs2, apply_two_qubit, double_real_overlap
+
+__all__ = ["CompiledTape"]
+
+#: Buffer pools are kept for at most this many distinct batch sizes; the
+#: least recently used pool is evicted beyond that.  Bounds the memory a
+#: long-lived engine pins when it alternates minibatch training with
+#: full-dataset evaluation batches.
+_MAX_POOLS = 4
+
+# Instruction opcodes for the forward program.
+_F1Q = 0        # fused single-qubit gate, matrix precomputed at compile
+_F1Q_DYN = 1    # fused single-qubit gate, matrix combined per execution
+_FPERM = 2      # full-register index permutation (CNOT, SWAP)
+_FNEG = 3       # in-place sign flip of an index subset (CZ)
+_F2Q = 4        # general two-qubit matrix, precomputed
+_F2Q_DYN = 5    # general two-qubit matrix, bound per execution
+
+
+class _OpSpec:
+    """Per-operation compile-time record."""
+
+    __slots__ = ("name", "wires", "info", "defaults", "refs", "dynamic")
+
+    def __init__(self, op: Operation) -> None:
+        self.name = op.name
+        self.wires = op.wires
+        self.info = op.info
+        self.defaults = op.params
+        self.refs = op.refs
+        self.dynamic = any(r is not None for r in op.refs)
+
+
+class CompiledTape:
+    """A circuit compiled from its structure for repeated execution.
+
+    Parameters
+    ----------
+    ops:
+        The tape to compile.  Gate names, wires and ``ParamRef``s define
+        the *structure*; the operations' parameter values become the
+        defaults used when no binding is supplied (so
+        ``CompiledTape(ops, n).run()`` reproduces ``circuit.run(ops, n)``
+        exactly).
+    n_qubits:
+        Register width.
+    """
+
+    def __init__(self, ops: Sequence[Operation], n_qubits: int) -> None:
+        if n_qubits < 1:
+            raise ShapeError(f"need at least one qubit, got {n_qubits}")
+        self.n_qubits = n_qubits
+        self.dim = 2**n_qubits
+        self._specs = [_OpSpec(op) for op in ops]
+        self._validate_wires()
+
+        # Wire w of the flat (B, 2**n) buffer factors as
+        # (B, left, 2, right) with left = 2**w (wire 0 is the MSB).
+        self._lr = [
+            (2**w, 2 ** (n_qubits - 1 - w)) for w in range(n_qubits)
+        ]
+
+        # Z-expectation sign table: signs[w, k] = +1 if bit w of basis
+        # index k is 0 else -1.  Turns expval/adjoint seeding into one
+        # matmul against probabilities/amplitudes.
+        ks = np.arange(self.dim)
+        bits = (ks[None, :] >> (n_qubits - 1 - np.arange(n_qubits)[:, None])) & 1
+        self._z_signs = (1.0 - 2.0 * bits).astype(np.float64)
+
+        self._static_mats: dict[int, np.ndarray] = {}
+        self._dynamic: list[int] = []
+        self._dyn_groups: dict[str, list[int]] = {}
+        self._train_groups: dict[str, list[int]] = {}
+        self._adjoint_unsupported: dict[int, str] = {}
+        self._max_input = -1
+        self._max_weight = -1
+        # _default_batch: batch inferred when execute() gets no binding
+        # (any batched default).  _fixed_batch: hard constraint coming
+        # from batched parameters of *static* ops, whose matrices are
+        # precomputed at compile time and cannot be rebound.
+        self._default_batch = 1
+        self._fixed_batch = 1
+        self._classify()
+
+        self._program: list[tuple] = []
+        self._adj_program: list[tuple] = []
+        self._compile_program()
+
+        self._pools: dict[int, dict[str, list[np.ndarray]]] = {}
+        self._last: dict | None = None
+
+    # -- compilation -------------------------------------------------------
+
+    def _validate_wires(self) -> None:
+        for spec in self._specs:
+            for w in spec.wires:
+                if not 0 <= w < self.n_qubits:
+                    raise ShapeError(
+                        f"{spec.name} wire {w} out of range for "
+                        f"{self.n_qubits} qubits"
+                    )
+
+    def _classify(self) -> None:
+        for g, spec in enumerate(self._specs):
+            for ref, dflt in zip(spec.refs, spec.defaults):
+                if ref is not None:
+                    if ref.kind == "input":
+                        self._max_input = max(self._max_input, ref.index)
+                    else:
+                        self._max_weight = max(self._max_weight, ref.index)
+                if dflt.ndim == 1 and dflt.shape[0] > 1:
+                    if self._default_batch not in (1, dflt.shape[0]):
+                        raise ShapeError(
+                            f"inconsistent batched default parameters: "
+                            f"{self._default_batch} vs {dflt.shape[0]}"
+                        )
+                    self._default_batch = dflt.shape[0]
+                    if not spec.dynamic:
+                        self._fixed_batch = dflt.shape[0]
+            if spec.dynamic:
+                self._dynamic.append(g)
+                if spec.info.matrix_fn is not None:
+                    self._dyn_groups.setdefault(spec.name, []).append(g)
+                if len(spec.wires) != 1:
+                    self._adjoint_unsupported[g] = (
+                        f"adjoint differentiation supports single-qubit "
+                        f"parametrized gates, got {spec.name} on {spec.wires}"
+                    )
+                elif spec.info.deriv_fn is None:
+                    self._adjoint_unsupported[g] = (
+                        f"{spec.name} has no derivative rule"
+                    )
+                else:
+                    self._train_groups.setdefault(spec.name, []).append(g)
+            elif spec.info.matrix_fn is not None and (
+                spec.info.basis_perm is None and spec.info.basis_diag is None
+            ):
+                self._static_mats[g] = spec.info.matrix_fn(*spec.defaults)
+
+    def _full_perm(self, basis_perm, wire_a: int, wire_b: int) -> np.ndarray:
+        """Register-wide permutation: ``new[k] = old[perm[k]]``."""
+        n = self.n_qubits
+        sa, sb = n - 1 - wire_a, n - 1 - wire_b
+        ks = np.arange(self.dim)
+        j = (((ks >> sa) & 1) << 1) | ((ks >> sb) & 1)
+        pj = np.asarray(basis_perm)[j]
+        cleared = ks & ~((1 << sa) | (1 << sb))
+        return cleared | ((pj >> 1) << sa) | ((pj & 1) << sb)
+
+    def _negate_indices(self, basis_diag, wire_a: int, wire_b: int) -> np.ndarray:
+        """Indices whose sign flips under a ``+-1`` diagonal gate."""
+        n = self.n_qubits
+        sa, sb = n - 1 - wire_a, n - 1 - wire_b
+        ks = np.arange(self.dim)
+        j = (((ks >> sa) & 1) << 1) | ((ks >> sb) & 1)
+        return ks[np.asarray(basis_diag)[j] < 0]
+
+    def _flush(self, pending: dict[int, list[int]], wire: int) -> None:
+        members = pending.pop(wire, None)
+        if not members:
+            return
+        if all(m in self._static_mats for m in members):
+            mat = self._static_mats[members[0]]
+            for m in members[1:]:
+                mat = np.matmul(self._static_mats[m], mat)
+            self._program.append((_F1Q, wire, mat))
+        else:
+            self._program.append((_F1Q_DYN, wire, tuple(members)))
+
+    def _compile_program(self) -> None:
+        pending: dict[int, list[int]] = {}
+        for g, spec in enumerate(self._specs):
+            info = spec.info
+            if len(spec.wires) == 1 and info.matrix_fn is not None:
+                pending.setdefault(spec.wires[0], []).append(g)
+                self._adj_program.append(("m1", spec.wires[0]))
+                continue
+            for w in spec.wires:
+                self._flush(pending, w)
+            wa, wb = spec.wires
+            if info.basis_perm is not None:
+                perm = self._full_perm(info.basis_perm, wa, wb)
+                inv = np.argsort(perm)
+                self._program.append((_FPERM, perm))
+                self._adj_program.append(("perm", perm, inv))
+            elif info.basis_diag is not None:
+                idx = self._negate_indices(info.basis_diag, wa, wb)
+                self._program.append((_FNEG, idx))
+                self._adj_program.append(("neg", idx))
+            elif g in self._static_mats:
+                self._program.append((_F2Q, wa, wb, self._static_mats[g]))
+                self._adj_program.append(("m2", wa, wb))
+            else:
+                self._program.append((_F2Q_DYN, wa, wb, g))
+                self._adj_program.append(("m2", wa, wb))
+        for w in sorted(pending):
+            self._flush(pending, w)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_ops(self) -> int:
+        """Number of operations in the source tape."""
+        return len(self._specs)
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of compiled forward instructions (after fusion)."""
+        return len(self._program)
+
+    @property
+    def has_record(self) -> bool:
+        """Whether a recorded forward execution is pending a backward."""
+        return self._last is not None
+
+    def referenced_params(self) -> list[tuple[int, int, object]]:
+        """All ``(op_index, param_index, ref)`` triples with a live ref."""
+        out = []
+        for g, spec in enumerate(self._specs):
+            for p, ref in enumerate(spec.refs):
+                if ref is not None:
+                    out.append((g, p, ref))
+        return out
+
+    # -- parameter binding -------------------------------------------------
+
+    def _resolve_batch(self, inputs, batch) -> int:
+        if inputs is not None:
+            if batch is not None and batch != inputs.shape[0]:
+                raise ShapeError(
+                    f"batch {batch} != inputs batch {inputs.shape[0]}"
+                )
+            return inputs.shape[0]
+        if batch is not None:
+            return batch
+        return self._default_batch
+
+    def _resolve_values(
+        self, inputs, weights, batch, shifts
+    ) -> dict[int, list[np.ndarray]]:
+        values: dict[int, list[np.ndarray]] = {}
+        for g in self._dynamic:
+            spec = self._specs[g]
+            vals = []
+            for p, ref in enumerate(spec.refs):
+                if ref is not None and ref.kind == "input" and inputs is not None:
+                    v = inputs[:, ref.index]
+                elif (
+                    ref is not None
+                    and ref.kind == "weight"
+                    and weights is not None
+                ):
+                    v = weights[ref.index]
+                else:
+                    v = spec.defaults[p]
+                if v.ndim == 1 and v.shape[0] != batch:
+                    raise ShapeError(
+                        f"{spec.name} parameter batch {v.shape[0]} != "
+                        f"execution batch {batch}"
+                    )
+                if shifts is not None:
+                    delta = shifts.get((g, p))
+                    if delta is not None:
+                        v = v + delta
+                vals.append(v)
+            values[g] = vals
+        return values
+
+    def _grouped_matrices(
+        self,
+        groups: Mapping[str, list[int]],
+        values: Mapping[int, list[np.ndarray]],
+        batch: int,
+        deriv: bool = False,
+    ) -> dict[int, tuple[np.ndarray, ...]]:
+        """Vectorised matrix construction: one builder call per gate type.
+
+        Returns per-op tuples (one entry per parameter for ``deriv=True``,
+        a 1-tuple holding the gate matrix otherwise).
+        """
+        out: dict[int, tuple[np.ndarray, ...]] = {}
+        for name, group in groups.items():
+            info = GATE_SET[name]
+            fn = info.deriv_fn if deriv else info.matrix_fn
+            n_p = info.n_params
+            cols = [[values[g][p] for g in group] for p in range(n_p)]
+            batched = any(v.ndim == 1 for col in cols for v in col)
+            if batched:
+                args = []
+                for col in cols:
+                    a = np.empty((len(group), batch))
+                    for i, v in enumerate(col):
+                        a[i] = v
+                    args.append(a.reshape(-1))
+            else:
+                args = [np.array(col, dtype=np.float64) for col in cols]
+            result = fn(*args)
+            if not isinstance(result, tuple):
+                result = (result,)
+            per_op: list[np.ndarray] = []
+            for mats in result:
+                k = mats.shape[-1]
+                if batched:
+                    mats = mats.reshape(len(group), batch, k, k)
+                per_op.append(mats)
+            for i, g in enumerate(group):
+                out[g] = tuple(mats[i] for mats in per_op)
+        return out
+
+    def _mat_of(self, g: int, mats: Mapping[int, tuple]) -> np.ndarray:
+        entry = mats.get(g)
+        if entry is not None:
+            return entry[0]
+        return self._static_mats[g]
+
+    # -- buffers -----------------------------------------------------------
+
+    def _buffers(self, batch: int, kind: str, count: int) -> list[np.ndarray]:
+        pool = self._pools.get(batch)
+        if pool is None:
+            pool = self._pools[batch] = {}
+        else:
+            # Move to the end: dicts preserve insertion order, so the
+            # first key is always the least recently used pool.
+            self._pools[batch] = self._pools.pop(batch)
+        while len(self._pools) > _MAX_POOLS:
+            del self._pools[next(iter(self._pools))]
+        bufs = pool.get(kind)
+        if bufs is None:
+            bufs = [
+                np.empty((batch, self.dim), dtype=np.complex128)
+                for _ in range(count)
+            ]
+            pool[kind] = bufs
+        return bufs
+
+    # -- kernels -----------------------------------------------------------
+
+    def _apply_1q(self, mat, wire, src, dst, batch) -> None:
+        left, right = self._lr[wire]
+        s = src.reshape(batch, left, 2, right)
+        d = dst.reshape(batch, left, 2, right)
+        if mat.ndim == 2:
+            np.einsum("ij,bljr->blir", mat, s, out=d)
+        else:
+            np.einsum("bij,bljr->blir", mat, s, out=d)
+
+    def _apply_1q_inv(self, mat, wire, src, dst, batch) -> None:
+        left, right = self._lr[wire]
+        s = src.reshape(batch, left, 2, right)
+        d = dst.reshape(batch, left, 2, right)
+        if mat.ndim == 2:
+            np.einsum("ji,bljr->blir", mat.conj(), s, out=d)
+        else:
+            np.einsum("bji,bljr->blir", mat.conj(), s, out=d)
+
+    def _apply_2q(self, mat, wire_a, wire_b, src, dst, batch) -> None:
+        tensor = src.reshape((batch,) + (2,) * self.n_qubits)
+        out = apply_two_qubit(tensor, mat, wire_a, wire_b)
+        dst[:] = out.reshape(batch, self.dim)
+
+    def _combined(self, members, mats) -> np.ndarray:
+        mat = self._mat_of(members[0], mats)
+        for m in members[1:]:
+            mat = np.matmul(self._mat_of(m, mats), mat)
+        return mat
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        inputs: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+        batch: int | None = None,
+        shifts: Mapping[tuple[int, int], float] | None = None,
+        record: bool = False,
+    ) -> np.ndarray:
+        """Run the compiled program; return the final flat ``(B, 2**n)`` state.
+
+        ``inputs`` rebinds every ``input``-ref parameter from column
+        ``ref.index`` of a ``(B, n_features)`` array; ``weights`` rebinds
+        every ``weight``-ref parameter from a flat vector.  Parameters
+        without a binding keep the values baked in at compile time.
+        ``shifts`` adds a delta to individual ``(op_index, param_index)``
+        slots (the parameter-shift rule's hook).  The returned array is an
+        engine-owned buffer, valid only until the next ``execute``.
+        """
+        if inputs is not None:
+            inputs = np.asarray(inputs, dtype=np.float64)
+            if inputs.ndim != 2:
+                raise ShapeError(
+                    f"inputs must be (batch, n_features), got {inputs.shape}"
+                )
+            if inputs.shape[1] <= self._max_input:
+                raise ShapeError(
+                    f"tape references input {self._max_input}, inputs only "
+                    f"have {inputs.shape[1]} features"
+                )
+        if weights is not None:
+            weights = np.ravel(np.asarray(weights, dtype=np.float64))
+            if weights.size <= self._max_weight:
+                raise ShapeError(
+                    f"tape references weight {self._max_weight}, got "
+                    f"{weights.size} weights"
+                )
+        batch = self._resolve_batch(inputs, batch)
+        if batch < 1:
+            raise ShapeError(f"batch size must be positive, got {batch}")
+        if self._fixed_batch > 1 and batch != self._fixed_batch:
+            raise ShapeError(
+                f"tape has baked-in batched parameters of size "
+                f"{self._fixed_batch}, cannot execute with batch {batch}"
+            )
+        values = self._resolve_values(inputs, weights, batch, shifts)
+        mats = self._grouped_matrices(self._dyn_groups, values, batch)
+
+        buf, scratch = self._buffers(batch, "fwd", 2)
+        buf.fill(0.0)
+        buf[:, 0] = 1.0
+        for instr in self._program:
+            kind = instr[0]
+            if kind == _F1Q:
+                self._apply_1q(instr[2], instr[1], buf, scratch, batch)
+                buf, scratch = scratch, buf
+            elif kind == _F1Q_DYN:
+                mat = self._combined(instr[2], mats)
+                self._apply_1q(mat, instr[1], buf, scratch, batch)
+                buf, scratch = scratch, buf
+            elif kind == _FPERM:
+                np.take(buf, instr[1], axis=1, out=scratch)
+                buf, scratch = scratch, buf
+            elif kind == _FNEG:
+                buf[:, instr[1]] *= -1.0
+            elif kind == _F2Q:
+                self._apply_2q(instr[3], instr[1], instr[2], buf, scratch, batch)
+                buf, scratch = scratch, buf
+            else:  # _F2Q_DYN
+                mat = self._mat_of(instr[3], mats)
+                self._apply_2q(mat, instr[1], instr[2], buf, scratch, batch)
+                buf, scratch = scratch, buf
+        if record:
+            # The record takes exclusive ownership of this buffer pair:
+            # detaching it from the pool means later (e.g. inference)
+            # executes allocate fresh buffers instead of clobbering the
+            # recorded final state before backward consumes it.  The pair
+            # returns to the pool on release.
+            self._pools[batch].pop("fwd", None)
+            self._last = {
+                "batch": batch,
+                "mats": mats,
+                "values": values,
+                "final": buf,
+                "scratch": scratch,
+            }
+        else:
+            # Keep the fwd pool aligned with the post-swap buffer roles.
+            self._pools[batch]["fwd"] = [buf, scratch]
+        return buf
+
+    def run(
+        self,
+        inputs: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+        batch: int | None = None,
+    ) -> np.ndarray:
+        """Like :meth:`execute` but returns an owned ``(B, 2, ..., 2)`` copy
+
+        (the same layout as :func:`repro.quantum.circuit.run`).
+        """
+        state = self.execute(inputs=inputs, weights=weights, batch=batch)
+        b = state.shape[0]
+        return state.reshape((b,) + (2,) * self.n_qubits).copy()
+
+    def expvals(
+        self,
+        state: np.ndarray | None = None,
+        wires: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Per-wire Z expectations of a flat state (default: last final)."""
+        if state is None:
+            if self._last is None:
+                raise ShapeError("no state given and no recorded execution")
+            state = self._last["final"]
+        signs = self._z_signs
+        if wires is not None:
+            wires = list(wires)
+            for w in wires:
+                if not 0 <= w < self.n_qubits:
+                    raise ShapeError(
+                        f"wire {w} out of range for {self.n_qubits} qubits"
+                    )
+            signs = signs[wires]
+        return abs2(state) @ signs.T
+
+    # -- compiled adjoint --------------------------------------------------
+
+    def release(self) -> None:
+        """Drop the recorded forward execution.
+
+        The record's buffer pair goes back to the pool (replacing any
+        pair allocated in the meantime), so nothing beyond the bounded
+        pools stays pinned between training steps.
+        """
+        if self._last is not None:
+            pool = self._pools.get(self._last["batch"])
+            if pool is not None:
+                pool["fwd"] = [self._last["final"], self._last["scratch"]]
+            self._last = None
+
+    def _apply_adj_step(self, step, mats, src, dst, batch):
+        """Apply the inverse of one original op; return the live buffer pair."""
+        kind = step[0]
+        if kind == "m1":
+            self._apply_1q_inv(mats, step[1], src, dst, batch)
+            return dst, src
+        if kind == "perm":
+            np.take(src, step[2], axis=1, out=dst)
+            return dst, src
+        if kind == "neg":
+            src[:, step[1]] *= -1.0
+            return src, dst
+        # kind == "m2"
+        inv = np.conj(np.swapaxes(mats, -1, -2))
+        self._apply_2q(inv, step[1], step[2], src, dst, batch)
+        return dst, src
+
+    def adjoint_gradients(
+        self,
+        grad_out: np.ndarray,
+        n_inputs: int,
+        n_weights: int,
+        measure_wires: Sequence[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled version of :func:`repro.quantum.adjoint.adjoint_gradients`.
+
+        Consumes the execution recorded by ``execute(record=True)`` —
+        reusing its bound gate matrices — and releases it afterwards.
+        Returns per-sample ``input`` gradients ``(B, n_inputs)`` and
+        batch-summed ``weight`` gradients ``(n_weights,)``.
+        """
+        if self._last is None:
+            raise ShapeError(
+                "adjoint_gradients needs a recorded forward; call "
+                "execute(record=True) first"
+            )
+        for g, reason in self._adjoint_unsupported.items():
+            if self._specs[g].dynamic:
+                raise GateError(reason)
+        last = self._last
+        batch, mats, values = last["batch"], last["mats"], last["values"]
+        ket, kscr = last["final"], last["scratch"]
+        bra, bscr, dket = self._buffers(batch, "adj", 3)
+
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        signs = self._z_signs
+        if measure_wires is not None:
+            signs = signs[list(measure_wires)]
+        if grad_out.shape != (batch, signs.shape[0]):
+            raise ShapeError(
+                f"grad_out must be ({batch}, {signs.shape[0]}), "
+                f"got {grad_out.shape}"
+            )
+        # Seed |bra_b> = (sum_k g_bk Z_k)|psi_b>: the Z combination is a
+        # diagonal, so it is one matmul against the sign table followed by
+        # an elementwise product with the final state.
+        np.multiply(grad_out @ signs, ket, out=bra)
+
+        derivs = self._grouped_matrices(
+            self._train_groups, values, batch, deriv=True
+        )
+        input_grads = np.zeros((batch, n_inputs), dtype=np.float64)
+        weight_grads = np.zeros(n_weights, dtype=np.float64)
+
+        for g in range(len(self._specs) - 1, -1, -1):
+            spec = self._specs[g]
+            step = self._adj_program[g]
+            gate_mat = (
+                self._mat_of(g, mats)
+                if step[0] in ("m1", "m2")
+                else None
+            )
+            ket, kscr = self._apply_adj_step(step, gate_mat, ket, kscr, batch)
+            d_entry = derivs.get(g)
+            if d_entry is not None:
+                wire = spec.wires[0]
+                for d_mat, ref in zip(d_entry, spec.refs):
+                    if ref is None:
+                        continue
+                    self._apply_1q(d_mat, wire, ket, dket, batch)
+                    per_sample = double_real_overlap(bra, dket)
+                    if ref.kind == "input":
+                        input_grads[:, ref.index] += per_sample
+                    else:
+                        weight_grads[ref.index] += per_sample.sum()
+            bra, bscr = self._apply_adj_step(step, gate_mat, bra, bscr, batch)
+
+        pool = self._pools.get(batch)
+        if pool is not None:
+            pool["adj"] = [bra, bscr, dket]
+            # Return the record's buffer pair to the pool for reuse.
+            pool["fwd"] = [ket, kscr]
+        self._last = None
+        return input_grads, weight_grads

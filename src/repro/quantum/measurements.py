@@ -11,7 +11,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ShapeError, WireError
-from .state import as_matrix, num_qubits
+from .state import abs2, num_qubits
 
 __all__ = ["expval_z", "apply_z_linear_combination", "marginal_probabilities"]
 
@@ -30,7 +30,7 @@ def expval_z(
     for w in wires:
         if not 0 <= w < n:
             raise WireError(f"wire {w} out of range for {n} qubits")
-    probs = np.abs(state) ** 2
+    probs = abs2(state)
     out = np.empty((state.shape[0], len(wires)), dtype=np.float64)
     axes = tuple(range(1, n + 1))
     for j, w in enumerate(wires):
@@ -74,6 +74,6 @@ def marginal_probabilities(state: np.ndarray, wire: int) -> np.ndarray:
     n = num_qubits(state)
     if not 0 <= wire < n:
         raise WireError(f"wire {wire} out of range for {n} qubits")
-    probs = np.abs(state) ** 2
+    probs = abs2(state)
     reduce_axes = tuple(a for a in range(1, n + 1) if a != wire + 1)
     return probs.sum(axis=reduce_axes)

@@ -28,6 +28,8 @@ __all__ = [
     "apply_cnot",
     "apply_cz",
     "apply_two_qubit",
+    "abs2",
+    "double_real_overlap",
     "norms",
     "probabilities",
 ]
@@ -171,13 +173,34 @@ def apply_two_qubit(
     return np.moveaxis(out, (-2, -1), (wire_a + 1, wire_b + 1))
 
 
+def abs2(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``|z|**2`` as ``re**2 + im**2``.
+
+    Cheaper than ``np.abs(z) ** 2``, which materialises an intermediate
+    ``sqrt`` only to square it away again.
+    """
+    return values.real**2 + values.imag**2
+
+
+def double_real_overlap(bra: np.ndarray, ket: np.ndarray) -> np.ndarray:
+    """``2 Re <bra_b|ket_b>`` per sample for flat ``(B, 2**n)`` states.
+
+    Uses ``Re(conj(a) b) = Re(a) Re(b) + Im(a) Im(b)`` so no complex
+    conjugate intermediate is materialised.  This is the gate-gradient
+    contraction of the adjoint method.
+    """
+    return 2.0 * (
+        np.einsum("bi,bi->b", bra.real, ket.real)
+        + np.einsum("bi,bi->b", bra.imag, ket.imag)
+    )
+
+
 def norms(state: np.ndarray) -> np.ndarray:
     """Per-sample L2 norms, shape ``(B,)``."""
     flat = as_matrix(state)
-    return np.sqrt(np.sum(np.abs(flat) ** 2, axis=1))
+    return np.sqrt(np.sum(abs2(flat), axis=1))
 
 
 def probabilities(state: np.ndarray) -> np.ndarray:
     """Per-sample computational-basis probabilities, shape ``(B, 2**n)``."""
-    flat = as_matrix(state)
-    return np.abs(flat) ** 2
+    return abs2(as_matrix(state))

@@ -27,6 +27,7 @@ from .circuit import Operation, input_ref, weight_ref
 
 __all__ = [
     "angle_embedding",
+    "angle_embedding_structure",
     "basic_entangler_layers",
     "strongly_entangling_layers",
     "bel_weight_shape",
@@ -72,6 +73,27 @@ def angle_embedding(
     return [
         Operation(name, (w,), (features[:, w],), (input_ref(w),))
         for w in range(k)
+    ]
+
+
+def angle_embedding_structure(
+    n_features: int, n_qubits: int, rotation: str = "Y"
+) -> list[Operation]:
+    """Structural (placeholder-angle) version of :func:`angle_embedding`.
+
+    Used to compile a circuit once before any data is seen: each encoding
+    gate carries a zero placeholder angle plus the ``input`` ref that the
+    compiled engine (:mod:`repro.quantum.engine`) rebinds per batch.
+    """
+    if n_features > n_qubits:
+        raise ShapeError(
+            f"{n_features} features need {n_features} qubits, "
+            f"register only has {n_qubits}"
+        )
+    name = _rotation_name(rotation)
+    return [
+        Operation(name, (w,), (0.0,), (input_ref(w),))
+        for w in range(n_features)
     ]
 
 

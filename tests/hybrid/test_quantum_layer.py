@@ -77,6 +77,35 @@ class TestForward:
             layer.output_dim(2)
 
 
+class TestEngineFallback:
+    def test_unrebindable_per_sample_params_use_reference_path(self, rng):
+        """A custom tape with per-sample params but no input refs cannot
+        be rebound by the engine — even when the first forward has batch
+        1 — and must fall back to the reference executor."""
+        from repro.quantum import Operation, expval_z, run
+
+        class BakedLayer(QuantumLayer):
+            def build_tape(self, x):
+                # Data baked in WITHOUT input refs: unrebindable.
+                return [
+                    Operation("RY", (w,), (x[:, w],))
+                    for w in range(self.n_qubits)
+                ]
+
+        layer = BakedLayer(2, 1, rng=rng)
+        x1 = rng.uniform(-1, 1, (1, 2))
+        out1 = layer.forward(x1)
+        assert layer._engine is None and layer._engine_disabled
+        expected1 = expval_z(run(layer.build_tape(x1), 2, 1))
+        assert np.allclose(out1, expected1, atol=1e-12)
+        # Later calls with different data/batch still track the data.
+        x2 = rng.uniform(-1, 1, (4, 2))
+        out2 = layer.forward(x2)
+        expected2 = expval_z(run(layer.build_tape(x2), 2, 4))
+        assert np.allclose(out2, expected2, atol=1e-12)
+        assert not np.allclose(out2, np.broadcast_to(out1, out2.shape))
+
+
 class TestBackward:
     def test_requires_training_forward(self, rng):
         layer = QuantumLayer(2, 1, rng=rng)
@@ -103,6 +132,20 @@ class TestBackward:
         dx_s = shf.backward(grad)
         assert np.allclose(dx_a, dx_s, atol=1e-10)
         assert np.allclose(adj.grads[0], shf.grads[0], atol=1e-10)
+
+    def test_eval_forward_between_training_forward_and_backward(self, rng):
+        """A metric/eval forward must not corrupt the pending backward."""
+        x = rng.uniform(-1, 1, (3, 2))
+        g = rng.standard_normal((3, 2))
+        layer = QuantumLayer(2, 2, rng=np.random.default_rng(9))
+        ref = QuantumLayer(2, 2, rng=np.random.default_rng(9))
+        ref.forward(x, training=True)
+        dx_ref = ref.backward(g)
+        layer.forward(x, training=True)
+        layer.forward(rng.uniform(-1, 1, (7, 2)))  # inference pass
+        dx = layer.backward(g)
+        assert np.allclose(dx, dx_ref, atol=1e-12)
+        assert np.allclose(layer.grads[0], ref.grads[0], atol=1e-12)
 
     def test_grads_accumulate(self, rng):
         layer = QuantumLayer(2, 1, rng=rng)

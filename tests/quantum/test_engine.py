@@ -1,0 +1,360 @@
+"""Differential tests: the compiled engine vs the reference executor.
+
+The reference implementations (:func:`repro.quantum.circuit.run`,
+:func:`repro.quantum.adjoint.adjoint_gradients`,
+:func:`repro.quantum.parameter_shift.parameter_shift_gradients`) are the
+semantics oracle; :class:`repro.quantum.engine.CompiledTape` must match
+them to 1e-12 on randomized tapes covering every gate in ``GATE_SET``,
+shared and per-sample ``(B,)`` parameters, and both of the paper's
+ansatze.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError, ShapeError
+from repro.quantum import (
+    GATE_SET,
+    CompiledTape,
+    Operation,
+    adjoint_gradients,
+    angle_embedding,
+    angle_embedding_structure,
+    basic_entangler_layers,
+    compiled_parameter_shift_gradients,
+    expval_z,
+    input_ref,
+    parameter_shift_gradients,
+    random_bel_weights,
+    random_sel_weights,
+    run,
+    strongly_entangling_layers,
+    weight_ref,
+)
+
+ATOL = 1e-12
+
+#: Gates the adjoint backend can differentiate.
+_ADJOINT_GATES = ("RX", "RY", "RZ", "Rot")
+
+
+def random_tape(rng, n_qubits, batch, n_ops=12, with_refs=False):
+    """A random tape drawing every gate type, mixing shared and (B,) params.
+
+    With ``with_refs`` the differentiable single-qubit rotations get
+    input/weight refs; returns ``(ops, n_inputs, n_weights)``.
+    """
+    names = list(GATE_SET)
+    ops = []
+    n_inputs = n_qubits
+    next_weight = 0
+    for _ in range(n_ops):
+        name = names[rng.integers(len(names))]
+        info = GATE_SET[name]
+        wires = tuple(
+            rng.choice(n_qubits, size=info.n_wires, replace=False).tolist()
+        )
+        params = []
+        refs = []
+        for _ in range(info.n_params):
+            if rng.random() < 0.5:
+                params.append(rng.uniform(-np.pi, np.pi, size=batch))
+            else:
+                params.append(rng.uniform(-np.pi, np.pi))
+            refs.append(None)
+        if with_refs and name in _ADJOINT_GATES:
+            for p in range(info.n_params):
+                roll = rng.random()
+                if roll < 0.4:
+                    refs[p] = input_ref(int(rng.integers(n_inputs)))
+                elif roll < 0.8:
+                    refs[p] = weight_ref(next_weight)
+                    next_weight += 1
+        ops.append(Operation(name, wires, tuple(params), tuple(refs)))
+    return ops, n_inputs, max(next_weight, 1)
+
+
+def covering_tape(batch):
+    """A fixed 3-qubit tape that applies every gate in GATE_SET once."""
+    ops = []
+    for name, info in GATE_SET.items():
+        wires = (0,) if info.n_wires == 1 else (0, 1)
+        params = tuple(
+            np.linspace(0.3, 0.9, info.n_params) + 0.1 * len(ops)
+        ) if info.n_params else ()
+        ops.append(Operation(name, wires, params))
+        # Exercise the other wire orderings / batched params too.
+        if info.n_wires == 2:
+            ops.append(
+                Operation(
+                    name,
+                    (2, 0),
+                    tuple(
+                        np.full(batch, 0.4 + 0.05 * k)
+                        for k in range(info.n_params)
+                    ),
+                )
+            )
+    return ops
+
+
+class TestForwardDifferential:
+    def test_every_gate_once(self):
+        batch = 5
+        ops = covering_tape(batch)
+        assert set(op.name for op in ops) == set(GATE_SET)
+        ref = run(ops, 3, batch)
+        got = CompiledTape(ops, 3).run(batch=batch)
+        np.testing.assert_allclose(got, ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_tapes(self, seed):
+        rng = np.random.default_rng(seed)
+        n_qubits = int(rng.integers(2, 5))
+        batch = int(rng.integers(1, 7))
+        ops, _, _ = random_tape(rng, n_qubits, batch)
+        ref = run(ops, n_qubits, batch)
+        got = CompiledTape(ops, n_qubits).run(batch=batch)
+        np.testing.assert_allclose(got, ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("ansatz", ["bel", "sel"])
+    def test_paper_ansatze(self, ansatz, rng):
+        n_qubits, batch, layers = 4, 6, 3
+        x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+        if ansatz == "bel":
+            w = random_bel_weights(layers, n_qubits, rng)
+            tape = angle_embedding(x, n_qubits) + basic_entangler_layers(
+                w, n_qubits
+            )
+        else:
+            w = random_sel_weights(layers, n_qubits, rng)
+            tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+                w, n_qubits
+            )
+        ref = run(tape, n_qubits, batch)
+        engine = CompiledTape(tape, n_qubits)
+        # Default-bound execution and explicit rebinding must both match.
+        np.testing.assert_allclose(engine.run(), ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(
+            engine.run(inputs=x, weights=w.ravel()), ref, atol=ATOL, rtol=0
+        )
+
+    def test_structural_compile_then_bind(self, rng):
+        """Compile from placeholder angles, bind real data afterwards."""
+        n_qubits, batch = 3, 4
+        w = random_sel_weights(2, n_qubits, rng)
+        structure = angle_embedding_structure(
+            n_qubits, n_qubits
+        ) + strongly_entangling_layers(w, n_qubits)
+        engine = CompiledTape(structure, n_qubits)
+        for _ in range(3):
+            x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+            w2 = random_sel_weights(2, n_qubits, rng)
+            tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+                w2, n_qubits
+            )
+            ref = run(tape, n_qubits, batch)
+            got = engine.run(inputs=x, weights=w2.ravel())
+            np.testing.assert_allclose(got, ref, atol=ATOL, rtol=0)
+
+    def test_fusion_shrinks_program(self, rng):
+        w = random_sel_weights(2, 4, rng)
+        x = rng.uniform(-1, 1, (8, 4))
+        tape = angle_embedding(x, 4) + strongly_entangling_layers(w, 4)
+        engine = CompiledTape(tape, 4)
+        # Encoding RY fuses with the first layer's Rot on each wire.
+        assert engine.n_instructions < engine.n_ops
+
+    def test_expvals_match_measurements(self, rng):
+        batch = 5
+        ops = covering_tape(batch)
+        engine = CompiledTape(ops, 3)
+        state = engine.execute(batch=batch)
+        ref_state = run(ops, 3, batch)
+        np.testing.assert_allclose(
+            engine.expvals(state), expval_z(ref_state), atol=ATOL, rtol=0
+        )
+        np.testing.assert_allclose(
+            engine.expvals(state, wires=[2, 0]),
+            expval_z(ref_state, wires=[2, 0]),
+            atol=ATOL,
+            rtol=0,
+        )
+
+
+class TestAdjointDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_tapes(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n_qubits = int(rng.integers(2, 5))
+        batch = int(rng.integers(1, 7))
+        ops, n_inputs, n_weights = random_tape(
+            rng, n_qubits, batch, with_refs=True
+        )
+        grad = rng.standard_normal((batch, n_qubits))
+        final = run(ops, n_qubits, batch)
+        ig_ref, wg_ref = adjoint_gradients(
+            ops, final, grad, n_inputs, n_weights
+        )
+        engine = CompiledTape(ops, n_qubits)
+        engine.execute(batch=batch, record=True)
+        ig, wg = engine.adjoint_gradients(grad, n_inputs, n_weights)
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("ansatz", ["bel", "sel"])
+    def test_paper_ansatze(self, ansatz, rng):
+        n_qubits, batch, layers = 3, 5, 2
+        x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+        if ansatz == "bel":
+            w = random_bel_weights(layers, n_qubits, rng)
+            tape = angle_embedding(x, n_qubits) + basic_entangler_layers(
+                w, n_qubits
+            )
+        else:
+            w = random_sel_weights(layers, n_qubits, rng)
+            tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+                w, n_qubits
+            )
+        grad = rng.standard_normal((batch, n_qubits))
+        final = run(tape, n_qubits, batch)
+        ig_ref, wg_ref = adjoint_gradients(
+            tape, final, grad, n_qubits, w.size
+        )
+        engine = CompiledTape(tape, n_qubits)
+        engine.execute(inputs=x, weights=w.ravel(), record=True)
+        ig, wg = engine.adjoint_gradients(grad, n_qubits, w.size)
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+    def test_record_released_after_backward(self, rng):
+        x = rng.uniform(-1, 1, (3, 2))
+        w = random_bel_weights(1, 2, rng)
+        tape = angle_embedding(x, 2) + basic_entangler_layers(w, 2)
+        engine = CompiledTape(tape, 2)
+        engine.execute(record=True)
+        assert engine.has_record
+        engine.adjoint_gradients(np.ones((3, 2)), 2, w.size)
+        assert not engine.has_record
+        with pytest.raises(ShapeError):
+            engine.adjoint_gradients(np.ones((3, 2)), 2, w.size)
+
+    def test_record_survives_intervening_execute(self, rng):
+        """An inference execute between a recorded forward and backward
+        (e.g. a metric callback) must not corrupt the recorded state."""
+        x = rng.uniform(-1, 1, (3, 2))
+        w = random_bel_weights(1, 2, rng)
+        tape = angle_embedding(x, 2) + basic_entangler_layers(w, 2)
+        grad = rng.standard_normal((3, 2))
+        final = run(tape, 2, 3)
+        ig_ref, wg_ref = adjoint_gradients(tape, final, grad, 2, w.size)
+
+        engine = CompiledTape(tape, 2)
+        engine.execute(record=True)
+        other = rng.uniform(-1, 1, (3, 2))
+        engine.execute(inputs=other)  # same batch: would reuse buffers
+        engine.execute(inputs=rng.uniform(-1, 1, (5, 2)))  # different batch
+        ig, wg = engine.adjoint_gradients(grad, 2, w.size)
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+    def test_multi_qubit_trainable_rejected(self):
+        ops = [Operation("CRX", (0, 1), (0.3,), (weight_ref(0),))]
+        engine = CompiledTape(ops, 2)
+        engine.execute(batch=1, record=True)
+        with pytest.raises(GateError):
+            engine.adjoint_gradients(np.ones((1, 2)), 1, 1)
+
+
+class TestCompiledParameterShift:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n_qubits, batch = 3, 4
+        ops, n_inputs, n_weights = random_tape(
+            rng, n_qubits, batch, n_ops=8, with_refs=True
+        )
+        grad = rng.standard_normal((batch, n_qubits))
+        ig_ref, wg_ref = parameter_shift_gradients(
+            ops, n_qubits, batch, grad, n_inputs, n_weights
+        )
+        engine = CompiledTape(ops, n_qubits)
+        ig, wg = compiled_parameter_shift_gradients(
+            engine, grad, n_inputs, n_weights, batch=batch
+        )
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+    def test_with_bindings(self, rng):
+        n_qubits, batch = 3, 5
+        x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+        w = random_sel_weights(2, n_qubits, rng)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        grad = rng.standard_normal((batch, n_qubits))
+        ig_ref, wg_ref = parameter_shift_gradients(
+            tape, n_qubits, batch, grad, n_qubits, w.size
+        )
+        structure = angle_embedding_structure(
+            n_qubits, n_qubits
+        ) + strongly_entangling_layers(w, n_qubits)
+        engine = CompiledTape(structure, n_qubits)
+        ig, wg = compiled_parameter_shift_gradients(
+            engine,
+            grad,
+            n_qubits,
+            w.size,
+            inputs=x,
+            weights=w.ravel(),
+        )
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+
+class TestValidation:
+    def test_bad_wire(self):
+        with pytest.raises(ShapeError):
+            CompiledTape([Operation("H", (2,))], 2)
+
+    def test_bad_batch(self):
+        engine = CompiledTape([Operation("H", (0,))], 1)
+        with pytest.raises(ShapeError):
+            engine.execute(batch=0)
+
+    def test_too_few_input_features(self):
+        ops = [Operation("RY", (0,), (0.0,), (input_ref(3),))]
+        engine = CompiledTape(ops, 1)
+        with pytest.raises(ShapeError):
+            engine.execute(inputs=np.zeros((2, 2)))
+
+    def test_too_few_weights(self):
+        ops = [Operation("RY", (0,), (0.0,), (weight_ref(5),))]
+        engine = CompiledTape(ops, 1)
+        with pytest.raises(ShapeError):
+            engine.execute(weights=np.zeros(3), batch=1)
+
+    def test_baked_batch_conflict(self, rng):
+        # A (B,)-shaped parameter without a ref is baked in at compile
+        # time and pins the execution batch.
+        ops = [Operation("RY", (0,), (rng.uniform(size=4),))]
+        engine = CompiledTape(ops, 1)
+        assert engine.run().shape[0] == 4
+        with pytest.raises(ShapeError):
+            engine.execute(batch=3)
+
+    def test_buffer_pools_bounded(self, rng):
+        x = rng.uniform(-1, 1, (3, 2))
+        tape = angle_embedding(x, 2)
+        engine = CompiledTape(tape, 2)
+        for batch in range(1, 12):
+            engine.execute(inputs=rng.uniform(-1, 1, (batch, 2)))
+        assert len(engine._pools) <= 4
+
+    def test_grad_shape_checked(self, rng):
+        x = rng.uniform(-1, 1, (3, 2))
+        tape = angle_embedding(x, 2)
+        engine = CompiledTape(tape, 2)
+        engine.execute(record=True)
+        with pytest.raises(ShapeError):
+            engine.adjoint_gradients(np.ones((3, 5)), 2, 1)
