@@ -37,7 +37,7 @@ def git_revision() -> str:
             check=True,
         ).stdout.strip()
         dirty = subprocess.run(
-            ["git", "status", "--porcelain"],
+            ["git", "status", "--porcelain", "--untracked-files=no"],
             cwd=REPO,
             capture_output=True,
             text=True,
