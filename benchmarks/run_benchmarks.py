@@ -9,7 +9,7 @@ trajectory that reviews can diff instead of re-measuring.
 
 Usage:
 
-    python benchmarks/run_benchmarks.py            # substrate micro suite
+    python benchmarks/run_benchmarks.py            # micro + grid-search suites
     python benchmarks/run_benchmarks.py --full     # every benchmark file
     python benchmarks/run_benchmarks.py --out PATH # explicit output path
 """
@@ -55,6 +55,9 @@ def condense(raw: dict) -> dict:
         "datetime": raw.get("datetime"),
         "python": machine.get("python_version"),
         "machine": machine.get("machine"),
+        # Host-unique: lets snapshot diffs tell "same arch, different
+        # box" apart from a genuine same-machine regression.
+        "node": machine.get("node"),
         "cpu_count": os.cpu_count(),
         "benchmarks": {},
     }
@@ -82,7 +85,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    target = "benchmarks" if args.full else "benchmarks/test_substrate_micro.py"
+    targets = (
+        ["benchmarks"]
+        if args.full
+        else [
+            "benchmarks/test_substrate_micro.py",
+            "benchmarks/test_grid_search_parallel.py",
+        ]
+    )
     rev = git_revision()
     out_path = args.out or REPO / "benchmarks" / f"BENCH_{rev}.json"
 
@@ -98,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
                 sys.executable,
                 "-m",
                 "pytest",
-                target,
+                *targets,
                 "--benchmark-only",
                 f"--benchmark-json={raw_path}",
                 "-q",

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Guard against hot-path performance regressions between snapshots.
+
+Compares the two most recent ``benchmarks/BENCH_<rev>.json`` snapshots
+(by their recorded ``datetime``) and fails when any benchmark present in
+both slowed down by more than the threshold (default 20% on mean
+runtime).  Benchmarks that appear in only one snapshot are reported but
+never fail the check, so adding or retiring benchmarks stays painless.
+
+Usage:
+
+    python scripts/check_bench_regression.py                 # latest two
+    python scripts/check_bench_regression.py OLD.json NEW.json
+    python scripts/check_bench_regression.py --threshold 0.3
+
+Snapshots taken on different machines (``machine``/``cpu_count``
+mismatch) only warn: wall-clock deltas across hardware are not
+regressions.  Pass ``--strict`` to fail anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+
+def load_snapshot(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text())
+    data["_path"] = path
+    return data
+
+
+def latest_two() -> tuple[dict, dict]:
+    """The two most recent snapshots, oldest first."""
+    snapshots = sorted(
+        (load_snapshot(p) for p in BENCH_DIR.glob("BENCH_*.json")),
+        key=lambda s: s.get("datetime") or "",
+    )
+    if len(snapshots) < 2:
+        raise SystemExit(
+            f"need at least two BENCH_*.json snapshots under {BENCH_DIR}, "
+            f"found {len(snapshots)}"
+        )
+    return snapshots[-2], snapshots[-1]
+
+
+def compare(old: dict, new: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing mean runtimes."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    for name in sorted(set(old_benches) | set(new_benches)):
+        if name not in new_benches:
+            notes.append(f"retired: {name}")
+            continue
+        if name not in old_benches:
+            notes.append(f"new: {name}")
+            continue
+        before = old_benches[name]["mean_s"]
+        after = new_benches[name]["mean_s"]
+        if before <= 0:
+            continue
+        ratio = after / before
+        line = f"{name}: {before * 1e6:.0f}us -> {after * 1e6:.0f}us ({ratio:.2f}x)"
+        if ratio > 1.0 + threshold:
+            regressions.append(line)
+        else:
+            notes.append(line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "snapshots",
+        nargs="*",
+        type=pathlib.Path,
+        help="explicit OLD NEW snapshot paths (default: latest two by date)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown on mean runtime (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regressions even across different machines",
+    )
+    args = parser.parse_args(argv)
+
+    if args.snapshots and len(args.snapshots) != 2:
+        parser.error("pass either no snapshot paths or exactly two (OLD NEW)")
+    if args.snapshots:
+        old, new = (load_snapshot(p) for p in args.snapshots)
+    else:
+        old, new = latest_two()
+
+    print(f"old: {old['_path'].name} ({old.get('datetime')})")
+    print(f"new: {new['_path'].name} ({new.get('datetime')})")
+
+    # Same arch + core count on two different hosts is still a different
+    # machine; `node` (hostname) disambiguates.  Snapshots predating the
+    # node field compare as cross-machine (warn-only), which is the
+    # conservative direction.
+    same_machine = (
+        old.get("node") is not None
+        and old.get("node") == new.get("node")
+        and old.get("machine") == new.get("machine")
+        and old.get("cpu_count") == new.get("cpu_count")
+    )
+    regressions, notes = compare(old, new, args.threshold)
+    for line in notes:
+        print(f"  {line}")
+    if not regressions:
+        print("no hot-path regressions")
+        return 0
+    print(f"\n{len(regressions)} benchmark(s) slower than "
+          f"{100 * args.threshold:.0f}% tolerance:")
+    for line in regressions:
+        print(f"  REGRESSION {line}")
+    if not same_machine and not args.strict:
+        print(
+            "snapshots come from different machines; reporting only "
+            "(use --strict to fail)"
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,9 @@ only, everything the study needs:
 * :mod:`repro.core` — the benchmarking methodology: search spaces,
   FLOPs-sorted grid search, the 5x5 experiment protocol and the
   rate-of-increase comparison;
+* :mod:`repro.runtime` — the parallel search runtime: process-pool
+  execution of (candidate, run) training jobs with speculative
+  FLOPs-order semantics, bit-identical to the sequential search;
 * :mod:`repro.experiments` — drivers that regenerate every figure and
   table of the paper's evaluation.
 
@@ -37,7 +40,18 @@ Quickstart::
     print(profile_model(model).summary())
 """
 
-from . import config, core, data, experiments, flops, hybrid, nn, paperdata, quantum
+from . import (
+    config,
+    core,
+    data,
+    experiments,
+    flops,
+    hybrid,
+    nn,
+    paperdata,
+    quantum,
+    runtime,
+)
 from .core import (
     ClassicalSpec,
     HybridSpec,
@@ -63,6 +77,7 @@ __all__ = [
     "nn",
     "paperdata",
     "quantum",
+    "runtime",
     "make_spiral",
     "stratified_split",
     "build_classical_model",

@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for cached protocol results (reused across drivers)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per grid search (1 = sequential, 0 = all "
+        "cores); results are identical for any value, only wall time "
+        "changes",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -78,7 +87,9 @@ def _progress_printer(quiet: bool):
     return emit
 
 
-def _dispatch(name: str, profile: str, cache: str | None, quiet: bool) -> str:
+def _dispatch(
+    name: str, profile: str, cache: str | None, quiet: bool, workers: int = 1
+) -> str:
     progress = _progress_printer(quiet)
     if name == "fig4":
         return fig4_dataset_complexity.render(
@@ -86,28 +97,38 @@ def _dispatch(name: str, profile: str, cache: str | None, quiet: bool) -> str:
         )
     if name == "fig6":
         return fig6_classical_flops.render(
-            fig6_classical_flops.run(profile, cache_dir=cache, progress=progress)
+            fig6_classical_flops.run(
+                profile, cache_dir=cache, progress=progress, workers=workers
+            )
         )
     if name == "fig7":
         return fig7_bel_flops.render(
-            fig7_bel_flops.run(profile, cache_dir=cache, progress=progress)
+            fig7_bel_flops.run(
+                profile, cache_dir=cache, progress=progress, workers=workers
+            )
         )
     if name == "fig8":
         return fig8_sel_flops.render(
-            fig8_sel_flops.run(profile, cache_dir=cache, progress=progress)
+            fig8_sel_flops.run(
+                profile, cache_dir=cache, progress=progress, workers=workers
+            )
         )
     if name == "fig9":
         return fig9_parameters.render(
-            fig9_parameters.run(profile, cache_dir=cache, progress=progress)
+            fig9_parameters.run(
+                profile, cache_dir=cache, progress=progress, workers=workers
+            )
         )
     if name == "fig10":
         results = fig10_comparative.run(
-            profile, cache_dir=cache, progress=progress
+            profile, cache_dir=cache, progress=progress, workers=workers
         )
         return fig10_comparative.render(fig10_comparative.analyze(results))
     if name == "table1":
         return table1_ablation.render(
-            table1_ablation.run(profile, cache_dir=cache, progress=progress)
+            table1_ablation.run(
+                profile, cache_dir=cache, progress=progress, workers=workers
+            )
         )
     raise AssertionError(f"unhandled experiment {name!r}")
 
@@ -117,7 +138,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     targets = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for target in targets:
-        print(_dispatch(target, args.profile, args.cache, args.quiet))
+        print(
+            _dispatch(
+                target, args.profile, args.cache, args.quiet, args.workers
+            )
+        )
         print()
     return 0
 

@@ -58,6 +58,11 @@ class ProtocolConfig:
     convention: str = "paper"
     dataset_seed: int = 0
     base_seed: int = 0
+    #: Worker processes per grid search: 1 (default) = in-process
+    #: sequential, 0 = all cores, N > 1 = that many processes; negative
+    #: values are rejected.  Any value yields the same results; workers
+    #: only change wall time.
+    workers: int = 1
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -200,6 +205,7 @@ def run_protocol(
                 convention=cfg.convention,
                 seed=_level_seed(cfg, feature_size, experiment),
                 max_candidates=cfg.max_candidates,
+                workers=cfg.workers,
             )
             level.outcomes.append(outcome)
             if progress is not None:

@@ -1,4 +1,4 @@
-"""FLOPs-ordered sequential grid search (paper sections III-E/F).
+"""FLOPs-ordered grid search (paper sections III-E/F).
 
 The paper's trick for taming exhaustive search: sort all candidate
 architectures by (statically computed) FLOPs *before* training anything,
@@ -6,6 +6,13 @@ then train in ascending order and stop at the first candidate whose
 averaged max-over-epochs train **and** validation accuracies reach the
 threshold.  The first success is, by construction, the cheapest
 successful model.
+
+``workers > 1`` fans the (candidate, run) training jobs out across a
+process pool (:mod:`repro.runtime.parallel`) while preserving those
+sequential early-stop semantics exactly: candidates are still committed
+in FLOPs order, the winner is still the cheapest pass, and every run
+uses the same ``(seed, candidate, run)``-derived RNG stream, so the
+returned :class:`SearchOutcome` is identical to the sequential one.
 """
 
 from __future__ import annotations
@@ -18,11 +25,17 @@ import numpy as np
 from ..data.splits import DataSplit
 from ..exceptions import SearchError
 from ..flops.conventions import CountingConvention, get_convention
-from ..nn.optimizers import Adam
-from ..nn.training import History, train_model
+from ..runtime.jobs import RunResult, TrainingJob, execute_job
 from .search_space import ModelSpec
 
-__all__ = ["TrainingSettings", "CandidateResult", "SearchOutcome", "rank_by_flops", "grid_search"]
+__all__ = [
+    "TrainingSettings",
+    "CandidateResult",
+    "SearchOutcome",
+    "rank_by_flops",
+    "aggregate_runs",
+    "grid_search",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +106,27 @@ def rank_by_flops(
     )
 
 
+def aggregate_runs(
+    spec: ModelSpec,
+    convention: CountingConvention,
+    run_results: Sequence[RunResult],
+) -> CandidateResult:
+    """Fold per-run results (in run order) into one :class:`CandidateResult`.
+
+    Shared by the sequential path and the parallel scheduler so
+    aggregation is deterministic regardless of run completion order.
+    """
+    result = CandidateResult(
+        spec=spec, flops=spec.flops(convention), params=spec.param_count
+    )
+    for rr in run_results:
+        result.train_accuracies.append(rr.train_accuracy)
+        result.val_accuracies.append(rr.val_accuracy)
+        result.epochs_run.append(rr.epochs_run)
+        result.wall_time_s += rr.wall_time_s
+    return result
+
+
 def _evaluate_candidate(
     spec: ModelSpec,
     split: DataSplit,
@@ -102,29 +136,16 @@ def _evaluate_candidate(
     convention: CountingConvention,
 ) -> CandidateResult:
     """Train one candidate ``settings.runs`` times and aggregate."""
-    result = CandidateResult(
-        spec=spec, flops=spec.flops(convention), params=spec.param_count
+    return aggregate_runs(
+        spec,
+        convention,
+        [
+            execute_job(
+                TrainingJob(spec, seed, candidate_index, run), split, settings
+            )
+            for run in range(settings.runs)
+        ],
     )
-    for run in range(settings.runs):
-        rng = np.random.default_rng((seed, candidate_index, run))
-        model = spec.build(rng=rng)
-        history: History = train_model(
-            model,
-            split.x_train,
-            split.y_train,
-            split.x_val,
-            split.y_val,
-            epochs=settings.epochs,
-            batch_size=settings.batch_size,
-            optimizer=Adam(learning_rate=settings.learning_rate),
-            rng=rng,
-            early_stop_threshold=settings.early_stop_threshold,
-        )
-        result.train_accuracies.append(history.max_train_accuracy)
-        result.val_accuracies.append(history.max_val_accuracy)
-        result.epochs_run.append(history.epochs_run)
-        result.wall_time_s += history.wall_time_s
-    return result
 
 
 def grid_search(
@@ -136,8 +157,9 @@ def grid_search(
     seed: int = 0,
     max_candidates: int | None = None,
     progress: Callable[[CandidateResult], None] | None = None,
+    workers: int | None = 1,
 ) -> SearchOutcome:
-    """Run the FLOPs-sorted sequential search.
+    """Run the FLOPs-sorted search.
 
     Parameters
     ----------
@@ -156,7 +178,15 @@ def grid_search(
         Optional cap on how many candidates may be trained (reduced
         profiles); ``None`` trains until success or exhaustion.
     progress:
-        Optional callback invoked after each candidate.
+        Optional callback invoked after each candidate (commit order,
+        i.e. FLOPs order, under either execution mode).
+    workers:
+        ``1`` (default) runs the exact sequential loop in-process.
+        ``> 1`` fans (candidate, run) jobs out across that many worker
+        processes with speculative FLOPs-order commit semantics
+        (:func:`repro.runtime.parallel.speculative_search`); ``None``
+        or ``0`` uses all available cores.  The outcome is identical in
+        either mode (only ``wall_time_s`` values differ).
 
     Returns
     -------
@@ -167,25 +197,61 @@ def grid_search(
     if not specs:
         raise SearchError("empty search space")
     settings = settings or TrainingSettings()
+    if settings.runs < 1:
+        raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
     conv = get_convention(convention)
     ranked = rank_by_flops(specs, conv)
     if max_candidates is not None:
         ranked = ranked[:max_candidates]
 
-    outcome = SearchOutcome(threshold=threshold, winner=None)
-    for index, spec in enumerate(ranked):
-        candidate = _evaluate_candidate(
-            spec,
+    from ..runtime.parallel import resolve_workers, speculative_search
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        return speculative_search(
+            ranked,
             split,
+            threshold,
             settings,
-            seed=seed,
-            candidate_index=index,
-            convention=conv,
+            conv,
+            seed,
+            workers=n_workers,
+            progress=progress,
         )
-        outcome.evaluated.append(candidate)
-        if progress is not None:
-            progress(candidate)
-        if candidate.passes(threshold):
-            outcome.winner = candidate
-            break
-    return outcome
+
+    # The same compiled-tape reuse the parallel workers get: every
+    # (candidate, run) rebuilds a structurally identical circuit, so
+    # cache compilations for the duration of the search and restore the
+    # caller's cache state afterwards.  Cache hits return clones sharing
+    # only the immutable program, so results are unchanged.
+    from ..quantum.engine import (
+        compile_cache_info,
+        disable_compile_cache,
+        enable_compile_cache,
+    )
+
+    had_cache = compile_cache_info()["enabled"]
+    if not had_cache:
+        # Leave an already-configured cache (custom maxsize) untouched.
+        enable_compile_cache()
+    try:
+        outcome = SearchOutcome(threshold=threshold, winner=None)
+        for index, spec in enumerate(ranked):
+            candidate = _evaluate_candidate(
+                spec,
+                split,
+                settings,
+                seed=seed,
+                candidate_index=index,
+                convention=conv,
+            )
+            outcome.evaluated.append(candidate)
+            if progress is not None:
+                progress(candidate)
+            if candidate.passes(threshold):
+                outcome.winner = candidate
+                break
+        return outcome
+    finally:
+        if not had_cache:
+            disable_compile_cache()

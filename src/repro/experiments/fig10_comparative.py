@@ -29,10 +29,13 @@ def run(
     profile: str | RunProfile = "smoke",
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> list[ProtocolResult]:
     """Run (or load) all three family protocols."""
     return [
-        run_family_cached(f, profile, cache_dir=cache_dir, progress=progress)
+        run_family_cached(
+            f, profile, cache_dir=cache_dir, progress=progress, workers=workers
+        )
         for f in _FAMILIES
     ]
 

@@ -21,10 +21,15 @@ def run(
     profile: str | RunProfile = "smoke",
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> ProtocolResult:
     """Run (or load) the classical protocol under a profile."""
     return run_family_cached(
-        "classical", profile, cache_dir=cache_dir, progress=progress
+        "classical",
+        profile,
+        cache_dir=cache_dir,
+        progress=progress,
+        workers=workers,
     )
 
 

@@ -20,10 +20,11 @@ def run(
     profile: str | RunProfile = "smoke",
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> ProtocolResult:
     """Run (or load) the hybrid-BEL protocol under a profile."""
     return run_family_cached(
-        "bel", profile, cache_dir=cache_dir, progress=progress
+        "bel", profile, cache_dir=cache_dir, progress=progress, workers=workers
     )
 
 

@@ -22,10 +22,11 @@ def run(
     profile: str | RunProfile = "smoke",
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> ProtocolResult:
     """Run (or load) the hybrid-SEL protocol under a profile."""
     return run_family_cached(
-        "sel", profile, cache_dir=cache_dir, progress=progress
+        "sel", profile, cache_dir=cache_dir, progress=progress, workers=workers
     )
 
 

@@ -148,11 +148,17 @@ def run_family(
     family: str,
     profile: str | RunProfile = "smoke",
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
     **config_overrides,
 ) -> ProtocolResult:
-    """Run the protocol for one family under a profile."""
+    """Run the protocol for one family under a profile.
+
+    ``workers`` selects the grid-search execution mode (see
+    :func:`repro.core.grid_search.grid_search`); it scales wall time
+    only — results are identical for any worker count.
+    """
     prof = get_profile(profile)
-    cfg = prof.protocol_config(**config_overrides)
+    cfg = prof.protocol_config(workers=workers, **config_overrides)
     return run_protocol(family, cfg, progress=progress)
 
 
@@ -161,20 +167,27 @@ def run_family_cached(
     profile: str | RunProfile = "smoke",
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
     **config_overrides,
 ) -> ProtocolResult:
     """Like :func:`run_family`, but reuse a JSON result when present.
 
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
-    pass ``cache_dir=None`` to disable caching entirely.
+    pass ``cache_dir=None`` to disable caching entirely.  ``workers``
+    does not enter the cache key: parallel and sequential runs produce
+    identical results, so either may serve the other's cache.
     """
     prof = get_profile(profile)
     if cache_dir is None:
-        return run_family(family, prof, progress=progress, **config_overrides)
+        return run_family(
+            family, prof, progress=progress, workers=workers, **config_overrides
+        )
     cache_dir = Path(cache_dir)
     path = cache_dir / f"{family}_{prof.name}.json"
     if path.exists():
         return load_protocol(path)
-    result = run_family(family, prof, progress=progress, **config_overrides)
+    result = run_family(
+        family, prof, progress=progress, workers=workers, **config_overrides
+    )
     save_protocol(result, path)
     return result

@@ -129,12 +129,17 @@ def run(
     cache_dir: str | Path | None = None,
     convention: str | CountingConvention = "paper",
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
 ) -> dict[str, list[AblationRow]]:
     """Run (or load) both hybrid protocols and decompose the winners."""
     out: dict[str, list[AblationRow]] = {}
     for family in ("bel", "sel"):
         result = run_family_cached(
-            family, profile, cache_dir=cache_dir, progress=progress
+            family,
+            profile,
+            cache_dir=cache_dir,
+            progress=progress,
+            workers=workers,
         )
         out[family] = rows_from_protocol(result, convention)
     return out

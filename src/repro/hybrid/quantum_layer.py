@@ -30,7 +30,7 @@ from ..exceptions import ConfigurationError, ShapeError
 from ..nn.layers import Layer
 from ..quantum.adjoint import adjoint_gradients
 from ..quantum.circuit import Operation, run
-from ..quantum.engine import CompiledTape
+from ..quantum.engine import CompiledTape, compiled_tape
 from ..quantum.measurements import expval_z
 from ..quantum.parameter_shift import (
     compiled_parameter_shift_gradients,
@@ -163,7 +163,11 @@ class QuantumLayer(Layer):
                 if param.ndim == 1 and not rebindable:
                     self._engine_disabled = True
                     return None
-        return CompiledTape(tape, self.n_qubits)
+        # compiled_tape consults the process-wide compile cache when the
+        # runtime enabled it (grid-search workers retrain the same circuit
+        # structures for every job); every referenced parameter is rebound
+        # on each forward, which is exactly the cache's sharing contract.
+        return compiled_tape(tape, self.n_qubits)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)

@@ -19,7 +19,13 @@ oracle the engine is differentially tested against.
 
 from . import gates
 from .adjoint import adjoint_gradients
-from .engine import CompiledTape
+from .engine import (
+    CompiledTape,
+    compile_cache_info,
+    compiled_tape,
+    disable_compile_cache,
+    enable_compile_cache,
+)
 from .circuit import (
     GATE_SET,
     Operation,
@@ -79,6 +85,10 @@ __all__ = [
     "tape_summary",
     "adjoint_gradients",
     "CompiledTape",
+    "compiled_tape",
+    "enable_compile_cache",
+    "disable_compile_cache",
+    "compile_cache_info",
     "parameter_shift_gradients",
     "compiled_parameter_shift_gradients",
     "count_shifted_executions",

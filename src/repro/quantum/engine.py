@@ -21,9 +21,17 @@ flat instruction program:
 * CNOT / SWAP become precomputed full-register index permutations and CZ
   becomes an in-place sign flip of a precomputed index set — no
   floating-point matrix arithmetic and no ``state.copy()``;
+* *runs* of consecutive permutation gates — an ansatz layer's whole CNOT
+  ring — are composed into a **single** fused permutation (pending
+  single-qubit fusions are hoisted across the ring, which is sound
+  because they commute with every ring gate before their wire's first
+  use), so a ring costs one ``np.take`` in the forward *and* in the
+  adjoint sweep;
 * per-wire reshape factors are precomputed so single-qubit kernels act on
   a flat ``(B, 2**n)`` buffer through free ``(B, left, 2, right)``
-  reshape views instead of ``moveaxis`` copies.
+  reshape views instead of ``moveaxis`` copies; batched matrices on the
+  last wire take a ~2x faster broadcast-``matmul`` path (see the kernel
+  note below).
 
 **Execute (per batch / parameter binding).**  ``execute`` binds parameter
 values into the compiled slots — data features through ``input``
@@ -32,8 +40,15 @@ values into the compiled slots — data features through ``input``
 call per gate type, and then streams the instruction program over a pair
 of preallocated ping-pong buffers.  No per-gate allocation happens on the
 hot path.  The compiled adjoint sweep (``adjoint_gradients``) reuses the
-recorded forward matrices and three more pooled buffers (bra, bra
-scratch, derivative scratch) across the whole reversed tape.
+recorded forward matrices and two more pooled buffers (bra, bra scratch)
+across the whole reversed tape; each gate's gradient contraction runs
+over all of its parameters in one vectorised einsum (the ``Rot`` gate's
+three angles cost one contraction, not three).
+
+For search workloads that rebuild structurally identical circuits over
+and over, :func:`compiled_tape` + :func:`enable_compile_cache` share one
+engine per circuit structure per process (the parallel runtime enables
+this in every worker).
 
 The engine is differentially tested against the reference executor and
 :func:`repro.quantum.adjoint.adjoint_gradients` to 1e-12
@@ -59,17 +74,35 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..exceptions import GateError, ShapeError
+from ..exceptions import ConfigurationError, GateError, ShapeError
 from .circuit import GATE_SET, Operation
-from .state import abs2, apply_two_qubit, double_real_overlap
+from .state import abs2, apply_two_qubit
 
-__all__ = ["CompiledTape"]
+__all__ = [
+    "CompiledTape",
+    "compiled_tape",
+    "enable_compile_cache",
+    "disable_compile_cache",
+    "compile_cache_info",
+]
 
 #: Buffer pools are kept for at most this many distinct batch sizes; the
 #: least recently used pool is evicted beyond that.  Bounds the memory a
 #: long-lived engine pins when it alternates minibatch training with
 #: full-dataset evaluation batches.
 _MAX_POOLS = 4
+
+#: Kernel-selection note (small-operand specialization).  Three
+#: single-qubit kernel strategies were benchmarked head-to-head on tiny
+#: operands (batch <= 16, 3-5 qubits), where per-call dispatch overhead
+#: rivals the arithmetic: (a) ``np.einsum`` with ``out=``, (b) manual
+#: slice arithmetic over the wire's half-spaces, (c) broadcast
+#: ``np.matmul``.  On NumPy 2.4 einsum's two-operand fast path makes (b)
+#: ~2x *slower* (six small ufunc dispatches vs one), so no slice kernel
+#: exists here.  The one measured gap is batched ``(B, 2, 2)`` matrices
+#: on the last wire (contraction over the trailing axis, ``right == 1``),
+#: where einsum falls off its fast path and (c) wins ~2x at every batch
+#: size; ``_apply_1q`` special-cases exactly that shape.
 
 # Instruction opcodes for the forward program.
 _F1Q = 0        # fused single-qubit gate, matrix precomputed at compile
@@ -232,21 +265,44 @@ class CompiledTape:
 
     def _compile_program(self) -> None:
         pending: dict[int, list[int]] = {}
-        for g, spec in enumerate(self._specs):
+        n = len(self._specs)
+        g = 0
+        while g < n:
+            spec = self._specs[g]
             info = spec.info
             if len(spec.wires) == 1 and info.matrix_fn is not None:
                 pending.setdefault(spec.wires[0], []).append(g)
                 self._adj_program.append(("m1", spec.wires[0]))
+                g += 1
+                continue
+            if info.basis_perm is not None:
+                # Maximal run of consecutive permutation gates (a CNOT
+                # ring).  Flush every wire the run touches *up front*:
+                # a pending single-qubit gate commutes with each ring
+                # gate before its wire's first use, so hoisting the
+                # flushes preserves semantics and leaves the
+                # permutations adjacent for _fuse_permutations to merge
+                # into a single take.
+                end = g
+                while (
+                    end < n
+                    and self._specs[end].info.basis_perm is not None
+                ):
+                    end += 1
+                run_wires = {w for s in self._specs[g:end] for w in s.wires}
+                for w in sorted(run_wires):
+                    self._flush(pending, w)
+                for h in range(g, end):
+                    s = self._specs[h]
+                    perm = self._full_perm(s.info.basis_perm, *s.wires)
+                    self._program.append((_FPERM, perm))
+                    self._adj_program.append(("perm", perm, np.argsort(perm)))
+                g = end
                 continue
             for w in spec.wires:
                 self._flush(pending, w)
             wa, wb = spec.wires
-            if info.basis_perm is not None:
-                perm = self._full_perm(info.basis_perm, wa, wb)
-                inv = np.argsort(perm)
-                self._program.append((_FPERM, perm))
-                self._adj_program.append(("perm", perm, inv))
-            elif info.basis_diag is not None:
+            if info.basis_diag is not None:
                 idx = self._negate_indices(info.basis_diag, wa, wb)
                 self._program.append((_FNEG, idx))
                 self._adj_program.append(("neg", idx))
@@ -256,8 +312,65 @@ class CompiledTape:
             else:
                 self._program.append((_F2Q_DYN, wa, wb, g))
                 self._adj_program.append(("m2", wa, wb))
+            g += 1
         for w in sorted(pending):
             self._flush(pending, w)
+        self._fuse_permutations()
+
+    def _fuse_permutations(self) -> None:
+        """Collapse runs of index-permutation gates into one permutation.
+
+        An ansatz layer's CNOT ring compiles to ``n_qubits`` consecutive
+        ``_FPERM`` instructions; composing them at compile time turns the
+        whole ring into a single ``np.take``.  Applying permutation ``a``
+        then ``b`` is ``a[b]`` (``s2[k] = s1[b[k]] = s0[a[b[k]]]``).
+
+        The adjoint program gets the same treatment: a maximal run of
+        consecutive ``perm`` steps (permutation gates carry no parameters,
+        so no derivative is ever injected inside the run) is replaced by
+        one fused step at the run's *last* op — the first one the reversed
+        sweep reaches — and ``skip`` markers elsewhere.
+        """
+        fused: list[tuple] = []
+        for instr in self._program:
+            if instr[0] == _FPERM and fused and fused[-1][0] == _FPERM:
+                fused[-1] = (_FPERM, fused[-1][1][instr[1]])
+            else:
+                fused.append(instr)
+        self._program = fused
+
+        adj = self._adj_program
+        g = 0
+        while g < len(adj):
+            if adj[g][0] != "perm":
+                g += 1
+                continue
+            start = g
+            comb = adj[g][1]
+            g += 1
+            while g < len(adj) and adj[g][0] == "perm":
+                comb = comb[adj[g][1]]
+                g += 1
+            if g - start > 1:
+                for s in range(start, g - 1):
+                    adj[s] = ("skip",)
+                adj[g - 1] = ("perm", comb, np.argsort(comb))
+
+    def clone(self) -> "CompiledTape":
+        """A new engine sharing this one's (immutable) compiled program.
+
+        The compiled artefacts — op specs, instruction programs, fused
+        permutations, static/classified matrices, sign tables — are
+        shared by reference; execution state (buffer pools, the recorded
+        forward) starts fresh.  This is how the compile cache hands the
+        same compilation to many live layers without any state hazard:
+        compiling is the expensive part, the clone is a dict copy.
+        """
+        twin = object.__new__(CompiledTape)
+        twin.__dict__.update(self.__dict__)
+        twin._pools = {}
+        twin._last = None
+        return twin
 
     # -- introspection -----------------------------------------------------
 
@@ -335,13 +448,14 @@ class CompiledTape:
         values: Mapping[int, list[np.ndarray]],
         batch: int,
         deriv: bool = False,
-    ) -> dict[int, tuple[np.ndarray, ...]]:
+    ) -> dict[int, tuple[np.ndarray, ...] | np.ndarray]:
         """Vectorised matrix construction: one builder call per gate type.
 
-        Returns per-op tuples (one entry per parameter for ``deriv=True``,
-        a 1-tuple holding the gate matrix otherwise).
+        Returns a 1-tuple holding the gate matrix per op, or — for
+        ``deriv=True`` — one stacked ``(P, [B,] k, k)`` array of the op's
+        per-parameter derivative matrices.
         """
-        out: dict[int, tuple[np.ndarray, ...]] = {}
+        out: dict[int, tuple[np.ndarray, ...] | np.ndarray] = {}
         for name, group in groups.items():
             info = GATE_SET[name]
             fn = info.deriv_fn if deriv else info.matrix_fn
@@ -366,8 +480,15 @@ class CompiledTape:
                 if batched:
                     mats = mats.reshape(len(group), batch, k, k)
                 per_op.append(mats)
-            for i, g in enumerate(group):
-                out[g] = tuple(mats[i] for mats in per_op)
+            if deriv:
+                # Stack the per-parameter derivative matrices into one
+                # (P, [B,] k, k) array per op so the adjoint sweep can
+                # contract all of a gate's parameters in a single einsum.
+                for i, g in enumerate(group):
+                    out[g] = np.stack([mats[i] for mats in per_op])
+            else:
+                for i, g in enumerate(group):
+                    out[g] = tuple(mats[i] for mats in per_op)
         return out
 
     def _mat_of(self, g: int, mats: Mapping[int, tuple]) -> np.ndarray:
@@ -401,21 +522,36 @@ class CompiledTape:
 
     def _apply_1q(self, mat, wire, src, dst, batch) -> None:
         left, right = self._lr[wire]
-        s = src.reshape(batch, left, 2, right)
-        d = dst.reshape(batch, left, 2, right)
         if mat.ndim == 2:
+            s = src.reshape(batch, left, 2, right)
+            d = dst.reshape(batch, left, 2, right)
             np.einsum("ij,bljr->blir", mat, s, out=d)
+        elif right == 1:
+            # Batched matrices contracting the trailing axis: einsum's
+            # slow path; broadcast matmul is ~2x faster (see the kernel
+            # note at the top of this module).
+            np.matmul(
+                mat[:, None],
+                src.reshape(batch, left, 2, 1),
+                out=dst.reshape(batch, left, 2, 1),
+            )
         else:
+            s = src.reshape(batch, left, 2, right)
+            d = dst.reshape(batch, left, 2, right)
             np.einsum("bij,bljr->blir", mat, s, out=d)
 
     def _apply_1q_inv(self, mat, wire, src, dst, batch) -> None:
-        left, right = self._lr[wire]
-        s = src.reshape(batch, left, 2, right)
-        d = dst.reshape(batch, left, 2, right)
         if mat.ndim == 2:
+            left, right = self._lr[wire]
+            s = src.reshape(batch, left, 2, right)
+            d = dst.reshape(batch, left, 2, right)
             np.einsum("ji,bljr->blir", mat.conj(), s, out=d)
         else:
-            np.einsum("bji,bljr->blir", mat.conj(), s, out=d)
+            # Daggered batched matrices reuse the forward kernel (and its
+            # trailing-axis matmul specialization).
+            self._apply_1q(
+                np.conj(np.swapaxes(mat, -1, -2)), wire, src, dst, batch
+            )
 
     def _apply_2q(self, mat, wire_a, wire_b, src, dst, batch) -> None:
         tensor = src.reshape((batch,) + (2,) * self.n_qubits)
@@ -570,6 +706,26 @@ class CompiledTape:
                 pool["fwd"] = [self._last["final"], self._last["scratch"]]
             self._last = None
 
+    def _deriv_overlaps(self, dmats, wire, ket, bra, batch) -> np.ndarray:
+        """``2 Re <bra_b| dU_p |ket_b>`` for all P parameters at once.
+
+        ``dmats`` is the stacked ``(P, 2, 2)`` or ``(P, B, 2, 2)``
+        derivative-matrix array of one gate; returns ``(P, B)`` per-sample
+        overlaps — the adjoint method's gradient contraction, vectorised
+        across the gate's parameters instead of looping.
+        """
+        left, right = self._lr[wire]
+        k = ket.reshape(batch, left, 2, right)
+        b = bra.reshape(batch, left, 2, right)
+        if dmats.ndim == 3:
+            dk = np.einsum("pij,bljr->pblir", dmats, k)
+        else:
+            dk = np.einsum("pbij,bljr->pblir", dmats, k)
+        return 2.0 * (
+            np.einsum("blir,pblir->pb", b.real, dk.real)
+            + np.einsum("blir,pblir->pb", b.imag, dk.imag)
+        )
+
     def _apply_adj_step(self, step, mats, src, dst, batch):
         """Apply the inverse of one original op; return the live buffer pair."""
         kind = step[0]
@@ -612,7 +768,7 @@ class CompiledTape:
         last = self._last
         batch, mats, values = last["batch"], last["mats"], last["values"]
         ket, kscr = last["final"], last["scratch"]
-        bra, bscr, dket = self._buffers(batch, "adj", 3)
+        bra, bscr = self._buffers(batch, "adj", 2)
 
         grad_out = np.asarray(grad_out, dtype=np.float64)
         signs = self._z_signs
@@ -637,6 +793,10 @@ class CompiledTape:
         for g in range(len(self._specs) - 1, -1, -1):
             spec = self._specs[g]
             step = self._adj_program[g]
+            if step[0] == "skip":
+                # Folded into a fused permutation applied at the end of
+                # this run of permutation gates (none carry parameters).
+                continue
             gate_mat = (
                 self._mat_of(g, mats)
                 if step[0] in ("m1", "m2")
@@ -645,12 +805,15 @@ class CompiledTape:
             ket, kscr = self._apply_adj_step(step, gate_mat, ket, kscr, batch)
             d_entry = derivs.get(g)
             if d_entry is not None:
-                wire = spec.wires[0]
-                for d_mat, ref in zip(d_entry, spec.refs):
-                    if ref is None:
-                        continue
-                    self._apply_1q(d_mat, wire, ket, dket, batch)
-                    per_sample = double_real_overlap(bra, dket)
+                refs = spec.refs
+                if any(r is None for r in refs):
+                    keep = [p for p, r in enumerate(refs) if r is not None]
+                    d_entry = d_entry[keep]
+                    refs = [refs[p] for p in keep]
+                overlaps = self._deriv_overlaps(
+                    d_entry, spec.wires[0], ket, bra, batch
+                )
+                for per_sample, ref in zip(overlaps, refs):
                     if ref.kind == "input":
                         input_grads[:, ref.index] += per_sample
                     else:
@@ -659,8 +822,107 @@ class CompiledTape:
 
         pool = self._pools.get(batch)
         if pool is not None:
-            pool["adj"] = [bra, bscr, dket]
+            pool["adj"] = [bra, bscr]
             # Return the record's buffer pair to the pool for reuse.
             pool["fwd"] = [ket, kscr]
         self._last = None
         return input_grads, weight_grads
+
+
+# -- process-wide compile cache -------------------------------------------
+#
+# The grid search trains the same handful of circuit *structures* hundreds
+# of times (every run of every candidate rebuilds its model from scratch).
+# Compilation is cheap but not free, and in the parallel runtime each
+# worker process would otherwise recompile identical tapes for every job
+# it executes.  The cache below is keyed purely by structure — gate names,
+# wires, parameter provenance (``ParamRef``) and the *values* of
+# unreferenced (constant) parameters.  Referenced parameters are excluded
+# from the key on purpose: a cached compilation may carry a previous
+# tape's default values in those slots, so cache users must rebind every
+# referenced parameter on each ``execute`` (exactly what
+# :class:`repro.hybrid.QuantumLayer` does).  Every hit returns a
+# :meth:`CompiledTape.clone` — the compiled program is shared, execution
+# state (buffer pools, recorded forwards) is per-instance — so two live
+# layers with identical structure can never clobber each other.  The
+# cache is opt-in: sequential library use keeps the engine-per-layer
+# behaviour unless :func:`enable_compile_cache` is called (the parallel
+# runtime enables it in each worker's initializer).
+
+_COMPILE_CACHE: dict[tuple, CompiledTape] | None = None
+_COMPILE_CACHE_MAX = 32
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def _structure_key(ops: Sequence[Operation], n_qubits: int) -> tuple:
+    """Hashable structural signature of a tape (see cache contract above)."""
+    parts: list[tuple] = [(n_qubits,)]
+    for op in ops:
+        entry: list[object] = [op.name, op.wires]
+        for param, ref in zip(op.params, op.refs):
+            if ref is not None:
+                entry.append((ref.kind, ref.index))
+            else:
+                arr = np.asarray(param)
+                entry.append((arr.shape, arr.tobytes()))
+        parts.append(tuple(entry))
+    return tuple(parts)
+
+
+def enable_compile_cache(maxsize: int = 32) -> None:
+    """Turn on the process-wide compiled-tape cache (idempotent).
+
+    Cache hits share the compiled *program* only (see
+    :meth:`CompiledTape.clone`); each caller gets independent execution
+    state, so structurally identical live layers cannot interfere.
+    """
+    global _COMPILE_CACHE, _COMPILE_CACHE_MAX, _CACHE_HITS, _CACHE_MISSES
+    if maxsize < 1:
+        raise ConfigurationError(f"cache size must be >= 1, got {maxsize}")
+    if _COMPILE_CACHE is None:
+        _COMPILE_CACHE = {}
+        _CACHE_HITS = _CACHE_MISSES = 0
+    _COMPILE_CACHE_MAX = maxsize
+
+
+def disable_compile_cache() -> None:
+    """Drop the cache and return to compile-per-call behaviour."""
+    global _COMPILE_CACHE
+    _COMPILE_CACHE = None
+
+
+def compile_cache_info() -> dict[str, int | bool]:
+    """Cache observability: enabled flag, size, hit/miss counters."""
+    return {
+        "enabled": _COMPILE_CACHE is not None,
+        "size": len(_COMPILE_CACHE) if _COMPILE_CACHE is not None else 0,
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
+
+
+def compiled_tape(ops: Sequence[Operation], n_qubits: int) -> CompiledTape:
+    """Compile a tape, consulting the process-wide cache when enabled.
+
+    With the cache disabled this is exactly ``CompiledTape(ops, n_qubits)``.
+    With it enabled, structurally identical tapes share one compilation
+    and each call receives its own :meth:`~CompiledTape.clone`; see the
+    cache contract above for what callers must rebind.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    if _COMPILE_CACHE is None:
+        return CompiledTape(ops, n_qubits)
+    key = _structure_key(ops, n_qubits)
+    engine = _COMPILE_CACHE.get(key)
+    if engine is not None:
+        _CACHE_HITS += 1
+        # Move to the end: first key is the least recently used entry.
+        _COMPILE_CACHE[key] = _COMPILE_CACHE.pop(key)
+        return engine.clone()
+    _CACHE_MISSES += 1
+    engine = CompiledTape(ops, n_qubits)
+    _COMPILE_CACHE[key] = engine
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        del _COMPILE_CACHE[next(iter(_COMPILE_CACHE))]
+    return engine.clone()

@@ -1,0 +1,21 @@
+"""Parallel search runtime.
+
+Process-pool execution of grid-search training jobs with speculative
+FLOPs-order semantics: results are bit-identical to the sequential
+search (same winner, same per-run accuracies, same evaluated order)
+while the embarrassingly parallel (candidate, run) training work fans
+out across workers.  See :mod:`repro.runtime.parallel` for the
+scheduler and :mod:`repro.runtime.jobs` for the shared run primitive.
+"""
+
+from .jobs import RunResult, TrainingJob, execute_job
+from .parallel import SPECULATION_FACTOR, resolve_workers, speculative_search
+
+__all__ = [
+    "TrainingJob",
+    "RunResult",
+    "execute_job",
+    "resolve_workers",
+    "speculative_search",
+    "SPECULATION_FACTOR",
+]

@@ -1,0 +1,93 @@
+"""Picklable training-job payloads and the shared run primitive.
+
+The parallel search runtime ships jobs to worker processes, so a job
+must be a small, picklable value object: the :class:`ModelSpec` (frozen
+dataclass), the base seed and the ``(candidate_index, run)`` coordinates
+that derive the job's RNG stream.  The heavyweight, per-search constants
+— the :class:`~repro.data.splits.DataSplit` and
+:class:`~repro.core.grid_search.TrainingSettings` — travel once per
+worker via the pool initializer, not once per job.
+
+:func:`execute_job` is the *only* place a (candidate, run) training run
+happens: the sequential grid search and every pool worker call the same
+function with the same ``(seed, candidate_index, run)``-derived RNG, so
+parallel results are bit-identical to sequential ones by construction
+rather than by testing alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..nn.optimizers import Adam
+from ..nn.training import train_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.grid_search import TrainingSettings
+    from ..core.search_space import ModelSpec
+    from ..data.splits import DataSplit
+
+__all__ = ["TrainingJob", "RunResult", "execute_job"]
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One (candidate, run) training unit of a grid search."""
+
+    spec: "ModelSpec"
+    seed: int
+    candidate_index: int
+    run: int
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one training run, reduced to what aggregation needs.
+
+    Histories stay in the worker; only the paper's per-run metrics (max
+    train/val accuracy over epochs), the epoch count and the wall time
+    cross the process boundary.
+    """
+
+    candidate_index: int
+    run: int
+    train_accuracy: float
+    val_accuracy: float
+    epochs_run: int
+    wall_time_s: float
+
+
+def execute_job(
+    job: TrainingJob, split: "DataSplit", settings: "TrainingSettings"
+) -> RunResult:
+    """Train one run of one candidate; deterministic given the job alone.
+
+    The RNG stream is derived from ``(seed, candidate_index, run)`` — no
+    state is shared between jobs, which is what makes the search
+    embarrassingly parallel without changing its semantics.
+    """
+    rng = np.random.default_rng((job.seed, job.candidate_index, job.run))
+    model = job.spec.build(rng=rng)
+    history = train_model(
+        model,
+        split.x_train,
+        split.y_train,
+        split.x_val,
+        split.y_val,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        optimizer=Adam(learning_rate=settings.learning_rate),
+        rng=rng,
+        early_stop_threshold=settings.early_stop_threshold,
+    )
+    return RunResult(
+        candidate_index=job.candidate_index,
+        run=job.run,
+        train_accuracy=history.max_train_accuracy,
+        val_accuracy=history.max_val_accuracy,
+        epochs_run=history.epochs_run,
+        wall_time_s=history.wall_time_s,
+    )

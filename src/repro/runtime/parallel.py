@@ -1,0 +1,271 @@
+"""Process-pool scheduler with speculative FLOPs-order semantics.
+
+The paper's search trains candidates strictly in ascending-FLOPs order
+and stops at the first pass, which makes the *decision* sequential even
+though the *work* — ``runs`` independent trainings per candidate, each
+on its own ``(seed, candidate, run)``-derived RNG stream — is
+embarrassingly parallel.  The scheduler exploits that gap:
+
+* jobs are submitted to a :class:`multiprocessing.pool.Pool` in FLOPs
+  order, a bounded window ahead of the commit frontier (*speculation*:
+  workers may train candidate ``i + k`` before candidate ``i``'s verdict
+  is known);
+* finished runs are buffered and candidates are **committed strictly in
+  FLOPs order** — a candidate's verdict (pass, fail, or even a training
+  error) is only acted upon once every cheaper candidate has been
+  committed, so a crash in a speculatively-trained expensive candidate
+  cannot surface from a search the sequential path would have won
+  earlier;
+* the first committed pass is the winner (by construction the cheapest,
+  exactly as in the sequential path); the pool is then **terminated**,
+  killing in-flight speculative trainings immediately — the search
+  neither waits on losing candidates nor leaves stray workers competing
+  with the caller's next search.
+
+The reported :class:`~repro.core.grid_search.SearchOutcome` — winner,
+evaluated list, per-run accuracies, progress-callback sequence — is
+identical to ``workers=1`` regardless of completion order.  Every worker
+runs :func:`repro.runtime.jobs.execute_job`, the same primitive the
+sequential path uses, and enables the process-wide compiled-tape cache
+(:func:`repro.quantum.engine.enable_compile_cache`) so repeated jobs on
+the same circuit structure skip recompilation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from queue import Empty, SimpleQueue
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..exceptions import SearchError
+from .jobs import RunResult, TrainingJob, execute_job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.grid_search import (
+        CandidateResult,
+        SearchOutcome,
+        TrainingSettings,
+    )
+    from ..core.search_space import ModelSpec
+    from ..data.splits import DataSplit
+    from ..flops.conventions import CountingConvention
+
+__all__ = ["resolve_workers", "speculative_search", "SPECULATION_FACTOR"]
+
+#: In-flight jobs are capped at ``SPECULATION_FACTOR * workers``: enough
+#: look-ahead to keep every worker busy across uneven run times, small
+#: enough to bound the training work discarded when an early candidate
+#: passes.
+SPECULATION_FACTOR = 2
+
+#: How often (seconds) the scheduler wakes from waiting on completions
+#: to check worker liveness.  ``multiprocessing.Pool`` silently respawns
+#: a worker that dies mid-job (OOM kill, native segfault) and the job's
+#: callbacks never fire; without this watchdog the search would hang
+#: forever on such a loss.
+_WATCHDOG_INTERVAL_S = 10.0
+
+# Per-search constants installed into each worker by the pool initializer
+# (sent once per worker, not once per job).
+_WORKER_SPLIT = None
+_WORKER_SETTINGS = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize the ``workers`` knob: ``None``/``0`` means all cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise SearchError(f"workers must be >= 0 or None, got {workers}")
+    return workers
+
+
+def _init_worker(split: "DataSplit", settings: "TrainingSettings") -> None:
+    global _WORKER_SPLIT, _WORKER_SETTINGS
+    _WORKER_SPLIT = split
+    _WORKER_SETTINGS = settings
+    # Candidate runs rebuild structurally identical circuits over and
+    # over; cache compiled tapes for the lifetime of this worker.
+    from ..quantum.engine import enable_compile_cache
+
+    enable_compile_cache()
+
+
+def _run_job(job: TrainingJob) -> RunResult:
+    return execute_job(job, _WORKER_SPLIT, _WORKER_SETTINGS)
+
+
+_PRELOAD_SET = False
+
+
+def _pool_context():
+    """The process-start context used for worker pools.
+
+    Prefer ``forkserver``: its server process is exec'd clean before
+    workers are forked, which sidesteps the fork-with-threads hazard —
+    the scheduler itself runs pool handler threads in this process, and
+    plain ``fork`` from a threaded parent can hand a child a held lock
+    (an intermittent deadlock).  The server preloads this module (and
+    with it numpy and the repro stack), so after the first pool the
+    per-search worker startup is a cheap fork from a warm server.
+    Platforms without ``forkserver`` (Windows) fall back to their
+    default (``spawn``), which is equally thread-safe; everything a job
+    needs is picklable by design.
+    """
+    global _PRELOAD_SET
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+    if not _PRELOAD_SET:
+        ctx.set_forkserver_preload(["repro.runtime.parallel"])
+        _PRELOAD_SET = True
+    return ctx
+
+
+def speculative_search(
+    ranked: Sequence["ModelSpec"],
+    split: "DataSplit",
+    threshold: float,
+    settings: "TrainingSettings",
+    convention: "CountingConvention",
+    seed: int,
+    workers: int,
+    progress: Callable[["CandidateResult"], None] | None = None,
+) -> "SearchOutcome":
+    """Parallel grid search over an already-FLOPs-ranked candidate list.
+
+    Returns a :class:`SearchOutcome` equal to the sequential search's —
+    same winner, same ``evaluated`` list (same order, same per-run
+    accuracy lists), same ``progress`` call sequence.  Only
+    ``wall_time_s`` values differ (they measure actual run time).  A
+    training error, too, surfaces exactly when the sequential path would
+    hit it: at its candidate's commit turn, and never if a cheaper
+    candidate passes first.
+    """
+    from ..core.grid_search import SearchOutcome, aggregate_runs
+
+    if settings.runs < 1:
+        raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
+    outcome = SearchOutcome(threshold=threshold, winner=None)
+    runs = settings.runs
+    jobs = [
+        TrainingJob(spec, seed, index, run)
+        for index, spec in enumerate(ranked)
+        for run in range(runs)
+    ]
+    # per-candidate buffered results: run -> RunResult | Exception
+    pending_runs: dict[int, dict[int, RunResult | Exception]] = {}
+    ready: dict[int, "CandidateResult | Exception"] = {}
+    next_commit = 0
+    window = max(SPECULATION_FACTOR * workers, workers + 1)
+    # Speculation is bounded in *candidates*, not just in-flight jobs:
+    # only candidates within `lookahead` of the commit frontier may be
+    # submitted, so the training work discarded on an early pass is
+    # capped at ~`window` jobs past the winner even when one cheap
+    # candidate trains much slower than everything after it.  The bound
+    # still exposes >= `window` submittable jobs (lookahead * runs >=
+    # window), so workers stay busy across uneven run times.
+    lookahead = max(1, -(-window // runs))
+
+    # multiprocessing.Pool rather than ProcessPoolExecutor: its
+    # terminate() kills in-flight jobs the moment the winner commits,
+    # where an executor could only cancel *queued* futures and would
+    # leave running speculative trainings competing with whatever the
+    # caller does next (or stalling interpreter exit).
+    pool = _pool_context().Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(split, settings),
+    )
+    # Completions cross from the pool's result-handler thread to this
+    # one through a thread-safe queue: (job, result, exception).
+    completions: SimpleQueue = SimpleQueue()
+    pos = 0
+    in_flight = 0
+
+    def submit(job: TrainingJob) -> None:
+        pool.apply_async(
+            _run_job,
+            (job,),
+            callback=lambda res, job=job: completions.put((job, res, None)),
+            error_callback=lambda exc, job=job: completions.put(
+                (job, None, exc)
+            ),
+        )
+
+    def top_up() -> None:
+        nonlocal pos, in_flight
+        while (
+            pos < len(jobs)
+            and in_flight < window
+            and jobs[pos].candidate_index < next_commit + lookahead
+        ):
+            submit(jobs[pos])
+            pos += 1
+            in_flight += 1
+
+    # Worker pids at spawn: a changed set later means a worker died and
+    # was respawned — its in-flight job is lost (Pool fires no callback
+    # for it), so fail loudly instead of waiting forever.  ``_pool`` is
+    # not public API, but it has been the worker list since Python 2 and
+    # the watchdog degrades gracefully (attribute check) if it moves.
+    worker_pids = {p.pid for p in getattr(pool, "_pool", [])}
+
+    try:
+        top_up()
+        while in_flight:
+            try:
+                job, result, error = completions.get(
+                    timeout=_WATCHDOG_INTERVAL_S
+                )
+            except Empty:
+                current = {p.pid for p in getattr(pool, "_pool", [])}
+                if worker_pids and current != worker_pids:
+                    raise SearchError(
+                        "a grid-search worker process died unexpectedly "
+                        "(killed or out of memory?); its training job was "
+                        "lost, aborting the parallel search"
+                    )
+                continue
+            in_flight -= 1
+            per_run = pending_runs.setdefault(job.candidate_index, {})
+            per_run[job.run] = error if error is not None else result
+            if len(per_run) == runs:
+                del pending_runs[job.candidate_index]
+                # Surface the lowest-run error (the one the sequential
+                # loop would hit first), else aggregate normally.
+                entry: "CandidateResult | Exception"
+                failed = [r for r in range(runs) if isinstance(per_run[r], Exception)]
+                if failed:
+                    entry = per_run[failed[0]]
+                else:
+                    entry = aggregate_runs(
+                        ranked[job.candidate_index],
+                        convention,
+                        [per_run[r] for r in range(runs)],
+                    )
+                ready[job.candidate_index] = entry
+            # Commit strictly in FLOPs order; verdicts (and errors) of
+            # speculative higher-FLOPs candidates wait until their turn
+            # and are discarded wholesale if a cheaper candidate passes
+            # first.
+            while next_commit in ready:
+                committed = ready.pop(next_commit)
+                if isinstance(committed, Exception):
+                    raise committed
+                outcome.evaluated.append(committed)
+                next_commit += 1
+                if progress is not None:
+                    progress(committed)
+                if committed.passes(threshold):
+                    outcome.winner = committed
+                    return outcome
+            top_up()
+        return outcome
+    finally:
+        # Kill any still-running speculative trainings immediately (their
+        # results are discarded by construction) and reap the workers.
+        pool.terminate()
+        pool.join()

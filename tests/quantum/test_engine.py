@@ -358,3 +358,163 @@ class TestValidation:
         engine.execute(record=True)
         with pytest.raises(ShapeError):
             engine.adjoint_gradients(np.ones((3, 5)), 2, 1)
+
+
+class TestKernelPaths:
+    """The trailing-wire matmul specialization and the einsum kernels
+    must be two implementations of the same math, and the CNOT-ring
+    fusion must not change semantics — all checked against the reference
+    executor across batch sizes."""
+
+    @pytest.mark.parametrize("batch", [1, 8, 16, 17, 32])
+    def test_kernel_paths_agree(self, batch):
+        rng = np.random.default_rng(batch)
+        n_qubits = 3
+        x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+        w = random_sel_weights(2, n_qubits, rng)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        ref = run(tape, n_qubits, batch)
+        got = CompiledTape(tape, n_qubits).run(inputs=x, weights=w.ravel())
+        np.testing.assert_allclose(got, ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("batch", [4, 32])
+    def test_adjoint_across_kernel_paths(self, batch):
+        rng = np.random.default_rng(batch)
+        n_qubits, layers = 3, 3  # 3 layers -> 3 fused CNOT rings
+        x = rng.uniform(-np.pi, np.pi, (batch, n_qubits))
+        w = random_sel_weights(layers, n_qubits, rng)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        grad = rng.standard_normal((batch, n_qubits))
+        final = run(tape, n_qubits, batch)
+        ig_ref, wg_ref = adjoint_gradients(tape, final, grad, n_qubits, w.size)
+        engine = CompiledTape(tape, n_qubits)
+        engine.execute(inputs=x, weights=w.ravel(), record=True)
+        ig, wg = engine.adjoint_gradients(grad, n_qubits, w.size)
+        np.testing.assert_allclose(ig, ig_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg, wg_ref, atol=ATOL, rtol=0)
+
+    def test_cnot_ring_fuses_to_one_permutation(self, rng):
+        from repro.quantum.engine import _FPERM
+
+        n_qubits, layers = 4, 2
+        x = rng.uniform(-1, 1, (4, n_qubits))
+        w = random_sel_weights(layers, n_qubits, rng)
+        tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+            w, n_qubits
+        )
+        engine = CompiledTape(tape, n_qubits)
+        perms = [i for i in engine._program if i[0] == _FPERM]
+        # one fused permutation per layer's ring, not one per CNOT
+        assert len(perms) == layers
+        # and the adjoint program carries matching skip markers
+        skips = [s for s in engine._adj_program if s[0] == "skip"]
+        assert len(skips) == layers * (n_qubits - 1)
+
+
+class TestCompileCache:
+    def teardown_method(self):
+        from repro.quantum import disable_compile_cache
+
+        disable_compile_cache()
+
+    def _sel_tape(self, rng):
+        x = rng.uniform(-1, 1, (4, 3))
+        w = random_sel_weights(2, 3, rng)
+        return angle_embedding(x, 3) + strongly_entangling_layers(w, 3)
+
+    def test_disabled_by_default(self, rng):
+        from repro.quantum import compile_cache_info, compiled_tape
+
+        tape = self._sel_tape(rng)
+        assert not compile_cache_info()["enabled"]
+        a, b = compiled_tape(tape, 3), compiled_tape(tape, 3)
+        assert a is not b and a._program is not b._program
+
+    def test_bad_maxsize_rejected(self):
+        from repro.exceptions import ConfigurationError
+        from repro.quantum import enable_compile_cache
+
+        with pytest.raises(ConfigurationError):
+            enable_compile_cache(maxsize=0)
+
+    def test_structural_hit(self, rng):
+        from repro.quantum import (
+            compile_cache_info,
+            compiled_tape,
+            enable_compile_cache,
+        )
+
+        enable_compile_cache()
+        # Same structure, different parameter values -> one shared
+        # compilation, handed out as independent clones.
+        a = compiled_tape(self._sel_tape(rng), 3)
+        b = compiled_tape(self._sel_tape(rng), 3)
+        assert a is not b
+        assert a._program is b._program  # compiled program shared
+        assert a._pools is not b._pools  # execution state per instance
+        info = compile_cache_info()
+        assert info["enabled"] and info["hits"] == 1 and info["misses"] == 1
+
+    def test_clones_do_not_share_records(self, rng):
+        """Two live layers with identical structure must not clobber each
+        other's recorded forwards."""
+        from repro.quantum import compiled_tape, enable_compile_cache
+
+        enable_compile_cache()
+        x = rng.uniform(-np.pi, np.pi, (4, 3))
+        w = random_sel_weights(1, 3, rng)
+        tape = angle_embedding(x, 3) + strongly_entangling_layers(w, 3)
+        a = compiled_tape(tape, 3)
+        b = compiled_tape(tape, 3)
+        a.execute(inputs=x, weights=w.ravel(), record=True)
+        b.execute(inputs=x, weights=w.ravel(), record=True)
+        assert a.has_record and b.has_record
+        grad = rng.standard_normal((4, 3))
+        ig_a, wg_a = a.adjoint_gradients(grad, 3, w.size)
+        ig_b, wg_b = b.adjoint_gradients(grad, 3, w.size)
+        np.testing.assert_allclose(ig_a, ig_b, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(wg_a, wg_b, atol=ATOL, rtol=0)
+
+    def test_structure_and_constants_distinguish(self, rng):
+        from repro.quantum import compiled_tape, enable_compile_cache
+
+        enable_compile_cache()
+        sel = compiled_tape(self._sel_tape(rng), 3)
+        x = rng.uniform(-1, 1, (4, 3))
+        bel_tape = angle_embedding(x, 3) + basic_entangler_layers(
+            random_bel_weights(2, 3, rng), 3
+        )
+        assert compiled_tape(bel_tape, 3) is not sel
+        # Unreferenced (constant) parameters are part of the key.
+        c1 = compiled_tape([Operation("RY", (0,), (0.1,))], 1)
+        c2 = compiled_tape([Operation("RY", (0,), (0.2,))], 1)
+        assert c1 is not c2
+
+    def test_cached_engine_rebinds_correctly(self, rng):
+        from repro.quantum import compiled_tape, enable_compile_cache
+
+        enable_compile_cache()
+        compiled_tape(self._sel_tape(rng), 3)  # seed the cache
+        x = rng.uniform(-np.pi, np.pi, (5, 3))
+        w = random_sel_weights(2, 3, rng)
+        tape = angle_embedding(x, 3) + strongly_entangling_layers(w, 3)
+        engine = compiled_tape(tape, 3)
+        ref = run(tape, 3, 5)
+        got = engine.run(inputs=x, weights=w.ravel())
+        np.testing.assert_allclose(got, ref, atol=ATOL, rtol=0)
+
+    def test_bounded(self, rng):
+        from repro.quantum import enable_compile_cache
+        from repro.quantum.engine import _COMPILE_CACHE_MAX, compiled_tape
+        import repro.quantum.engine as engine_mod
+
+        enable_compile_cache(maxsize=2)
+        for angle_index in range(5):
+            compiled_tape(
+                [Operation("RY", (0,), (float(angle_index),))], 1
+            )
+        assert len(engine_mod._COMPILE_CACHE) <= 2
