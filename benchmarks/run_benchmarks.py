@@ -12,6 +12,12 @@ Usage:
     python benchmarks/run_benchmarks.py            # micro + grid-search suites
     python benchmarks/run_benchmarks.py --full     # every benchmark file
     python benchmarks/run_benchmarks.py --out PATH # explicit output path
+    python benchmarks/run_benchmarks.py --quick    # smoke: run, don't time
+
+``--quick`` executes every default benchmark body exactly once with
+timing disabled and writes no snapshot — a fast CI smoke that keeps the
+benchmark harness from silently rotting without burning minutes on
+calibrated rounds.
 """
 
 from __future__ import annotations
@@ -83,6 +89,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=pathlib.Path, default=None, help="output JSON path"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: run each benchmark body once without timing "
+        "and write no snapshot (for CI)",
+    )
     args = parser.parse_args(argv)
 
     targets = (
@@ -91,6 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         else [
             "benchmarks/test_substrate_micro.py",
             "benchmarks/test_grid_search_parallel.py",
+            "benchmarks/test_pool_reuse.py",
         ]
     )
     rev = git_revision()
@@ -101,6 +114,16 @@ def main(argv: list[str] | None = None) -> int:
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
+    if args.quick:
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", *targets,
+             "--benchmark-disable", "-q"],
+            cwd=REPO,
+            env=env,
+        )
+        if result.returncode == 0:
+            print("quick smoke ok (benchmark bodies ran once, untimed)")
+        return result.returncode
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "bench.json"
         result = subprocess.run(

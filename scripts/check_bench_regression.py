@@ -12,6 +12,15 @@ Usage:
     python scripts/check_bench_regression.py                 # latest two
     python scripts/check_bench_regression.py OLD.json NEW.json
     python scripts/check_bench_regression.py --threshold 0.3
+    python scripts/check_bench_regression.py --baseline 896fba4
+
+``--baseline REV`` compares the *latest* snapshot against the snapshot
+whose recorded revision (or filename) matches ``REV`` instead of the
+second-latest — useful for measuring a PR against a chosen anchor.
+
+With fewer than two snapshots there is nothing to compare: the script
+says so and exits 0 (a fresh clone or a pruned benchmarks directory is
+not an error).
 
 Snapshots taken on different machines (``machine``/``cpu_count``
 mismatch) only warn: wall-clock deltas across hardware are not
@@ -35,18 +44,33 @@ def load_snapshot(path: pathlib.Path) -> dict:
     return data
 
 
-def latest_two() -> tuple[dict, dict]:
-    """The two most recent snapshots, oldest first."""
-    snapshots = sorted(
+def all_snapshots() -> list[dict]:
+    """Every committed snapshot, oldest first by recorded datetime."""
+    return sorted(
         (load_snapshot(p) for p in BENCH_DIR.glob("BENCH_*.json")),
         key=lambda s: s.get("datetime") or "",
     )
-    if len(snapshots) < 2:
+
+
+def find_baseline(snapshots: list[dict], rev: str) -> dict:
+    """The snapshot whose revision or filename matches ``rev``."""
+    matches = [
+        s
+        for s in snapshots
+        if rev in (s.get("rev") or "") or rev in s["_path"].name
+    ]
+    if not matches:
+        known = ", ".join(s.get("rev") or s["_path"].name for s in snapshots)
         raise SystemExit(
-            f"need at least two BENCH_*.json snapshots under {BENCH_DIR}, "
-            f"found {len(snapshots)}"
+            f"no snapshot matches --baseline {rev!r}; known revisions: "
+            f"{known or '(none)'}"
         )
-    return snapshots[-2], snapshots[-1]
+    if len(matches) > 1:
+        names = ", ".join(s["_path"].name for s in matches)
+        raise SystemExit(
+            f"--baseline {rev!r} is ambiguous; it matches: {names}"
+        )
+    return matches[0]
 
 
 def compare(old: dict, new: dict, threshold: float) -> tuple[list[str], list[str]]:
@@ -94,14 +118,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fail on regressions even across different machines",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="REV",
+        default=None,
+        help="compare the latest snapshot against the snapshot whose "
+        "revision (or filename) matches REV, instead of the second-latest",
+    )
     args = parser.parse_args(argv)
 
     if args.snapshots and len(args.snapshots) != 2:
         parser.error("pass either no snapshot paths or exactly two (OLD NEW)")
+    if args.snapshots and args.baseline:
+        parser.error("--baseline only applies when snapshots are discovered; "
+                     "drop the explicit OLD NEW paths")
     if args.snapshots:
         old, new = (load_snapshot(p) for p in args.snapshots)
     else:
-        old, new = latest_two()
+        snapshots = all_snapshots()
+        if len(snapshots) < 2:
+            print(
+                f"nothing to compare: found {len(snapshots)} BENCH_*.json "
+                f"snapshot(s) under {BENCH_DIR} and a regression check "
+                "needs two.  Run `python benchmarks/run_benchmarks.py` to "
+                "record one."
+            )
+            return 0
+        new = snapshots[-1]
+        if args.baseline is not None:
+            old = find_baseline(snapshots, args.baseline)
+            if old is new:
+                raise SystemExit(
+                    f"--baseline {args.baseline!r} selects the latest "
+                    "snapshot itself; nothing to compare it against"
+                )
+        else:
+            old = snapshots[-2]
 
     print(f"old: {old['_path'].name} ({old.get('datetime')})")
     print(f"new: {new['_path'].name} ({new.get('datetime')})")

@@ -88,62 +88,76 @@ def _progress_printer(quiet: bool):
 
 
 def _dispatch(
-    name: str, profile: str, cache: str | None, quiet: bool, workers: int = 1
+    name: str,
+    profile: str,
+    cache: str | None,
+    quiet: bool,
+    workers: int = 1,
+    pool=None,
 ) -> str:
     progress = _progress_printer(quiet)
+    kwargs = dict(
+        cache_dir=cache, progress=progress, workers=workers, pool=pool
+    )
     if name == "fig4":
         return fig4_dataset_complexity.render(
             fig4_dataset_complexity.run(profile)
         )
     if name == "fig6":
         return fig6_classical_flops.render(
-            fig6_classical_flops.run(
-                profile, cache_dir=cache, progress=progress, workers=workers
-            )
+            fig6_classical_flops.run(profile, **kwargs)
         )
     if name == "fig7":
-        return fig7_bel_flops.render(
-            fig7_bel_flops.run(
-                profile, cache_dir=cache, progress=progress, workers=workers
-            )
-        )
+        return fig7_bel_flops.render(fig7_bel_flops.run(profile, **kwargs))
     if name == "fig8":
-        return fig8_sel_flops.render(
-            fig8_sel_flops.run(
-                profile, cache_dir=cache, progress=progress, workers=workers
-            )
-        )
+        return fig8_sel_flops.render(fig8_sel_flops.run(profile, **kwargs))
     if name == "fig9":
-        return fig9_parameters.render(
-            fig9_parameters.run(
-                profile, cache_dir=cache, progress=progress, workers=workers
-            )
-        )
+        return fig9_parameters.render(fig9_parameters.run(profile, **kwargs))
     if name == "fig10":
-        results = fig10_comparative.run(
-            profile, cache_dir=cache, progress=progress, workers=workers
-        )
+        results = fig10_comparative.run(profile, **kwargs)
         return fig10_comparative.render(fig10_comparative.analyze(results))
     if name == "table1":
-        return table1_ablation.render(
-            table1_ablation.run(
-                profile, cache_dir=cache, progress=progress, workers=workers
-            )
-        )
+        return table1_ablation.render(table1_ablation.run(profile, **kwargs))
     raise AssertionError(f"unhandled experiment {name!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    With ``--workers N`` (N != 1 after resolving 0 = all cores), one
+    :class:`~repro.runtime.pool.PersistentPool` is created up front and
+    shared by every experiment of the invocation — workers spin up once
+    per ``repro`` run (lazily, on the first real search), not once per
+    grid search, and each dataset is published to shared memory at most
+    once per protocol run (publication is keyed on the split object;
+    each level's segment is retired as soon as its level finishes).
+    """
     args = build_parser().parse_args(argv)
     targets = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for target in targets:
-        print(
-            _dispatch(
-                target, args.profile, args.cache, args.quiet, args.workers
+
+    from .runtime.parallel import resolve_workers
+
+    pool = None
+    if resolve_workers(args.workers) > 1:
+        from .runtime.pool import PersistentPool
+
+        pool = PersistentPool(resolve_workers(args.workers))
+    try:
+        for target in targets:
+            print(
+                _dispatch(
+                    target,
+                    args.profile,
+                    args.cache,
+                    args.quiet,
+                    args.workers,
+                    pool=pool,
+                )
             )
-        )
-        print()
+            print()
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 

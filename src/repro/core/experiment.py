@@ -17,7 +17,7 @@ define smoke/reduced/full profiles by replacing a few fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from .grid_search import (
     grid_search,
 )
 from .search_space import search_space_for_family
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = ["ProtocolConfig", "LevelResult", "ProtocolResult", "run_protocol"]
 
@@ -182,38 +185,71 @@ def run_protocol(
     family: str,
     cfg: ProtocolConfig | None = None,
     progress: Callable[[str], None] | None = None,
+    pool: "PersistentPool | None" = None,
 ) -> ProtocolResult:
     """Run the full protocol for one model family.
 
     ``family`` is ``"classical"``, ``"bel"`` or ``"sel"``.
+
+    The protocol is many grid searches back to back (one per level x
+    experiment), so with ``cfg.workers > 1`` it creates **one**
+    :class:`~repro.runtime.pool.PersistentPool` up front and reuses it
+    for every search: workers spin up once, each level's dataset is
+    published to shared memory once and unlinked as soon as its last
+    experiment finishes.  Pass ``pool`` to share an even longer-lived
+    pool across protocols (the CLI does this for ``repro all``); an
+    explicit pool is used as-is and left open for the caller.
     """
     cfg = cfg or ProtocolConfig()
     if cfg.n_experiments < 1:
         raise ExperimentError("n_experiments must be >= 1")
     result = ProtocolResult(family=family, config=cfg)
     settings = cfg.training_settings()
-    for feature_size in cfg.feature_sizes:
-        split = make_level_split(cfg, feature_size)
-        specs = search_space_for_family(family, feature_size)
-        level = LevelResult(feature_size=feature_size)
-        for experiment in range(cfg.n_experiments):
-            outcome = grid_search(
-                specs,
-                split,
-                threshold=cfg.threshold,
-                settings=settings,
-                convention=cfg.convention,
-                seed=_level_seed(cfg, feature_size, experiment),
-                max_candidates=cfg.max_candidates,
-                workers=cfg.workers,
-            )
-            level.outcomes.append(outcome)
-            if progress is not None:
-                winner = outcome.winner.spec.label if outcome.winner else "-"
-                progress(
-                    f"[{family}] fs={feature_size} exp={experiment + 1}/"
-                    f"{cfg.n_experiments} winner={winner} "
-                    f"({outcome.candidates_trained} candidates)"
-                )
-        result.levels.append(level)
+
+    from ..runtime.parallel import resolve_workers
+
+    owns_pool = False
+    if pool is None and resolve_workers(cfg.workers) > 1:
+        from ..runtime.pool import PersistentPool
+
+        pool = PersistentPool(resolve_workers(cfg.workers))
+        owns_pool = True
+    try:
+        for feature_size in cfg.feature_sizes:
+            split = make_level_split(cfg, feature_size)
+            specs = search_space_for_family(family, feature_size)
+            level = LevelResult(feature_size=feature_size)
+            try:
+                for experiment in range(cfg.n_experiments):
+                    outcome = grid_search(
+                        specs,
+                        split,
+                        threshold=cfg.threshold,
+                        settings=settings,
+                        convention=cfg.convention,
+                        seed=_level_seed(cfg, feature_size, experiment),
+                        max_candidates=cfg.max_candidates,
+                        workers=cfg.workers,
+                        pool=pool,
+                    )
+                    level.outcomes.append(outcome)
+                    if progress is not None:
+                        winner = (
+                            outcome.winner.spec.label if outcome.winner else "-"
+                        )
+                        progress(
+                            f"[{family}] fs={feature_size} "
+                            f"exp={experiment + 1}/"
+                            f"{cfg.n_experiments} winner={winner} "
+                            f"({outcome.candidates_trained} candidates)"
+                        )
+            finally:
+                if pool is not None:
+                    # This level's dataset is done: unlink its segment
+                    # now (or when the last search referencing it ends).
+                    pool.retire_split(split)
+            result.levels.append(level)
+    finally:
+        if owns_pool:
+            pool.close()
     return result

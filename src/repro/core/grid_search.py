@@ -18,7 +18,7 @@ returned :class:`SearchOutcome` is identical to the sequential one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from ..exceptions import SearchError
 from ..flops.conventions import CountingConvention, get_convention
 from ..runtime.jobs import RunResult, TrainingJob, execute_job
 from .search_space import ModelSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = [
     "TrainingSettings",
@@ -158,6 +161,7 @@ def grid_search(
     max_candidates: int | None = None,
     progress: Callable[[CandidateResult], None] | None = None,
     workers: int | None = 1,
+    pool: "PersistentPool | None" = None,
 ) -> SearchOutcome:
     """Run the FLOPs-sorted search.
 
@@ -187,6 +191,14 @@ def grid_search(
         (:func:`repro.runtime.parallel.speculative_search`); ``None``
         or ``0`` uses all available cores.  The outcome is identical in
         either mode (only ``wall_time_s`` values differ).
+    pool:
+        An optional :class:`repro.runtime.pool.PersistentPool` to run
+        the parallel search on.  When given it takes precedence over
+        ``workers``: warm workers are reused (no per-search pool
+        spin-up) and the dataset is served to workers from shared
+        memory, published at most once per (pool, split).  The caller
+        owns the pool's lifetime.  Results are identical with or
+        without a pool.
 
     Returns
     -------
@@ -207,7 +219,7 @@ def grid_search(
     from ..runtime.parallel import resolve_workers, speculative_search
 
     n_workers = resolve_workers(workers)
-    if n_workers > 1:
+    if pool is not None or n_workers > 1:
         return speculative_search(
             ranked,
             split,
@@ -217,6 +229,7 @@ def grid_search(
             seed,
             workers=n_workers,
             progress=progress,
+            pool=pool,
         )
 
     # The same compiled-tape reuse the parallel workers get: every

@@ -32,6 +32,14 @@ class SearchError(ReproError):
     """The model search could not complete (e.g. empty search space)."""
 
 
+class TrainingCancelled(ReproError):
+    """A training run was cooperatively cancelled mid-flight.
+
+    Raised by :func:`repro.nn.training.train_model` when its
+    ``cancel_check`` fires; the persistent worker pool uses it to abort
+    speculative runs whose search has already finished."""
+
+
 class SearchExhaustedError(SearchError):
     """No candidate in the search space met the accuracy condition."""
 

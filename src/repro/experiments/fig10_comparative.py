@@ -13,12 +13,15 @@ the smallest growth in computational demands.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.comparison import ComparativeAnalysis, comparative_analysis
 from ..core.experiment import ProtocolResult
 from .report import format_table
 from .runner import RunProfile, run_family_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = ["run", "analyze", "render"]
 
@@ -30,11 +33,17 @@ def run(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
 ) -> list[ProtocolResult]:
     """Run (or load) all three family protocols."""
     return [
         run_family_cached(
-            f, profile, cache_dir=cache_dir, progress=progress, workers=workers
+            f,
+            profile,
+            cache_dir=cache_dir,
+            progress=progress,
+            workers=workers,
+            pool=pool,
         )
         for f in _FAMILIES
     ]

@@ -8,11 +8,14 @@ every feature size and report the winners' FLOPs.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.experiment import ProtocolResult
 from .report import format_level_winners
 from .runner import RunProfile, run_family_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = ["run", "render"]
 
@@ -22,6 +25,7 @@ def run(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
 ) -> ProtocolResult:
     """Run (or load) the classical protocol under a profile."""
     return run_family_cached(
@@ -30,6 +34,7 @@ def run(
         cache_dir=cache_dir,
         progress=progress,
         workers=workers,
+        pool=pool,
     )
 
 

@@ -7,11 +7,14 @@ Entangling Layer (BEL) ansatz across complexity levels.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.experiment import ProtocolResult
 from .report import format_level_winners
 from .runner import RunProfile, run_family_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = ["run", "render"]
 
@@ -21,10 +24,16 @@ def run(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
 ) -> ProtocolResult:
     """Run (or load) the hybrid-BEL protocol under a profile."""
     return run_family_cached(
-        "bel", profile, cache_dir=cache_dir, progress=progress, workers=workers
+        "bel",
+        profile,
+        cache_dir=cache_dir,
+        progress=progress,
+        workers=workers,
+        pool=pool,
     )
 
 

@@ -7,12 +7,15 @@ three panels: classical (top), hybrid BEL (middle), hybrid SEL (bottom).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.experiment import ProtocolResult
 from ..exceptions import ExperimentError
 from .report import format_table
 from .runner import RunProfile, run_family_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = ["run", "render"]
 
@@ -24,11 +27,17 @@ def run(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
 ) -> list[ProtocolResult]:
     """Run (or load) all three family protocols."""
     return [
         run_family_cached(
-            f, profile, cache_dir=cache_dir, progress=progress, workers=workers
+            f,
+            profile,
+            cache_dir=cache_dir,
+            progress=progress,
+            workers=workers,
+            pool=pool,
         )
         for f in _PANEL_ORDER
     ]

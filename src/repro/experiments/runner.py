@@ -26,11 +26,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.experiment import ProtocolConfig, ProtocolResult, run_protocol
 from ..core.results import load_protocol, save_protocol
 from ..exceptions import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = [
     "RunProfile",
@@ -149,17 +152,21 @@ def run_family(
     profile: str | RunProfile = "smoke",
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
     **config_overrides,
 ) -> ProtocolResult:
     """Run the protocol for one family under a profile.
 
     ``workers`` selects the grid-search execution mode (see
     :func:`repro.core.grid_search.grid_search`); it scales wall time
-    only — results are identical for any worker count.
+    only — results are identical for any worker count.  ``pool`` lends
+    an existing :class:`~repro.runtime.pool.PersistentPool` so warm
+    workers carry over across families (without it, ``workers > 1``
+    creates one pool per protocol run).
     """
     prof = get_profile(profile)
     cfg = prof.protocol_config(workers=workers, **config_overrides)
-    return run_protocol(family, cfg, progress=progress)
+    return run_protocol(family, cfg, progress=progress, pool=pool)
 
 
 def run_family_cached(
@@ -168,26 +175,38 @@ def run_family_cached(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
     **config_overrides,
 ) -> ProtocolResult:
     """Like :func:`run_family`, but reuse a JSON result when present.
 
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
     pass ``cache_dir=None`` to disable caching entirely.  ``workers``
-    does not enter the cache key: parallel and sequential runs produce
-    identical results, so either may serve the other's cache.
+    and ``pool`` do not enter the cache key: parallel and sequential
+    runs produce identical results, so either may serve the other's
+    cache.
     """
     prof = get_profile(profile)
     if cache_dir is None:
         return run_family(
-            family, prof, progress=progress, workers=workers, **config_overrides
+            family,
+            prof,
+            progress=progress,
+            workers=workers,
+            pool=pool,
+            **config_overrides,
         )
     cache_dir = Path(cache_dir)
     path = cache_dir / f"{family}_{prof.name}.json"
     if path.exists():
         return load_protocol(path)
     result = run_family(
-        family, prof, progress=progress, workers=workers, **config_overrides
+        family,
+        prof,
+        progress=progress,
+        workers=workers,
+        pool=pool,
+        **config_overrides,
     )
     save_protocol(result, path)
     return result

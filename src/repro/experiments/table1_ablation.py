@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.experiment import ProtocolResult
 from ..core.search_space import HybridSpec
@@ -27,6 +27,9 @@ from ..flops.conventions import CountingConvention
 from ..flops.formulas import hybrid_flops_breakdown
 from .report import format_table
 from .runner import RunProfile, run_family_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.pool import PersistentPool
 
 __all__ = [
     "AblationRow",
@@ -130,6 +133,7 @@ def run(
     convention: str | CountingConvention = "paper",
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
+    pool: "PersistentPool | None" = None,
 ) -> dict[str, list[AblationRow]]:
     """Run (or load) both hybrid protocols and decompose the winners."""
     out: dict[str, list[AblationRow]] = {}
@@ -140,6 +144,7 @@ def run(
             cache_dir=cache_dir,
             progress=progress,
             workers=workers,
+            pool=pool,
         )
         out[family] = rows_from_protocol(result, convention)
     return out

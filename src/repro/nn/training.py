@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, ShapeError
+from ..exceptions import ConfigurationError, ShapeError, TrainingCancelled
 from .losses import CrossEntropy, Loss
 from .metrics import accuracy
 from .model import Sequential
@@ -83,10 +84,18 @@ def train_model(
     rng: np.random.Generator | None = None,
     early_stop_threshold: float | None = None,
     shuffle: bool = True,
+    cancel_check: Callable[[], bool] | None = None,
 ) -> History:
     """Train ``model`` and return its :class:`History`.
 
     ``y_train``/``y_val`` must be one-hot encoded (shape ``(B, C)``).
+
+    ``cancel_check`` (optional) is polled at every epoch boundary; when
+    it returns true, training aborts by raising
+    :class:`~repro.exceptions.TrainingCancelled`.  The persistent worker
+    pool uses it to stop speculative runs whose grid search has already
+    committed a winner, bounding a stale worker's extra work to one
+    epoch.
     """
     if y_train.ndim != 2 or y_val.ndim != 2:
         raise ShapeError("targets must be one-hot encoded (2-D)")
@@ -106,6 +115,10 @@ def train_model(
     n = x_train.shape[0]
 
     for _ in range(epochs):
+        if cancel_check is not None and cancel_check():
+            raise TrainingCancelled(
+                f"training cancelled after {history.epochs_run} epochs"
+            )
         epoch_losses: list[float] = []
         for idx in iterate_minibatches(n, batch_size, rng, shuffle=shuffle):
             xb, yb = x_train[idx], y_train[idx]

@@ -853,6 +853,7 @@ _COMPILE_CACHE: dict[tuple, CompiledTape] | None = None
 _COMPILE_CACHE_MAX = 32
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
+_CACHE_EVICTIONS = 0
 
 
 def _structure_key(ops: Sequence[Operation], n_qubits: int) -> tuple:
@@ -876,14 +877,24 @@ def enable_compile_cache(maxsize: int = 32) -> None:
     Cache hits share the compiled *program* only (see
     :meth:`CompiledTape.clone`); each caller gets independent execution
     state, so structurally identical live layers cannot interfere.
+
+    ``maxsize`` is a hard LRU cap.  Persistent pool workers live for a
+    whole protocol run (many search spaces, many circuit structures), so
+    an unbounded cache would grow without limit; the least recently used
+    compilation is evicted instead, and :func:`compile_cache_info`
+    reports the cap and an eviction counter for observability.
     """
-    global _COMPILE_CACHE, _COMPILE_CACHE_MAX, _CACHE_HITS, _CACHE_MISSES
+    global _COMPILE_CACHE, _COMPILE_CACHE_MAX
+    global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
     if maxsize < 1:
         raise ConfigurationError(f"cache size must be >= 1, got {maxsize}")
     if _COMPILE_CACHE is None:
         _COMPILE_CACHE = {}
-        _CACHE_HITS = _CACHE_MISSES = 0
+        _CACHE_HITS = _CACHE_MISSES = _CACHE_EVICTIONS = 0
     _COMPILE_CACHE_MAX = maxsize
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        del _COMPILE_CACHE[next(iter(_COMPILE_CACHE))]
+        _CACHE_EVICTIONS += 1
 
 
 def disable_compile_cache() -> None:
@@ -893,12 +904,19 @@ def disable_compile_cache() -> None:
 
 
 def compile_cache_info() -> dict[str, int | bool]:
-    """Cache observability: enabled flag, size, hit/miss counters."""
+    """Cache observability: enabled flag, size, LRU cap, counters.
+
+    ``evictions`` counts entries dropped by the LRU cap — a persistent
+    worker whose evictions keep climbing is churning through more
+    circuit structures than the cap holds (raise ``maxsize`` via
+    :func:`enable_compile_cache`)."""
     return {
         "enabled": _COMPILE_CACHE is not None,
         "size": len(_COMPILE_CACHE) if _COMPILE_CACHE is not None else 0,
+        "maxsize": _COMPILE_CACHE_MAX,
         "hits": _CACHE_HITS,
         "misses": _CACHE_MISSES,
+        "evictions": _CACHE_EVICTIONS,
     }
 
 
@@ -910,7 +928,7 @@ def compiled_tape(ops: Sequence[Operation], n_qubits: int) -> CompiledTape:
     and each call receives its own :meth:`~CompiledTape.clone`; see the
     cache contract above for what callers must rebind.
     """
-    global _CACHE_HITS, _CACHE_MISSES
+    global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
     if _COMPILE_CACHE is None:
         return CompiledTape(ops, n_qubits)
     key = _structure_key(ops, n_qubits)
@@ -925,4 +943,5 @@ def compiled_tape(ops: Sequence[Operation], n_qubits: int) -> CompiledTape:
     _COMPILE_CACHE[key] = engine
     while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
         del _COMPILE_CACHE[next(iter(_COMPILE_CACHE))]
+        _CACHE_EVICTIONS += 1
     return engine.clone()

@@ -4,12 +4,25 @@ Process-pool execution of grid-search training jobs with speculative
 FLOPs-order semantics: results are bit-identical to the sequential
 search (same winner, same per-run accuracies, same evaluated order)
 while the embarrassingly parallel (candidate, run) training work fans
-out across workers.  See :mod:`repro.runtime.parallel` for the
-scheduler and :mod:`repro.runtime.jobs` for the shared run primitive.
+out across workers.
+
+:mod:`repro.runtime.pool` provides the persistent worker pool — spun up
+once, reused across every grid search of a protocol run — and the
+shared-memory dataset protocol (workers attach to published
+:class:`~repro.data.splits.DataSplit` segments zero-copy).
+:mod:`repro.runtime.parallel` is the speculative scheduler with
+FLOPs-aware job packing, and :mod:`repro.runtime.jobs` the shared run
+primitive.
 """
 
 from .jobs import RunResult, TrainingJob, execute_job
 from .parallel import SPECULATION_FACTOR, resolve_workers, speculative_search
+from .pool import (
+    PersistentPool,
+    SharedSplitHandle,
+    attach_split,
+    publish_split,
+)
 
 __all__ = [
     "TrainingJob",
@@ -18,4 +31,8 @@ __all__ = [
     "resolve_workers",
     "speculative_search",
     "SPECULATION_FACTOR",
+    "PersistentPool",
+    "SharedSplitHandle",
+    "publish_split",
+    "attach_split",
 ]

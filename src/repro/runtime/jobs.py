@@ -18,7 +18,7 @@ rather than by testing alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -61,13 +61,20 @@ class RunResult:
 
 
 def execute_job(
-    job: TrainingJob, split: "DataSplit", settings: "TrainingSettings"
+    job: TrainingJob,
+    split: "DataSplit",
+    settings: "TrainingSettings",
+    cancel_check: Callable[[], bool] | None = None,
 ) -> RunResult:
     """Train one run of one candidate; deterministic given the job alone.
 
     The RNG stream is derived from ``(seed, candidate_index, run)`` — no
     state is shared between jobs, which is what makes the search
     embarrassingly parallel without changing its semantics.
+
+    ``cancel_check`` is forwarded to the training loop (polled per
+    epoch); it only ever fires on speculative runs whose search already
+    finished, so it cannot change any reported result.
     """
     rng = np.random.default_rng((job.seed, job.candidate_index, job.run))
     model = job.spec.build(rng=rng)
@@ -82,6 +89,7 @@ def execute_job(
         optimizer=Adam(learning_rate=settings.learning_rate),
         rng=rng,
         early_stop_threshold=settings.early_stop_threshold,
+        cancel_check=cancel_check,
     )
     return RunResult(
         candidate_index=job.candidate_index,

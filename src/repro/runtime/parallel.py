@@ -6,40 +6,54 @@ though the *work* — ``runs`` independent trainings per candidate, each
 on its own ``(seed, candidate, run)``-derived RNG stream — is
 embarrassingly parallel.  The scheduler exploits that gap:
 
-* jobs are submitted to a :class:`multiprocessing.pool.Pool` in FLOPs
-  order, a bounded window ahead of the commit frontier (*speculation*:
-  workers may train candidate ``i + k`` before candidate ``i``'s verdict
-  is known);
+* work is submitted to a worker pool in bounded-lookahead **chunks**
+  (*speculation*: workers may train candidate ``i + k`` before candidate
+  ``i``'s verdict is known); each chunk batches consecutive runs of one
+  candidate so a single worker invocation shares one dataset attachment
+  and one compiled tape across its runs;
+
+* within the speculation window, chunks are submitted
+  **most-expensive-first** (FLOPs-aware packing): training time scales
+  with a candidate's FLOPs, so starting the window's longest jobs first
+  minimizes the window's makespan — the classic longest-processing-time
+  heuristic.  Submission order never affects results, only wall time,
+  because of the commit rule below;
+
 * finished runs are buffered and candidates are **committed strictly in
   FLOPs order** — a candidate's verdict (pass, fail, or even a training
   error) is only acted upon once every cheaper candidate has been
   committed, so a crash in a speculatively-trained expensive candidate
   cannot surface from a search the sequential path would have won
   earlier;
+
 * the first committed pass is the winner (by construction the cheapest,
-  exactly as in the sequential path); the pool is then **terminated**,
-  killing in-flight speculative trainings immediately — the search
-  neither waits on losing candidates nor leaves stray workers competing
-  with the caller's next search.
+  exactly as in the sequential path).  In-flight speculative chunks are
+  then *cancelled by generation*: queued chunks no-op, running trainings
+  abort at the next epoch boundary — and the pool survives for the next
+  search instead of being torn down.
+
+Execution runs on a :class:`repro.runtime.pool.PersistentPool`.  Pass
+one in (``pool=``) to reuse warm workers and published shared-memory
+datasets across many searches — the protocol drivers do this — or let
+``speculative_search`` create and close an ephemeral one.
 
 The reported :class:`~repro.core.grid_search.SearchOutcome` — winner,
 evaluated list, per-run accuracies, progress-callback sequence — is
-identical to ``workers=1`` regardless of completion order.  Every worker
-runs :func:`repro.runtime.jobs.execute_job`, the same primitive the
-sequential path uses, and enables the process-wide compiled-tape cache
-(:func:`repro.quantum.engine.enable_compile_cache`) so repeated jobs on
-the same circuit structure skip recompilation.
+identical to ``workers=1`` regardless of completion order, chunking, or
+packing.  Every worker runs :func:`repro.runtime.jobs.execute_job`, the
+same primitive the sequential path uses.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import heapq
 import os
 from queue import Empty, SimpleQueue
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..exceptions import SearchError
-from .jobs import RunResult, TrainingJob, execute_job
+from .jobs import RunResult
+from .pool import ChunkResult, JobChunk, PersistentPool, RunError, make_chunks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.grid_search import (
@@ -53,10 +67,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["resolve_workers", "speculative_search", "SPECULATION_FACTOR"]
 
-#: In-flight jobs are capped at ``SPECULATION_FACTOR * workers``: enough
-#: look-ahead to keep every worker busy across uneven run times, small
-#: enough to bound the training work discarded when an early candidate
-#: passes.
+#: In-flight chunks are capped at ``SPECULATION_FACTOR * workers``:
+#: enough look-ahead to keep every worker busy across uneven run times,
+#: small enough to bound the training work discarded when an early
+#: candidate passes.
 SPECULATION_FACTOR = 2
 
 #: How often (seconds) the scheduler wakes from waiting on completions
@@ -65,11 +79,6 @@ SPECULATION_FACTOR = 2
 #: callbacks never fire; without this watchdog the search would hang
 #: forever on such a loss.
 _WATCHDOG_INTERVAL_S = 10.0
-
-# Per-search constants installed into each worker by the pool initializer
-# (sent once per worker, not once per job).
-_WORKER_SPLIT = None
-_WORKER_SETTINGS = None
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -81,49 +90,6 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _init_worker(split: "DataSplit", settings: "TrainingSettings") -> None:
-    global _WORKER_SPLIT, _WORKER_SETTINGS
-    _WORKER_SPLIT = split
-    _WORKER_SETTINGS = settings
-    # Candidate runs rebuild structurally identical circuits over and
-    # over; cache compiled tapes for the lifetime of this worker.
-    from ..quantum.engine import enable_compile_cache
-
-    enable_compile_cache()
-
-
-def _run_job(job: TrainingJob) -> RunResult:
-    return execute_job(job, _WORKER_SPLIT, _WORKER_SETTINGS)
-
-
-_PRELOAD_SET = False
-
-
-def _pool_context():
-    """The process-start context used for worker pools.
-
-    Prefer ``forkserver``: its server process is exec'd clean before
-    workers are forked, which sidesteps the fork-with-threads hazard —
-    the scheduler itself runs pool handler threads in this process, and
-    plain ``fork`` from a threaded parent can hand a child a held lock
-    (an intermittent deadlock).  The server preloads this module (and
-    with it numpy and the repro stack), so after the first pool the
-    per-search worker startup is a cheap fork from a warm server.
-    Platforms without ``forkserver`` (Windows) fall back to their
-    default (``spawn``), which is equally thread-safe; everything a job
-    needs is picklable by design.
-    """
-    global _PRELOAD_SET
-    try:
-        ctx = multiprocessing.get_context("forkserver")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-    if not _PRELOAD_SET:
-        ctx.set_forkserver_preload(["repro.runtime.parallel"])
-        _PRELOAD_SET = True
-    return ctx
-
-
 def speculative_search(
     ranked: Sequence["ModelSpec"],
     split: "DataSplit",
@@ -133,6 +99,7 @@ def speculative_search(
     seed: int,
     workers: int,
     progress: Callable[["CandidateResult"], None] | None = None,
+    pool: PersistentPool | None = None,
 ) -> "SearchOutcome":
     """Parallel grid search over an already-FLOPs-ranked candidate list.
 
@@ -143,85 +110,111 @@ def speculative_search(
     training error, too, surfaces exactly when the sequential path would
     hit it: at its candidate's commit turn, and never if a cheaper
     candidate passes first.
+
+    ``pool``: a :class:`~repro.runtime.pool.PersistentPool` to run on.
+    When omitted, an ephemeral pool is created and torn down with the
+    search (the pre-persistent-pool behaviour); when given, the pool's
+    worker count wins over ``workers``, the dataset is published to
+    shared memory at most once per pool, and the search leaves the pool
+    warm for the caller's next search.
     """
     from ..core.grid_search import SearchOutcome, aggregate_runs
 
     if settings.runs < 1:
         raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
+    owns_pool = pool is None
+    if owns_pool:
+        pool = PersistentPool(workers)
+    else:
+        workers = pool.workers
     outcome = SearchOutcome(threshold=threshold, winner=None)
     runs = settings.runs
-    jobs = [
-        TrainingJob(spec, seed, index, run)
-        for index, spec in enumerate(ranked)
-        for run in range(runs)
-    ]
+    window = max(SPECULATION_FACTOR * workers, workers + 1)
+    # Speculation is bounded in *candidates*, not just in-flight chunks:
+    # only candidates within `lookahead` of the commit frontier may be
+    # submitted, so the training work discarded on an early pass is
+    # capped at ~`window` chunks past the winner even when one cheap
+    # candidate trains much slower than everything after it.  The bound
+    # still exposes >= `window` submittable chunks (lookahead * runs >=
+    # window * chunk), so workers stay busy across uneven run times.
+    lookahead = max(1, -(-window // runs))
+    # Runs per chunk: 1 unless `runs` is large relative to the window
+    # (many runs, few workers), where batching consecutive runs of one
+    # candidate into a single submission amortizes IPC and shares one
+    # compiled tape per worker invocation without starving any worker —
+    # the window always holds >= `window` submittable chunks.
+    chunk_size = max(1, (lookahead * runs) // window)
+    #: Static per-candidate cost estimates: the same FLOPs the ranking
+    #: was computed from drive the packing order below.
+    costs = [spec.flops(convention) for spec in ranked]
+
+    generation = pool.new_generation()
+    handle = pool.acquire_split(split)
+
     # per-candidate buffered results: run -> RunResult | Exception
     pending_runs: dict[int, dict[int, RunResult | Exception]] = {}
     ready: dict[int, "CandidateResult | Exception"] = {}
     next_commit = 0
-    window = max(SPECULATION_FACTOR * workers, workers + 1)
-    # Speculation is bounded in *candidates*, not just in-flight jobs:
-    # only candidates within `lookahead` of the commit frontier may be
-    # submitted, so the training work discarded on an early pass is
-    # capped at ~`window` jobs past the winner even when one cheap
-    # candidate trains much slower than everything after it.  The bound
-    # still exposes >= `window` submittable jobs (lookahead * runs >=
-    # window), so workers stay busy across uneven run times.
-    lookahead = max(1, -(-window // runs))
-
-    # multiprocessing.Pool rather than ProcessPoolExecutor: its
-    # terminate() kills in-flight jobs the moment the winner commits,
-    # where an executor could only cancel *queued* futures and would
-    # leave running speculative trainings competing with whatever the
-    # caller does next (or stalling interpreter exit).
-    pool = _pool_context().Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(split, settings),
-    )
-    # Completions cross from the pool's result-handler thread to this
-    # one through a thread-safe queue: (job, result, exception).
-    completions: SimpleQueue = SimpleQueue()
-    pos = 0
+    next_unqueued = 0  # next candidate not yet expanded into the heap
+    # Submittable chunks, ordered most-expensive-first (FLOPs-aware
+    # packing).  Ties (chunks of one candidate, equal-FLOPs candidates)
+    # fall back to (candidate, run) order, keeping submission fully
+    # deterministic.
+    submittable: list[tuple[int, int, int, JobChunk]] = []
     in_flight = 0
 
-    def submit(job: TrainingJob) -> None:
-        pool.apply_async(
-            _run_job,
-            (job,),
-            callback=lambda res, job=job: completions.put((job, res, None)),
-            error_callback=lambda exc, job=job: completions.put(
-                (job, None, exc)
+    # Completions cross from the pool's result-handler thread to this
+    # one through a thread-safe queue: (chunk, result, exception).
+    completions: SimpleQueue = SimpleQueue()
+
+    def submit(job_chunk: JobChunk) -> None:
+        pool.submit(
+            job_chunk,
+            callback=lambda res, c=job_chunk: completions.put((c, res, None)),
+            error_callback=lambda exc, c=job_chunk: completions.put(
+                (c, None, exc)
             ),
         )
 
     def top_up() -> None:
-        nonlocal pos, in_flight
-        while (
-            pos < len(jobs)
-            and in_flight < window
-            and jobs[pos].candidate_index < next_commit + lookahead
-        ):
-            submit(jobs[pos])
-            pos += 1
+        nonlocal next_unqueued, in_flight
+        limit = min(len(ranked), next_commit + lookahead)
+        while next_unqueued < limit:
+            index = next_unqueued
+            for job_chunk in make_chunks(
+                ranked[index],
+                index,
+                seed,
+                runs,
+                chunk_size,
+                handle,
+                settings,
+                generation,
+            ):
+                heapq.heappush(
+                    submittable,
+                    (-costs[index], index, job_chunk.jobs[0].run, job_chunk),
+                )
+            next_unqueued += 1
+        while submittable and in_flight < window:
+            _, _, _, job_chunk = heapq.heappop(submittable)
+            submit(job_chunk)
             in_flight += 1
-
-    # Worker pids at spawn: a changed set later means a worker died and
-    # was respawned — its in-flight job is lost (Pool fires no callback
-    # for it), so fail loudly instead of waiting forever.  ``_pool`` is
-    # not public API, but it has been the worker list since Python 2 and
-    # the watchdog degrades gracefully (attribute check) if it moves.
-    worker_pids = {p.pid for p in getattr(pool, "_pool", [])}
 
     try:
         top_up()
+        # Worker pids once work is submitted (workers start lazily on
+        # the first chunk): a changed set later means a worker died and
+        # was respawned — its in-flight chunk is lost (Pool fires no
+        # callback for it), so fail loudly instead of waiting forever.
+        worker_pids = pool.worker_pids()
         while in_flight:
             try:
-                job, result, error = completions.get(
+                job_chunk, result, error = completions.get(
                     timeout=_WATCHDOG_INTERVAL_S
                 )
             except Empty:
-                current = {p.pid for p in getattr(pool, "_pool", [])}
+                current = pool.worker_pids()
                 if worker_pids and current != worker_pids:
                     raise SearchError(
                         "a grid-search worker process died unexpectedly "
@@ -230,23 +223,42 @@ def speculative_search(
                     )
                 continue
             in_flight -= 1
-            per_run = pending_runs.setdefault(job.candidate_index, {})
-            per_run[job.run] = error if error is not None else result
-            if len(per_run) == runs:
-                del pending_runs[job.candidate_index]
+            if error is not None:
+                # Infrastructure failure (the chunk runner itself died,
+                # or its result could not be pickled) — per-run training
+                # errors are captured as RunError entries instead.
+                raise error
+            assert isinstance(result, ChunkResult)
+            if result.cancelled:
+                raise SearchError(
+                    "a worker cancelled a chunk of a live search; was the "
+                    "pool closed concurrently?"
+                )
+            for entry in result.entries:
+                per_run = pending_runs.setdefault(entry.candidate_index, {})
+                if isinstance(entry, RunError):
+                    per_run[entry.run] = entry.error
+                else:
+                    per_run[entry.run] = entry
+                if len(per_run) < runs:
+                    continue
+                index = entry.candidate_index
+                del pending_runs[index]
                 # Surface the lowest-run error (the one the sequential
                 # loop would hit first), else aggregate normally.
-                entry: "CandidateResult | Exception"
-                failed = [r for r in range(runs) if isinstance(per_run[r], Exception)]
+                verdict: "CandidateResult | Exception"
+                failed = [
+                    r for r in range(runs) if isinstance(per_run[r], Exception)
+                ]
                 if failed:
-                    entry = per_run[failed[0]]
+                    verdict = per_run[failed[0]]
                 else:
-                    entry = aggregate_runs(
-                        ranked[job.candidate_index],
+                    verdict = aggregate_runs(
+                        ranked[index],
                         convention,
                         [per_run[r] for r in range(runs)],
                     )
-                ready[job.candidate_index] = entry
+                ready[index] = verdict
             # Commit strictly in FLOPs order; verdicts (and errors) of
             # speculative higher-FLOPs candidates wait until their turn
             # and are discarded wholesale if a cheaper candidate passes
@@ -265,7 +277,12 @@ def speculative_search(
             top_up()
         return outcome
     finally:
-        # Kill any still-running speculative trainings immediately (their
-        # results are discarded by construction) and reap the workers.
-        pool.terminate()
-        pool.join()
+        # End this search's generation: still-queued speculative chunks
+        # no-op, running trainings abort at the next epoch boundary.
+        pool.release_split(handle)
+        pool.cancel(generation)
+        if owns_pool:
+            # Ephemeral pool: tear down immediately (kills in-flight
+            # speculative trainings outright) and unlink the published
+            # dataset segment.
+            pool.close()

@@ -1,0 +1,597 @@
+"""Persistent worker pool with zero-copy shared-memory datasets.
+
+PR 2's scheduler paid two per-search costs that dominate protocol runs
+(many grid searches back to back, one per level x experiment): spinning
+up a fresh process pool, and pickling the full :class:`DataSplit` into
+every worker through the pool initializer.  This module removes both:
+
+* :class:`PersistentPool` is created **once per protocol run** (or once
+  per CLI invocation) and reused by every grid search.  Workers survive
+  across searches, so pool spin-up and module import costs are paid one
+  time, and each worker's compiled-tape cache stays warm between
+  searches over the same circuit structures.
+
+* Datasets are published to workers through
+  :mod:`multiprocessing.shared_memory`: :meth:`PersistentPool.publish`
+  copies the split's arrays into one named segment and returns a tiny
+  picklable :class:`SharedSplitHandle` (segment name + array layout).
+  Workers attach zero-copy — the job payload carries the handle, never
+  the arrays — and cache the attachment per segment, so a dataset
+  crosses the process boundary **zero** times after publication.
+
+* Segments are refcounted per search (:meth:`acquire_split` /
+  :meth:`release_split`) and unlinked deterministically: on
+  :meth:`retire_split` once the last search using them finishes, on
+  :meth:`close`, and — via a :mod:`weakref` finalizer — at interpreter
+  exit even if the caller forgot to close the pool.  A worker crash
+  cannot leak a segment because the parent, not the workers, owns every
+  unlink.
+
+Searches are serialized through the pool (one at a time, matching the
+protocol's sequential decision structure); *cancellation* is the
+replacement for PR 2's ``pool.terminate()``: each search runs under a
+monotonically increasing **generation**, published to workers through an
+8-byte control segment.  Ending a search bumps the cancel floor, so its
+still-queued speculative chunks no-op in microseconds and its running
+trainings abort at the next epoch boundary
+(:func:`repro.nn.training.train_model`'s ``cancel_check``) — the pool
+stays warm for the next search instead of being torn down.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import pickle
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import SearchError, TrainingCancelled
+from .jobs import RunResult, TrainingJob, execute_job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
+
+    from ..core.grid_search import TrainingSettings
+    from ..data.splits import DataSplit
+
+__all__ = [
+    "SharedSplitHandle",
+    "PersistentPool",
+    "publish_split",
+    "attach_split",
+    "JobChunk",
+    "ChunkResult",
+    "RunError",
+]
+
+#: Byte alignment for each array inside a published segment (cache-line
+#: sized, and a multiple of every dtype itemsize we ship).
+_ALIGN = 64
+
+#: The six array fields of a DataSplit, in a fixed publication order.
+_SPLIT_FIELDS = (
+    "x_train",
+    "y_train",
+    "x_val",
+    "y_val",
+    "train_labels",
+    "val_labels",
+)
+
+#: Worker-side attachment cache cap: segments live one per complexity
+#: level, consecutive searches reuse the same one, so a handful covers
+#: any interleaving the protocol produces.
+_ATTACH_CACHE_MAX = 4
+
+
+@dataclass(frozen=True)
+class _ArrayLayout:
+    """Where one array lives inside a shared segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedSplitHandle:
+    """Picklable zero-copy reference to a published :class:`DataSplit`.
+
+    A few hundred bytes regardless of dataset size: the segment name
+    plus per-field layout.  This is what job payloads carry instead of
+    the arrays themselves.
+    """
+
+    segment: str
+    fields: tuple[tuple[str, _ArrayLayout], ...]
+    total_bytes: int
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def publish_split(split: "DataSplit") -> tuple["SharedMemory", SharedSplitHandle]:
+    """Copy a split's arrays into one fresh shared-memory segment.
+
+    Returns the owning :class:`SharedMemory` (caller must ``unlink`` it
+    eventually) and the handle workers attach with.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    arrays = {
+        name: np.ascontiguousarray(getattr(split, name))
+        for name in _SPLIT_FIELDS
+    }
+    offset = 0
+    layout: list[tuple[str, _ArrayLayout]] = []
+    for name, arr in arrays.items():
+        layout.append(
+            (name, _ArrayLayout(offset, arr.shape, arr.dtype.str))
+        )
+        offset = _aligned(offset + arr.nbytes)
+    shm = SharedMemory(create=True, size=max(offset, 1))
+    for (name, spec) in layout:
+        arr = arrays[name]
+        dst = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        dst[...] = arr
+    handle = SharedSplitHandle(
+        segment=shm.name, fields=tuple(layout), total_bytes=offset
+    )
+    return shm, handle
+
+
+def _attach_segment(name: str) -> "SharedMemory":
+    """Attach to an existing segment by name.
+
+    Attaching registers the name with the
+    :mod:`multiprocessing.resource_tracker`.  Forkserver (and POSIX
+    spawn) workers inherit the *parent's* tracker process, whose
+    registry is a set, so the worker's register is a harmless duplicate
+    of the parent's create-time entry and the parent's deterministic
+    ``unlink`` clears it exactly once.  (Do **not** unregister here: a
+    worker-side unregister would delete the parent's entry from the
+    shared tracker and make the parent's unlink complain.)
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    return SharedMemory(name=name)
+
+
+def attach_split(handle: SharedSplitHandle, shm: "SharedMemory") -> "DataSplit":
+    """Rebuild a read-only :class:`DataSplit` over an attached segment."""
+    from ..data.splits import DataSplit
+
+    fields = {}
+    for name, spec in handle.fields:
+        arr = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=shm.buf,
+            offset=spec.offset,
+        )
+        arr.flags.writeable = False
+        fields[name] = arr
+    return DataSplit(**fields)
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+# Lazily attached control segment (name installed by the initializer)
+# and the per-worker segment attachment cache.
+_CTRL_NAME: str | None = None
+_CTRL = None
+_ATTACHED: dict[str, tuple["SharedMemory", "DataSplit"]] = {}
+
+
+def _init_pool_worker(ctrl_name: str) -> None:
+    """Pool initializer: tiny payload by design (one segment name).
+
+    Candidate runs rebuild structurally identical circuits over and
+    over; the compiled-tape cache persists for the worker's lifetime,
+    which with a persistent pool now spans *every* search of a protocol
+    run.
+    """
+    global _CTRL_NAME
+    _CTRL_NAME = ctrl_name
+    from ..quantum.engine import enable_compile_cache
+
+    enable_compile_cache()
+
+
+def _cancel_floor() -> int:
+    """The lowest still-live generation, read from the control segment."""
+    global _CTRL
+    if _CTRL is None:
+        if _CTRL_NAME is None:
+            return 0  # not a pool worker (direct call in tests)
+        try:
+            _CTRL = _attach_segment(_CTRL_NAME)
+        except FileNotFoundError:
+            # Pool already closed: every generation is dead.
+            return 2**62
+    return int.from_bytes(_CTRL.buf[:8], "little")
+
+
+def _attached_split(handle: SharedSplitHandle) -> "DataSplit":
+    entry = _ATTACHED.get(handle.segment)
+    if entry is None:
+        shm = _attach_segment(handle.segment)
+        entry = (shm, attach_split(handle, shm))
+        _ATTACHED[handle.segment] = entry
+        while len(_ATTACHED) > _ATTACH_CACHE_MAX:
+            old_name, (old_shm, _) = next(iter(_ATTACHED.items()))
+            if old_name == handle.segment:
+                break
+            del _ATTACHED[old_name]
+            gc.collect()  # release numpy views before closing the map
+            try:
+                old_shm.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass  # mapping dies with the process
+    return entry[1]
+
+
+@dataclass(frozen=True)
+class JobChunk:
+    """A batch of runs of **one** candidate, shipped as a single task.
+
+    Batching runs lets one worker invocation share a compiled tape (and
+    one dataset attachment) across several runs, and cuts per-job IPC
+    when ``runs`` is large relative to the worker count.  The payload is
+    small by construction: jobs are coordinates, the handle is a name.
+    """
+
+    jobs: tuple[TrainingJob, ...]
+    handle: SharedSplitHandle
+    settings: "TrainingSettings"
+    generation: int
+
+
+@dataclass(frozen=True)
+class RunError:
+    """A picklable per-run failure, surfaced at the candidate's commit turn."""
+
+    candidate_index: int
+    run: int
+    error: Exception
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """What a worker sends back for one chunk."""
+
+    cancelled: bool
+    entries: tuple["RunResult | RunError", ...] = ()
+
+
+_CANCELLED_CHUNK = ChunkResult(cancelled=True)
+
+
+def _run_chunk(chunk: JobChunk) -> ChunkResult:
+    """Worker entry point: execute a chunk's runs under its generation.
+
+    A stale generation (the submitting search already ended) returns
+    immediately; a generation going stale mid-training aborts at the
+    next epoch boundary.  Per-run exceptions are captured — the
+    scheduler surfaces them at the candidate's commit turn, never
+    earlier — and the remaining runs still execute so the candidate can
+    complete (commit needs all runs accounted for).
+    """
+    generation = chunk.generation
+    if _cancel_floor() > generation:
+        return _CANCELLED_CHUNK
+    try:
+        split = _attached_split(chunk.handle)
+    except FileNotFoundError:
+        # Segment retired: only possible once its searches ended, i.e.
+        # this chunk's generation is already dead.
+        return _CANCELLED_CHUNK
+
+    def cancelled() -> bool:
+        return _cancel_floor() > generation
+
+    entries: list[RunResult | RunError] = []
+    for job in chunk.jobs:
+        try:
+            entries.append(
+                execute_job(job, split, chunk.settings, cancel_check=cancelled)
+            )
+        except TrainingCancelled:
+            return _CANCELLED_CHUNK
+        except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
+            entries.append(RunError(job.candidate_index, job.run, exc))
+    return ChunkResult(cancelled=False, entries=tuple(entries))
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+_PRELOAD_SET = False
+
+
+def _pool_context():
+    """The process-start context used for worker pools.
+
+    Prefer ``forkserver``: its server process is exec'd clean before
+    workers are forked, which sidesteps the fork-with-threads hazard —
+    the scheduler runs pool handler threads in this process, and plain
+    ``fork`` from a threaded parent can hand a child a held lock (an
+    intermittent deadlock).  The server preloads this module (and with
+    it numpy and the repro stack), so worker respawns are cheap forks
+    from a warm server.  Platforms without ``forkserver`` (Windows)
+    fall back to their default (``spawn``), which is equally
+    thread-safe; everything a chunk carries is picklable by design.
+    """
+    global _PRELOAD_SET
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+    if not _PRELOAD_SET:
+        ctx.set_forkserver_preload(["repro.runtime.pool"])
+        _PRELOAD_SET = True
+    return ctx
+
+
+@dataclass
+class _PublishedSplit:
+    shm: "SharedMemory"
+    handle: SharedSplitHandle
+    refs: int = 0
+    retired: bool = False
+    split_ref: "weakref.ref | None" = None
+
+
+def _unlink_quietly(shm: "SharedMemory") -> None:
+    for step in (shm.close, shm.unlink):
+        try:
+            step()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+def _cleanup(pool_box: list, segments: dict, ctrl: "SharedMemory") -> None:
+    """Idempotent teardown shared by close() and the GC/exit finalizer.
+
+    ``terminate`` (not ``close``) so in-flight speculative chunks die
+    immediately; their results are discarded by construction.  The
+    parent owns every unlink, so segments cannot leak even if workers
+    crashed or were killed mid-attach.  ``pool_box`` holds the lazily
+    started ``multiprocessing.Pool`` (empty if no search ever ran).
+    """
+    for pool in pool_box:
+        pool.terminate()
+        pool.join()
+    pool_box.clear()
+    for entry in list(segments.values()):
+        _unlink_quietly(entry.shm)
+    segments.clear()
+    _unlink_quietly(ctrl)
+
+
+class PersistentPool:
+    """A long-lived worker pool reused across grid searches.
+
+    Create one per protocol run (or CLI invocation), pass it to
+    :func:`repro.core.grid_search.grid_search` via ``pool=``, and close
+    it when done (it is a context manager).  See the module docstring
+    for the dataset-publication and cancellation protocols.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise SearchError(f"pool needs workers >= 1, got {workers}")
+        from multiprocessing.shared_memory import SharedMemory
+
+        self.workers = workers
+        self._generation = 0
+        self._ctrl = SharedMemory(create=True, size=8)
+        self._ctrl.buf[:8] = (0).to_bytes(8, "little")
+        self._segments: dict[str, _PublishedSplit] = {}
+        self._by_id: dict[int, str] = {}
+        self._initargs = (self._ctrl.name,)
+        #: Instrumentation: the pickled initializer payload shipped to
+        #: each worker.  PR 2 shipped the whole DataSplit here; now it
+        #: is one segment name, constant in dataset size (asserted by
+        #: tests/runtime/test_shared_memory.py).
+        self.init_payload_bytes = len(pickle.dumps(self._initargs))
+        self.searches_started = 0
+        # Worker processes start lazily on the first submitted chunk, so
+        # a pool created "just in case" (a CLI run whose experiments all
+        # hit the results cache, or one that never searches) costs one
+        # tiny control segment and zero processes.
+        self._pool_box: list = []
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._pool_box, self._segments, self._ctrl
+        )
+
+    def _worker_pool(self):
+        """The underlying process pool, started on first use.
+
+        multiprocessing.Pool rather than ProcessPoolExecutor: its
+        terminate() kills in-flight work at close(), where an executor
+        could only cancel *queued* futures and would stall interpreter
+        exit on running speculative trainings.
+        """
+        if not self._pool_box:
+            self._pool_box.append(
+                _pool_context().Pool(
+                    processes=self.workers,
+                    initializer=_init_pool_worker,
+                    initargs=self._initargs,
+                )
+            )
+        return self._pool_box[0]
+
+    # -- dataset lifecycle -------------------------------------------------
+
+    def publish(self, split: "DataSplit") -> SharedSplitHandle:
+        """Publish a split (idempotent per split object).
+
+        Segments whose split object has been garbage-collected and that
+        no search references anymore are swept here: nothing can ever
+        acquire them again (acquisition is keyed on the live object), so
+        a long-lived pool fed a stream of throwaway datasets does not
+        accumulate dead tmpfs copies.  For deterministic early release,
+        call :meth:`retire_split`.
+        """
+        self._ensure_open()
+        for entry in list(self._segments.values()):
+            if (
+                entry.refs == 0
+                and entry.split_ref is not None
+                and entry.split_ref() is None
+            ):
+                self._unlink_entry(entry)
+        name = self._by_id.get(id(split))
+        if name is not None:
+            entry = self._segments.get(name)
+            if (
+                entry is not None
+                and entry.split_ref is not None
+                and entry.split_ref() is split
+            ):
+                return entry.handle
+            # id() was recycled by a new split object; drop the stale map.
+            del self._by_id[id(split)]
+        shm, handle = publish_split(split)
+        self._segments[handle.segment] = _PublishedSplit(
+            shm=shm, handle=handle, split_ref=weakref.ref(split)
+        )
+        self._by_id[id(split)] = handle.segment
+        return handle
+
+    def acquire_split(self, split: "DataSplit") -> SharedSplitHandle:
+        """Publish (if new) and take a per-search reference."""
+        handle = self.publish(split)
+        self._segments[handle.segment].refs += 1
+        return handle
+
+    def release_split(self, handle: SharedSplitHandle) -> None:
+        """Drop a search's reference; unlink if retired and unused."""
+        entry = self._segments.get(handle.segment)
+        if entry is None:
+            return
+        entry.refs = max(0, entry.refs - 1)
+        if entry.retired and entry.refs == 0:
+            self._unlink_entry(entry)
+
+    def retire_split(self, split: "DataSplit | SharedSplitHandle") -> None:
+        """Mark a dataset as done; unlink now or when its last search ends."""
+        if isinstance(split, SharedSplitHandle):
+            name = split.segment
+        else:
+            name = self._by_id.get(id(split))
+        entry = self._segments.get(name) if name is not None else None
+        if entry is None:
+            return
+        entry.retired = True
+        if entry.refs == 0:
+            self._unlink_entry(entry)
+
+    def _unlink_entry(self, entry: _PublishedSplit) -> None:
+        _unlink_quietly(entry.shm)
+        self._segments.pop(entry.handle.segment, None)
+        for key, name in list(self._by_id.items()):
+            if name == entry.handle.segment:
+                del self._by_id[key]
+
+    @property
+    def live_segments(self) -> list[str]:
+        """Names of still-linked segments (observability + tests)."""
+        return list(self._segments)
+
+    # -- search lifecycle --------------------------------------------------
+
+    def new_generation(self) -> int:
+        """Start a search: returns the generation its chunks must carry."""
+        self._ensure_open()
+        self._generation += 1
+        self.searches_started += 1
+        return self._generation
+
+    def cancel(self, generation: int) -> None:
+        """End a search: its queued chunks no-op, running ones abort at
+        the next epoch boundary.  Monotonic, so late calls are safe."""
+        if self._finalizer.alive:
+            floor = generation + 1
+            if floor > int.from_bytes(self._ctrl.buf[:8], "little"):
+                self._ctrl.buf[:8] = floor.to_bytes(8, "little")
+
+    def submit(self, chunk: JobChunk, callback, error_callback) -> None:
+        self._ensure_open()
+        self._worker_pool().apply_async(
+            _run_chunk,
+            (chunk,),
+            callback=callback,
+            error_callback=error_callback,
+        )
+
+    def worker_pids(self) -> set[int]:
+        """Current worker pids (``Pool`` respawns a worker that dies).
+
+        Empty until the first chunk is submitted (workers start lazily).
+        """
+        if not self._pool_box:
+            return set()
+        return {p.pid for p in getattr(self._pool_box[0], "_pool", [])}
+
+    # -- teardown ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise SearchError("PersistentPool is closed")
+
+    def close(self) -> None:
+        """Terminate workers and unlink every segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def chunk_runs(runs: int, chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(runs)`` into ``(start, stop)`` chunks of size ``chunk``."""
+    return [(s, min(s + chunk, runs)) for s in range(0, runs, chunk)]
+
+
+def make_chunks(
+    spec,
+    candidate_index: int,
+    seed: int,
+    runs: int,
+    chunk: int,
+    handle: SharedSplitHandle,
+    settings: "TrainingSettings",
+    generation: int,
+) -> list[JobChunk]:
+    """All chunks of one candidate, in run order."""
+    return [
+        JobChunk(
+            jobs=tuple(
+                TrainingJob(spec, seed, candidate_index, run)
+                for run in range(start, stop)
+            ),
+            handle=handle,
+            settings=settings,
+            generation=generation,
+        )
+        for start, stop in chunk_runs(runs, chunk)
+    ]

@@ -21,7 +21,13 @@ from repro.core.grid_search import (
 from repro.core.search_space import ClassicalSpec, classical_search_space
 from repro.data import make_spiral, stratified_split
 from repro.exceptions import SearchError
-from repro.runtime import RunResult, TrainingJob, execute_job, resolve_workers
+from repro.runtime import (
+    PersistentPool,
+    RunResult,
+    TrainingJob,
+    execute_job,
+    resolve_workers,
+)
 
 
 class ExplodingSpec(ClassicalSpec):
@@ -165,6 +171,103 @@ class TestParallelDifferential:
         assert all(isinstance(c, CandidateResult) for c in seen)
         flops = [c.flops for c in seen]
         assert flops == sorted(flops)
+
+
+def _assert_same_outcome(par, seq):
+    assert par.succeeded == seq.succeeded
+    if seq.winner is not None:
+        assert par.winner.spec == seq.winner.spec
+        assert par.winner.train_accuracies == seq.winner.train_accuracies
+        assert par.winner.val_accuracies == seq.winner.val_accuracies
+    assert [c.spec for c in par.evaluated] == [c.spec for c in seq.evaluated]
+    assert [c.train_accuracies for c in par.evaluated] == [
+        c.train_accuracies for c in seq.evaluated
+    ]
+    assert [c.val_accuracies for c in par.evaluated] == [
+        c.val_accuracies for c in seq.evaluated
+    ]
+    assert [c.epochs_run for c in par.evaluated] == [
+        c.epochs_run for c in seq.evaluated
+    ]
+
+
+class TestPersistentPoolDifferential:
+    """The persistent-pool acceptance check: two consecutive searches on
+    one reused pool (warm workers, shared-memory dataset, FLOPs-aware
+    packing, chunked runs) stay bit-identical to workers=1."""
+
+    def test_pool_reuse_two_searches_bit_identical(self, easy_split):
+        settings = TrainingSettings(
+            epochs=60, batch_size=16, runs=2, early_stop_threshold=0.85
+        )
+        kwargs = dict(
+            specs=small_space(),
+            split=easy_split,
+            threshold=0.85,
+            settings=settings,
+        )
+        seq_a = grid_search(**kwargs, seed=3, workers=1)
+        seq_b = grid_search(**kwargs, seed=5, workers=1)
+        with PersistentPool(4) as pool:
+            par_a = grid_search(**kwargs, seed=3, pool=pool)
+            pids_after_first = pool.worker_pids()
+            par_b = grid_search(**kwargs, seed=5, pool=pool)
+            # The whole point: the second search reuses the same warm
+            # workers instead of spinning up a fresh pool.
+            assert pool.worker_pids() == pids_after_first
+            assert pool.searches_started == 2
+            # ... and the shared split was published exactly once.
+            assert len(pool.live_segments) == 1
+        _assert_same_outcome(par_a, seq_a)
+        _assert_same_outcome(par_b, seq_b)
+
+    def test_pool_exhausted_space_matches(self, easy_split):
+        """Chunked submission (runs batched per candidate) commits the
+        same evaluated list as the sequential loop."""
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=3)
+        kwargs = dict(
+            specs=small_space(),
+            split=easy_split,
+            threshold=1.01,  # unreachable
+            settings=settings,
+            max_candidates=3,
+        )
+        seq = grid_search(**kwargs, workers=1)
+        with PersistentPool(2) as pool:
+            par = grid_search(**kwargs, pool=pool)
+        assert par.candidates_trained == seq.candidates_trained == 3
+        _assert_same_outcome(par, seq)
+
+    def test_pool_progress_commit_order(self, easy_split):
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        seen = []
+        with PersistentPool(4) as pool:
+            grid_search(
+                small_space(),
+                easy_split,
+                settings=settings,
+                threshold=1.01,
+                max_candidates=4,
+                progress=seen.append,
+                pool=pool,
+            )
+        assert len(seen) == 4
+        flops = [c.flops for c in seen]
+        assert flops == sorted(flops)
+
+    def test_closed_pool_rejected(self, easy_split):
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        pool = PersistentPool(2)
+        pool.close()
+        with pytest.raises(SearchError, match="closed"):
+            grid_search(
+                small_space(),
+                easy_split,
+                settings=settings,
+                threshold=1.01,
+                max_candidates=1,
+                pool=pool,
+            )
 
 
 class TestCancellation:

@@ -1,0 +1,334 @@
+"""Shared-memory dataset lifecycle tests for the persistent pool.
+
+The ISSUE's acceptance bar: no leaked ``/dev/shm`` segments after
+normal completion, after an early-pass pool terminate, and after a
+worker crash; dataset pickling per job/per worker eliminated (payloads
+are handles, asserted by instrumented sizes); segments refcounted per
+search and unlinked deterministically on retire/close.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.grid_search import TrainingSettings, grid_search
+from repro.core.search_space import ClassicalSpec, classical_search_space
+from repro.data import make_spiral, stratified_split
+from repro.exceptions import SearchError, TrainingCancelled
+from repro.runtime import PersistentPool, attach_split, publish_split
+from repro.runtime.pool import JobChunk
+from repro.runtime.jobs import TrainingJob
+
+
+class CrashingSpec(ClassicalSpec):
+    """A spec whose training hard-kills the worker process (picklable by
+    reference, like ExplodingSpec in test_parallel_search)."""
+
+    def build(self, rng=None):
+        os._exit(13)
+
+
+def _segment_exists(name: str) -> bool:
+    # Linux: segments are files under /dev/shm.  Fall back to an attach
+    # probe elsewhere.
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(f"/dev/shm/{name}")
+    from multiprocessing.shared_memory import SharedMemory
+
+    try:
+        shm = SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+@pytest.fixture(scope="module")
+def easy_split():
+    ds = make_spiral(4, n_points=150, noise=0.0, turns=0.4, seed=7)
+    return stratified_split(ds, seed=7)
+
+
+def small_space(n_features=4):
+    return classical_search_space(
+        n_features, neuron_options=(2, 8), max_layers=2
+    )
+
+
+class TestPublishAttach:
+    def test_roundtrip_preserves_arrays(self, easy_split):
+        shm, handle = publish_split(easy_split)
+        try:
+            clone = attach_split(handle, shm)
+            for field in (
+                "x_train", "y_train", "x_val", "y_val",
+                "train_labels", "val_labels",
+            ):
+                ours = getattr(easy_split, field)
+                theirs = getattr(clone, field)
+                assert theirs.dtype == ours.dtype
+                np.testing.assert_array_equal(theirs, ours)
+                # Shared views are read-only: a worker cannot corrupt
+                # the dataset under every other worker's feet.
+                assert not theirs.flags.writeable
+        finally:
+            shm.close()
+            shm.unlink()
+        assert not _segment_exists(handle.segment)
+
+
+class TestZeroCopyPayloads:
+    def test_handle_size_independent_of_dataset_size(self):
+        small = stratified_split(make_spiral(4, n_points=120, seed=1), seed=1)
+        big = stratified_split(make_spiral(4, n_points=1200, seed=1), seed=1)
+        shm_s, h_s = publish_split(small)
+        shm_b, h_b = publish_split(big)
+        try:
+            small_bytes = len(pickle.dumps(h_s))
+            big_bytes = len(pickle.dumps(h_b))
+            # The handle is a name plus layout: constant-size, tiny.
+            assert big_bytes < 2048
+            assert abs(big_bytes - small_bytes) <= 64
+            # ... while the pickled dataset itself scales with points.
+            assert len(pickle.dumps(big)) > 10 * big_bytes
+        finally:
+            for shm in (shm_s, shm_b):
+                shm.close()
+                shm.unlink()
+
+    def test_job_chunk_payload_carries_no_arrays(self, easy_split):
+        shm, handle = publish_split(easy_split)
+        try:
+            chunk = JobChunk(
+                jobs=tuple(
+                    TrainingJob(small_space()[0], 3, 0, run)
+                    for run in range(5)
+                ),
+                handle=handle,
+                settings=TrainingSettings(epochs=1, runs=5),
+                generation=1,
+            )
+            payload = len(pickle.dumps(chunk))
+            assert payload < 4096
+            assert payload < len(pickle.dumps(easy_split)) / 4
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_initializer_payload_is_one_segment_name(self):
+        """PR 2 shipped the pickled DataSplit through the initializer
+        (per worker, per search); the persistent pool ships one control
+        segment name, constant in dataset size."""
+        with PersistentPool(1) as pool:
+            assert pool.init_payload_bytes < 256
+            # Workers start lazily: a pool that never searches (cached
+            # CLI runs, fig4) spawns zero processes.
+            assert pool.worker_pids() == set()
+
+
+class TestSegmentLifecycle:
+    def test_normal_completion_unlinks_on_close(self, easy_split):
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        with PersistentPool(2) as pool:
+            for seed in (0, 1):
+                outcome = grid_search(
+                    small_space(),
+                    easy_split,
+                    threshold=1.01,
+                    settings=settings,
+                    max_candidates=2,
+                    seed=seed,
+                    pool=pool,
+                )
+                assert outcome.candidates_trained == 2
+            # Both searches share the same split object: published once.
+            names = pool.live_segments
+            assert len(names) == 1
+            assert all(_segment_exists(n) for n in names)
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_early_pass_terminate_unlinks(self, easy_split):
+        """Winner commits while speculative chunks are still in flight;
+        closing the pool right away (terminate) must still unlink."""
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        pool = PersistentPool(4)
+        try:
+            outcome = grid_search(
+                small_space(),
+                easy_split,
+                threshold=0.0,  # cheapest candidate wins immediately
+                settings=settings,
+                pool=pool,
+            )
+            assert outcome.succeeded
+            names = pool.live_segments
+            assert names
+        finally:
+            pool.close()
+        assert not any(_segment_exists(n) for n in names)
+        assert pool.closed
+
+    def test_refcount_retire_unlinks_after_last_release(self, easy_split):
+        with PersistentPool(1) as pool:
+            handle = pool.acquire_split(easy_split)
+            again = pool.acquire_split(easy_split)
+            assert again.segment == handle.segment  # dedup per object
+            pool.retire_split(easy_split)
+            # One search still holds a reference: segment must survive.
+            assert _segment_exists(handle.segment)
+            pool.release_split(handle)
+            assert _segment_exists(handle.segment)
+            pool.release_split(handle)
+            assert not _segment_exists(handle.segment)
+            assert handle.segment not in pool.live_segments
+
+    def test_publish_sweeps_dead_unreferenced_splits(self):
+        """A long-lived pool fed a stream of throwaway datasets must not
+        accumulate dead tmpfs copies: once a split object is gone and no
+        search references its segment, the next publish unlinks it."""
+        import gc
+
+        with PersistentPool(1) as pool:
+            dead = stratified_split(make_spiral(4, n_points=90, seed=2), seed=2)
+            stale = pool.publish(dead)
+            assert _segment_exists(stale.segment)
+            del dead
+            gc.collect()
+            live = stratified_split(make_spiral(4, n_points=90, seed=4), seed=4)
+            fresh = pool.publish(live)
+            assert _segment_exists(fresh.segment)
+            assert not _segment_exists(stale.segment)
+            assert stale.segment not in pool.live_segments
+
+    def test_protocol_retires_levels_as_it_goes(self):
+        """run_protocol unlinks each level's segment when the level
+        finishes instead of letting them pile up until pool close."""
+        from repro.core.experiment import ProtocolConfig, run_protocol
+
+        cfg = ProtocolConfig(
+            feature_sizes=(4, 6),
+            n_experiments=1,
+            runs_per_candidate=1,
+            epochs=1,
+            n_points=60,
+            max_candidates=1,
+            threshold=1.01,
+            workers=2,
+        )
+        result = run_protocol("classical", cfg)
+        assert len(result.levels) == 2
+        if os.path.isdir("/dev/shm"):
+            assert not [
+                p for p in os.listdir("/dev/shm") if p.startswith("psm_")
+            ]
+
+
+class TestWorkerCrash:
+    def test_crash_fails_search_but_leaks_nothing(
+        self, easy_split, monkeypatch
+    ):
+        import repro.runtime.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_WATCHDOG_INTERVAL_S", 0.3)
+        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        pool = PersistentPool(2)
+        try:
+            with pytest.raises(SearchError, match="died unexpectedly"):
+                grid_search(
+                    [CrashingSpec(n_features=4, hidden=(2,))],
+                    easy_split,
+                    threshold=1.01,
+                    settings=settings,
+                    pool=pool,
+                )
+            # Pool auto-respawned the dead worker: still usable.
+            outcome = grid_search(
+                small_space(),
+                easy_split,
+                threshold=1.01,
+                settings=settings,
+                max_candidates=1,
+                pool=pool,
+            )
+            assert outcome.candidates_trained == 1
+            names = pool.live_segments
+        finally:
+            pool.close()
+        assert not any(_segment_exists(n) for n in names)
+
+
+class TestResourceTrackerHygiene:
+    def test_no_tracker_warnings_end_to_end(self, tmp_path):
+        """A pooled search in a fresh interpreter must not trip the
+        multiprocessing resource tracker: no 'leaked shared_memory'
+        warnings, no KeyError tracebacks from double-unregisters."""
+        script = tmp_path / "pooled_search.py"
+        script.write_text(textwrap.dedent("""
+            def main():
+                from repro.core.grid_search import TrainingSettings, grid_search
+                from repro.core.search_space import classical_search_space
+                from repro.data import make_spiral, stratified_split
+                from repro.runtime import PersistentPool
+
+                split = stratified_split(
+                    make_spiral(4, n_points=120, noise=0.0, seed=3), seed=3
+                )
+                space = classical_search_space(
+                    4, neuron_options=(2,), max_layers=1
+                )
+                settings = TrainingSettings(epochs=1, batch_size=64, runs=2)
+                with PersistentPool(2) as pool:
+                    outcome = grid_search(
+                        space, split, threshold=1.01,
+                        settings=settings, pool=pool,
+                    )
+                assert outcome.candidates_trained == len(space)
+                print("ok")
+
+            if __name__ == "__main__":
+                main()
+        """))
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+        assert "Traceback" not in result.stderr
+
+
+class TestCancelHook:
+    def test_train_model_cancel_check(self, easy_split):
+        from repro.nn.training import train_model
+        from repro.hybrid.builders import build_classical_model
+
+        rng = np.random.default_rng(0)
+        model = build_classical_model(4, hidden=(2,), rng=rng)
+        calls = []
+
+        def cancel():
+            calls.append(True)
+            return len(calls) >= 2  # let one epoch run, then cancel
+
+        with pytest.raises(TrainingCancelled):
+            train_model(
+                model,
+                easy_split.x_train,
+                easy_split.y_train,
+                easy_split.x_val,
+                easy_split.y_val,
+                epochs=50,
+                batch_size=64,
+                rng=rng,
+                cancel_check=cancel,
+            )
+        assert len(calls) == 2
