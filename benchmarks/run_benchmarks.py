@@ -104,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
             "benchmarks/test_substrate_micro.py",
             "benchmarks/test_grid_search_parallel.py",
             "benchmarks/test_pool_reuse.py",
+            "benchmarks/test_vectorized_runs.py",
         ]
     )
     rev = git_revision()

@@ -70,11 +70,34 @@ def build_parser() -> argparse.ArgumentParser:
         "changes",
     )
     parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="R",
+        help="override the profile's runs per candidate (changes results; "
+        "cached results are keyed separately)",
+    )
+    parser.add_argument(
+        "--no-vectorized-runs",
+        action="store_true",
+        help="train a candidate's runs one by one instead of as one "
+        "run-stacked sweep; results are identical either way, only wall "
+        "time changes",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
     )
     return parser
+
+
+def validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject invalid numeric knobs with a parser error (exit code 2)."""
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.runs is not None and args.runs < 1:
+        parser.error(f"--runs must be >= 1, got {args.runs}")
 
 
 def _progress_printer(quiet: bool):
@@ -94,11 +117,13 @@ def _dispatch(
     quiet: bool,
     workers: int = 1,
     pool=None,
+    config_overrides: dict | None = None,
 ) -> str:
     progress = _progress_printer(quiet)
     kwargs = dict(
         cache_dir=cache, progress=progress, workers=workers, pool=pool
     )
+    kwargs.update(config_overrides or {})
     if name == "fig4":
         return fig4_dataset_complexity.render(
             fig4_dataset_complexity.run(profile)
@@ -132,8 +157,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     once per protocol run (publication is keyed on the split object;
     each level's segment is retired as soon as its level finishes).
     """
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate_args(parser, args)
     targets = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    overrides: dict = {}
+    if args.runs is not None:
+        overrides["runs_per_candidate"] = args.runs
+    if args.no_vectorized_runs:
+        overrides["vectorized_runs"] = False
 
     from .runtime.parallel import resolve_workers
 
@@ -152,6 +185,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.quiet,
                     args.workers,
                     pool=pool,
+                    config_overrides=overrides,
                 )
             )
             print()

@@ -66,6 +66,10 @@ class ProtocolConfig:
     #: values are rejected.  Any value yields the same results; workers
     #: only change wall time.
     workers: int = 1
+    #: Run-stacked candidate training (one vectorized sweep per run set,
+    #: see :class:`~repro.core.grid_search.TrainingSettings`); results
+    #: are identical with it on or off, only wall time changes.
+    vectorized_runs: bool = True
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -74,6 +78,7 @@ class ProtocolConfig:
             learning_rate=self.learning_rate,
             runs=self.runs_per_candidate,
             early_stop_threshold=self.threshold if self.early_stop else None,
+            vectorized_runs=self.vectorized_runs,
         )
 
     def with_(self, **overrides) -> "ProtocolConfig":

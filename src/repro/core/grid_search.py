@@ -25,7 +25,7 @@ import numpy as np
 from ..data.splits import DataSplit
 from ..exceptions import SearchError
 from ..flops.conventions import CountingConvention, get_convention
-from ..runtime.jobs import RunResult, TrainingJob, execute_job
+from ..runtime.jobs import RunResult, execute_runs
 from .search_space import ModelSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,18 +43,38 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TrainingSettings:
-    """How each candidate run is trained (paper defaults)."""
+    """How each candidate run is trained (paper defaults).
+
+    ``vectorized_runs`` selects the run-stacked execution mode: a
+    candidate's whole run set trains as one
+    :class:`~repro.nn.training.VectorizedTrainer` sweep (bit-identical
+    metrics, one kernel sweep instead of ``runs``).  Models that cannot
+    be stacked fall back to per-run training automatically; results are
+    the same either way, only wall time changes.
+
+    ``return_histories`` keeps each run's full per-epoch
+    :class:`~repro.nn.training.History` on its
+    :class:`~repro.runtime.jobs.RunResult` (and on
+    :attr:`CandidateResult.histories`) instead of dropping it after the
+    max-over-epochs metrics are extracted.
+    """
 
     epochs: int = 100
     batch_size: int = 8
     learning_rate: float = 0.001
     runs: int = 5
     early_stop_threshold: float | None = None
+    vectorized_runs: bool = True
+    return_histories: bool = False
 
 
 @dataclass
 class CandidateResult:
-    """Aggregated outcome of the runs of one candidate architecture."""
+    """Aggregated outcome of the runs of one candidate architecture.
+
+    ``histories`` is populated (one entry per run, in run order) only
+    when :attr:`TrainingSettings.return_histories` is set.
+    """
 
     spec: ModelSpec
     flops: int
@@ -63,6 +83,7 @@ class CandidateResult:
     val_accuracies: list[float] = field(default_factory=list)
     epochs_run: list[int] = field(default_factory=list)
     wall_time_s: float = 0.0
+    histories: list = field(default_factory=list)
 
     @property
     def mean_train_accuracy(self) -> float:
@@ -127,6 +148,8 @@ def aggregate_runs(
         result.val_accuracies.append(rr.val_accuracy)
         result.epochs_run.append(rr.epochs_run)
         result.wall_time_s += rr.wall_time_s
+        if rr.history is not None:
+            result.histories.append(rr.history)
     return result
 
 
@@ -138,16 +161,24 @@ def _evaluate_candidate(
     candidate_index: int,
     convention: CountingConvention,
 ) -> CandidateResult:
-    """Train one candidate ``settings.runs`` times and aggregate."""
+    """Train one candidate ``settings.runs`` times and aggregate.
+
+    With ``settings.vectorized_runs`` the whole run set trains as one
+    stacked sweep (:func:`repro.runtime.jobs.execute_runs`); metrics are
+    bit-identical to the per-run loop either way.
+    """
     return aggregate_runs(
         spec,
         convention,
-        [
-            execute_job(
-                TrainingJob(spec, seed, candidate_index, run), split, settings
-            )
-            for run in range(settings.runs)
-        ],
+        execute_runs(
+            spec,
+            seed,
+            candidate_index,
+            range(settings.runs),
+            split,
+            settings,
+            vectorized=settings.vectorized_runs,
+        ),
     )
 
 

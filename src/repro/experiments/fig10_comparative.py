@@ -34,6 +34,7 @@ def run(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     pool: "PersistentPool | None" = None,
+    **config_overrides,
 ) -> list[ProtocolResult]:
     """Run (or load) all three family protocols."""
     return [
@@ -44,6 +45,7 @@ def run(
             progress=progress,
             workers=workers,
             pool=pool,
+            **config_overrides,
         )
         for f in _FAMILIES
     ]

@@ -26,6 +26,7 @@ def run(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     pool: "PersistentPool | None" = None,
+    **config_overrides,
 ) -> ProtocolResult:
     """Run (or load) the classical protocol under a profile."""
     return run_family_cached(
@@ -35,6 +36,7 @@ def run(
         progress=progress,
         workers=workers,
         pool=pool,
+        **config_overrides,
     )
 
 

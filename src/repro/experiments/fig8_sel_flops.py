@@ -27,6 +27,7 @@ def run(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     pool: "PersistentPool | None" = None,
+    **config_overrides,
 ) -> ProtocolResult:
     """Run (or load) the hybrid-SEL protocol under a profile."""
     return run_family_cached(
@@ -36,6 +37,7 @@ def run(
         progress=progress,
         workers=workers,
         pool=pool,
+        **config_overrides,
     )
 
 

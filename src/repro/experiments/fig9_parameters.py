@@ -28,6 +28,7 @@ def run(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     pool: "PersistentPool | None" = None,
+    **config_overrides,
 ) -> list[ProtocolResult]:
     """Run (or load) all three family protocols."""
     return [
@@ -38,6 +39,7 @@ def run(
             progress=progress,
             workers=workers,
             pool=pool,
+            **config_overrides,
         )
         for f in _PANEL_ORDER
     ]

@@ -181,10 +181,13 @@ def run_family_cached(
     """Like :func:`run_family`, but reuse a JSON result when present.
 
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
-    pass ``cache_dir=None`` to disable caching entirely.  ``workers``
-    and ``pool`` do not enter the cache key: parallel and sequential
-    runs produce identical results, so either may serve the other's
-    cache.
+    pass ``cache_dir=None`` to disable caching entirely.  ``workers``,
+    ``pool`` and ``vectorized_runs`` do not enter the cache key:
+    parallel, sequential and run-stacked executions produce identical
+    results, so any may serve another's cache.  Every other config
+    override *does* change results, so it is appended to the key —
+    ``repro fig8 --runs 3`` will never be served a default-runs cache
+    entry (nor poison it).
     """
     prof = get_profile(profile)
     if cache_dir is None:
@@ -197,7 +200,14 @@ def run_family_cached(
             **config_overrides,
         )
     cache_dir = Path(cache_dir)
-    path = cache_dir / f"{family}_{prof.name}.json"
+    base_cfg = prof.protocol_config()
+    affecting = {
+        k: v
+        for k, v in sorted(config_overrides.items())
+        if k != "vectorized_runs" and getattr(base_cfg, k, None) != v
+    }
+    suffix = "".join(f"_{k}-{v}" for k, v in affecting.items())
+    path = cache_dir / f"{family}_{prof.name}{suffix}.json"
     if path.exists():
         return load_protocol(path)
     result = run_family(

@@ -134,6 +134,7 @@ def run(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     pool: "PersistentPool | None" = None,
+    **config_overrides,
 ) -> dict[str, list[AblationRow]]:
     """Run (or load) both hybrid protocols and decompose the winners."""
     out: dict[str, list[AblationRow]] = {}
@@ -145,6 +146,7 @@ def run(
             progress=progress,
             workers=workers,
             pool=pool,
+            **config_overrides,
         )
         out[family] = rows_from_protocol(result, convention)
     return out

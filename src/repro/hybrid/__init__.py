@@ -1,10 +1,16 @@
 """Hybrid quantum-classical models (classical layers + quantum layer)."""
 
 from .builders import build_classical_model, build_hybrid_model
-from .quantum_layer import ANSATZE, GRADIENT_METHODS, QuantumLayer
+from .quantum_layer import (
+    ANSATZE,
+    GRADIENT_METHODS,
+    QuantumLayer,
+    StackedQuantumLayer,
+)
 
 __all__ = [
     "QuantumLayer",
+    "StackedQuantumLayer",
     "ANSATZE",
     "GRADIENT_METHODS",
     "build_classical_model",

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn.layers import Layer
+from ..nn.stacked import StackedLayer, register_stacker
 from ..quantum.adjoint import adjoint_gradients
 from ..quantum.circuit import Operation, run
 from ..quantum.engine import CompiledTape, compiled_tape
@@ -46,7 +47,12 @@ from ..quantum.templates import (
     strongly_entangling_layers,
 )
 
-__all__ = ["QuantumLayer", "ANSATZE", "GRADIENT_METHODS"]
+__all__ = [
+    "QuantumLayer",
+    "StackedQuantumLayer",
+    "ANSATZE",
+    "GRADIENT_METHODS",
+]
 
 ANSATZE = ("bel", "sel")
 GRADIENT_METHODS = ("adjoint", "parameter_shift")
@@ -275,3 +281,98 @@ class QuantumLayer(Layer):
             f"QuantumLayer(qubits={self.n_qubits}, layers={self.n_layers}, "
             f"ansatz={self.ansatz!r}, params={self.param_count})"
         )
+
+
+class StackedQuantumLayer(StackedLayer):
+    """R same-structure :class:`QuantumLayer` instances as one stack.
+
+    Drives the engine's run-stacked path: one compiled tape executes all
+    R runs' forward (and adjoint backward) passes over a fused run-major
+    ``(R * B, n_qubits)`` batch, with per-run ``(R, n_weights)`` weight
+    bindings and per-run weight gradients.  The engine kernels are
+    bit-identical to R independent executions
+    (``tests/quantum/test_engine_stacked.py``), which is what lets
+    ``vectorized_runs`` searches reproduce per-run results exactly.
+
+    Built by :func:`repro.nn.stacked.stack_models` via the registered
+    stacker; only adjoint-differentiated layers with engine-compilable
+    tapes stack (anything else falls back to scalar training).
+    """
+
+    def __init__(self, runs: int, layers: "list[QuantumLayer]") -> None:
+        first = layers[0]
+        super().__init__(runs, name=f"stacked_{first.name}")
+        self.n_qubits = first.n_qubits
+        self.n_weights = first.n_weights
+        self.weights = np.stack([lay.weights for lay in layers])
+        self.params = [self.weights]
+        self.grads = [np.zeros_like(self.weights)]
+        self._engine: CompiledTape = compiled_tape(
+            first.representative_tape(), first.n_qubits
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if (
+            x.ndim != 2
+            or x.shape[1] != self.n_qubits
+            or x.shape[0] % self.runs
+        ):
+            raise ShapeError(
+                f"{self.name} expected (runs*batch, {self.n_qubits}), "
+                f"got {x.shape} for runs={self.runs}"
+            )
+        state = self._engine.execute(
+            inputs=x,
+            weights=self.weights.reshape(self.runs, -1),
+            runs=self.runs,
+            record=training,
+        )
+        return self._engine.expvals(state, runs=self.runs)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._engine.has_record:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        input_grads, weight_grads = self._engine.adjoint_gradients(
+            grad, n_inputs=self.n_qubits, n_weights=self.n_weights
+        )
+        self.grads[0] += weight_grads.reshape(self.weights.shape)
+        return input_grads
+
+    def sync_to_layers(self, layers) -> None:
+        for r, lay in enumerate(layers):
+            lay.weights[...] = self.weights[r]
+
+
+def _stack_quantum_layers(runs, layers):
+    """Stacker for exact :class:`QuantumLayer` instances (see
+    :func:`repro.nn.stacked.register_stacker`).
+
+    Returns ``None`` — scalar fallback — for parameter-shift layers, for
+    mismatched structures, and for tapes the engine cannot rebind (the
+    same per-sample-parameter check :meth:`QuantumLayer._compile_engine`
+    applies).
+    """
+    first = layers[0]
+    for lay in layers:
+        if (
+            lay.gradient_method != "adjoint"
+            or lay.n_qubits != first.n_qubits
+            or lay.n_layers != first.n_layers
+            or lay.ansatz != first.ansatz
+            or lay.rotation != first.rotation
+            or lay.weights.shape != first.weights.shape
+        ):
+            return None
+    tape = first.build_tape(np.zeros((1, first.n_qubits)))
+    for op in tape:
+        for ref, param in zip(op.refs, op.params):
+            rebindable = ref is not None and ref.kind == "input"
+            if param.ndim == 1 and not rebindable:
+                return None
+    return StackedQuantumLayer(runs, layers)
+
+
+register_stacker(QuantumLayer, _stack_quantum_layers)

@@ -19,8 +19,14 @@ from .layers import (
 from .losses import CrossEntropy, Loss, MeanSquaredError, SoftmaxCrossEntropy
 from .metrics import accuracy, confusion_matrix
 from .model import Sequential
-from .optimizers import SGD, Adam, Optimizer
-from .training import History, iterate_minibatches, train_model
+from .optimizers import SGD, Adam, Optimizer, StackedAdam
+from .stacked import StackedSequential, stack_models
+from .training import (
+    History,
+    VectorizedTrainer,
+    iterate_minibatches,
+    train_model,
+)
 
 __all__ = [
     "initializers",
@@ -42,7 +48,11 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "StackedAdam",
+    "StackedSequential",
+    "stack_models",
     "History",
     "train_model",
+    "VectorizedTrainer",
     "iterate_minibatches",
 ]

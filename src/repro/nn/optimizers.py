@@ -11,7 +11,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["Optimizer", "SGD", "Adam"]
+__all__ = ["Optimizer", "SGD", "Adam", "StackedAdam"]
 
 
 class Optimizer:
@@ -94,3 +94,52 @@ class Adam(Optimizer):
             v *= self.beta_2
             v += (1.0 - self.beta_2) * np.square(g)
             p -= lr_t * m / (np.sqrt(v) + self.epsilon)
+
+
+class StackedAdam(Adam):
+    """Adam over run-stacked ``(R, ...)`` parameters with freeze masking.
+
+    Used by :class:`repro.nn.training.VectorizedTrainer`: every
+    parameter (and every moment buffer) carries a leading run axis, so
+    one elementwise update steps all R runs' Adam states at once —
+    bit-identical to R independent :class:`Adam` instances stepping in
+    lockstep, because the update is elementwise and the shared ``t``
+    counter equals each active run's own step count.
+
+    ``active`` masks runs that hit their early-stop threshold: a frozen
+    run's parameters *and* moment estimates stay untouched (exactly as
+    if its scalar training loop had broken out), while the surviving
+    runs keep stepping.  Frozen runs never resume, so the shared ``t``
+    stays equal to every active run's step count.
+    """
+
+    def step(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        active: np.ndarray | None = None,
+    ) -> None:
+        if active is None or bool(np.all(active)):
+            super().step(params, grads)
+            return
+        self._check(params, grads)
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        lr_t = self.learning_rate * (
+            np.sqrt(1.0 - self.beta_2**self._t) / (1.0 - self.beta_1**self._t)
+        )
+        idx = np.flatnonzero(active)
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            # Fancy indexing copies the active slices; the arithmetic on
+            # them is the same elementwise sequence as the unmasked
+            # update, then the results are written back in place.
+            ms, vs, gs = m[idx], v[idx], g[idx]
+            ms *= self.beta_1
+            ms += (1.0 - self.beta_1) * gs
+            vs *= self.beta_2
+            vs += (1.0 - self.beta_2) * np.square(gs)
+            m[idx] = ms
+            v[idx] = vs
+            p[idx] = p[idx] - lr_t * ms / (np.sqrt(vs) + self.epsilon)

@@ -1,0 +1,280 @@
+"""Run-stacked models: R same-structure models trained as one stack.
+
+The paper's protocol trains every candidate architecture ``runs`` times
+with an identical structure — only the seed-derived initial parameters
+differ — so a training step's work factors as *structure x runs*.  This
+module folds the run axis into the batch axis: a
+:class:`StackedSequential` holds one set of ``(R, ...)``-shaped
+parameter stacks and executes all R runs' forward/backward passes in a
+single sweep over run-major ``(R * B, features)`` activations (run ``r``
+owns rows ``r*B .. (r+1)*B``).
+
+Per-sample arithmetic is *bit-identical* to running the R source models
+independently:
+
+* :class:`StackedDense` applies one gemm per run slice — NumPy's
+  batched ``matmul`` over a ``(R, B, in) @ (R, in, out)`` stack performs
+  the same per-slice gemm a scalar :class:`~repro.nn.layers.Dense` would;
+* parameter-free elementwise/row-wise layers (ReLU, Tanh, Sigmoid,
+  Softmax, Flatten) operate row-independently, so the scalar
+  implementations are reused as-is on the fused batch;
+* the quantum layer's run-stacked engine path
+  (:meth:`repro.quantum.engine.CompiledTape.execute` with ``runs=R``)
+  is differentially tested bitwise against per-run execution.
+
+Stacking is *structural*: :func:`stack_models` inspects the R source
+models layer by layer and returns ``None`` whenever any layer has no
+registered stacker (custom layer types, Dropout, parameter-shift
+quantum layers...).  Callers fall back to the scalar per-run loop in
+that case, so vectorization is always an optimization, never a
+behaviour change.  Layer types register themselves via
+:func:`register_stacker` (the hybrid quantum layer does this on import,
+keeping this module free of a quantum dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .layers import Dense, Flatten, Layer, ReLU, Sigmoid, Softmax, Tanh
+from .model import Sequential
+
+__all__ = [
+    "StackedLayer",
+    "StackedDense",
+    "StackedSequential",
+    "register_stacker",
+    "stack_models",
+]
+
+
+class StackedLayer:
+    """Base class: one layer position of R run-stacked models.
+
+    The interface mirrors :class:`~repro.nn.layers.Layer` but activations
+    carry a fused run-major ``(R * B, features)`` batch.  ``params`` and
+    ``grads`` hold ``(R, ...)`` stacks (leading run axis).
+    """
+
+    def __init__(self, runs: int, name: str) -> None:
+        self.runs = runs
+        self.name = name
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    def sync_to_layers(self, layers: Sequence[Layer]) -> None:
+        """Copy the per-run parameter slices back into the source layers."""
+
+
+class _StackedPassthrough(StackedLayer):
+    """A parameter-free row-wise layer applied to the fused batch.
+
+    Elementwise and row-wise layers compute each output row from its own
+    input row only, so applying one scalar instance to the fused
+    ``(R*B, F)`` batch is exactly R independent applications.
+    """
+
+    def __init__(self, runs: int, layer: Layer) -> None:
+        super().__init__(runs, name=f"stacked_{layer.name}")
+        self._layer = layer
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self._layer.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self._layer.backward(grad)
+
+
+class StackedDense(StackedLayer):
+    """R :class:`~repro.nn.layers.Dense` layers as one batched stack.
+
+    Weights are ``(R, in, out)`` and biases ``(R, out)``.  The forward
+    and backward gemms run per run slice: one dgemm per run keeps the
+    arithmetic bit-identical to the scalar layer (a single fused gemm
+    would let BLAS block differently and drift in the last ulp, which
+    run-vectorized searches are not allowed to do).
+    """
+
+    def __init__(self, runs: int, layers: Sequence[Dense]) -> None:
+        super().__init__(runs, name=f"stacked_{layers[0].name}")
+        self.in_features = layers[0].in_features
+        self.out_features = layers[0].out_features
+        self.weight = np.stack([lay.weight for lay in layers])
+        self.bias = np.stack([lay.bias for lay in layers])
+        self.params = [self.weight, self.bias]
+        self.grads = [np.zeros_like(self.weight), np.zeros_like(self.bias)]
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if (
+            x.ndim != 2
+            or x.shape[1] != self.in_features
+            or x.shape[0] % self.runs
+        ):
+            raise ShapeError(
+                f"{self.name} expected (runs*batch, {self.in_features}), "
+                f"got {x.shape} for runs={self.runs}"
+            )
+        if training:
+            self._cache_x = x
+        per = x.shape[0] // self.runs
+        out = np.empty((x.shape[0], self.out_features))
+        for r in range(self.runs):
+            sl = slice(r * per, (r + 1) * per)
+            out[sl] = x[sl] @ self.weight[r] + self.bias[r]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise ShapeError(
+                f"{self.name}.backward called without a training forward"
+            )
+        x = self._cache_x
+        per = x.shape[0] // self.runs
+        out = np.empty((x.shape[0], self.in_features))
+        for r in range(self.runs):
+            sl = slice(r * per, (r + 1) * per)
+            self.grads[0][r] += x[sl].T @ grad[sl]
+            self.grads[1][r] += grad[sl].sum(axis=0)
+            out[sl] = grad[sl] @ self.weight[r].T
+        return out
+
+    def sync_to_layers(self, layers: Sequence[Layer]) -> None:
+        for r, lay in enumerate(layers):
+            lay.weight[...] = self.weight[r]
+            lay.bias[...] = self.bias[r]
+
+
+#: type -> stacker(runs, layers) registry.  Keyed on the *exact* type:
+#: a subclass may override behaviour the stacker does not model, so it
+#: conservatively falls back to the scalar path instead.
+_STACKERS: dict[type, Callable[[int, Sequence[Layer]], StackedLayer | None]] = {}
+
+#: Parameter-free row-wise layers whose scalar implementation is reused
+#: directly on the fused batch.
+_PASSTHROUGH_TYPES = (ReLU, Tanh, Sigmoid, Softmax, Flatten)
+
+
+def register_stacker(
+    layer_type: type,
+    stacker: Callable[[int, Sequence[Layer]], StackedLayer | None],
+) -> None:
+    """Register a stacked implementation for an exact layer type.
+
+    ``stacker(runs, layers)`` receives the R aligned layer instances and
+    returns a :class:`StackedLayer`, or ``None`` if these particular
+    instances cannot be stacked (the model then falls back to scalar
+    training).
+    """
+    _STACKERS[layer_type] = stacker
+
+
+def _stack_dense(runs: int, layers: Sequence[Layer]) -> StackedLayer | None:
+    first = layers[0]
+    for lay in layers:
+        if (
+            lay.in_features != first.in_features
+            or lay.out_features != first.out_features
+        ):
+            return None
+    return StackedDense(runs, layers)
+
+
+register_stacker(Dense, _stack_dense)
+
+
+class StackedSequential:
+    """R structurally identical :class:`Sequential` models as one stack.
+
+    Build via :func:`stack_models`.  ``forward``/``backward`` take fused
+    run-major activations; ``parameters()``/``gradients()`` expose the
+    ``(R, ...)`` stacks (feed them to a stacked optimizer such as
+    :class:`repro.nn.optimizers.StackedAdam`).
+    """
+
+    def __init__(
+        self,
+        runs: int,
+        layers: Sequence[StackedLayer],
+        models: Sequence[Sequential],
+    ) -> None:
+        self.runs = runs
+        self.layers = list(layers)
+        self._models = list(models)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def sync_to_models(self) -> None:
+        """Write the trained per-run parameters back into the R models."""
+        for pos, layer in enumerate(self.layers):
+            layer.sync_to_layers([m.layers[pos] for m in self._models])
+
+
+def stack_models(models: Sequence[Sequential]) -> StackedSequential | None:
+    """Fold R structurally identical models into one stacked model.
+
+    Returns ``None`` — vectorization unavailable, train the models
+    scalar — unless every layer position holds R instances of one exact
+    type that is either a registered stackable type or a known
+    parameter-free row-wise layer.
+    """
+    models = list(models)
+    if len(models) < 2:
+        return None
+    n_layers = len(models[0].layers)
+    if any(len(m.layers) != n_layers for m in models[1:]):
+        return None
+    runs = len(models)
+    stacked: list[StackedLayer] = []
+    for pos in range(n_layers):
+        layers = [m.layers[pos] for m in models]
+        tp = type(layers[0])
+        if any(type(lay) is not tp for lay in layers[1:]):
+            return None
+        stacker = _STACKERS.get(tp)
+        if stacker is not None:
+            entry = stacker(runs, layers)
+            if entry is None:
+                return None
+            stacked.append(entry)
+        elif tp in _PASSTHROUGH_TYPES:
+            stacked.append(_StackedPassthrough(runs, layers[0]))
+        else:
+            return None
+    return StackedSequential(runs, stacked, models)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -23,9 +23,15 @@ from ..exceptions import ConfigurationError, ShapeError, TrainingCancelled
 from .losses import CrossEntropy, Loss
 from .metrics import accuracy
 from .model import Sequential
-from .optimizers import Adam, Optimizer
+from .optimizers import Adam, Optimizer, StackedAdam
+from .stacked import stack_models
 
-__all__ = ["History", "train_model", "iterate_minibatches"]
+__all__ = [
+    "History",
+    "train_model",
+    "iterate_minibatches",
+    "VectorizedTrainer",
+]
 
 
 @dataclass
@@ -144,3 +150,186 @@ def train_model(
 
     history.wall_time_s = time.perf_counter() - started
     return history
+
+
+class VectorizedTrainer:
+    """Train R same-structure models in lockstep as one run-stacked sweep.
+
+    The paper's protocol trains every candidate ``runs`` times with an
+    identical architecture, so each epoch's work is R structurally
+    identical forward/backward passes.  This trainer folds them into
+    one: the models are stacked (:func:`repro.nn.stacked.stack_models`),
+    each optimizer step updates all R parameter sets at once
+    (:class:`~repro.nn.optimizers.StackedAdam`), and every kernel sweep
+    carries a fused run-major ``(R * B, features)`` batch.
+
+    Per-run semantics are preserved exactly:
+
+    * run ``r`` consumes its own RNG stream (``rngs[r]``) for minibatch
+      shuffling, drawing the same values in the same order as its
+      scalar :func:`train_model` counterpart;
+    * every stacked kernel is bit-identical to the scalar one per run
+      slice, so losses, accuracies and parameter trajectories match
+      per-run training bit for bit;
+    * a run that reaches ``early_stop_threshold`` **freezes but stays in
+      the stack**: its parameters, optimizer state and history stop
+      changing (exactly as if its scalar loop had broken out) while the
+      remaining runs keep training; the epoch loop ends when every run
+      is frozen or the epoch budget is spent.
+
+    ``available`` is ``False`` when any layer cannot be stacked (custom
+    layers, parameter-shift gradients, Dropout...); callers then fall
+    back to the scalar per-run loop — see
+    :func:`repro.runtime.jobs.execute_runs`.
+    """
+
+    def __init__(
+        self,
+        models: list[Sequential],
+        loss: Loss | None = None,
+        learning_rate: float = 0.001,
+    ) -> None:
+        self.models = list(models)
+        self.loss = loss or CrossEntropy()
+        self.learning_rate = learning_rate
+        self.stack = stack_models(self.models)
+
+    @property
+    def available(self) -> bool:
+        """Whether these models can be trained as one stack."""
+        return self.stack is not None
+
+    def train(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+        epochs: int = 100,
+        batch_size: int = 8,
+        rngs: Sequence[np.random.Generator] | None = None,
+        early_stop_threshold: float | None = None,
+        shuffle: bool = True,
+        cancel_check: Callable[[], bool] | None = None,
+    ) -> list[History]:
+        """Train the stack; return one :class:`History` per run.
+
+        Mirrors :func:`train_model`'s protocol per run.  ``rngs`` holds
+        one generator per run (each in the state its scalar counterpart
+        would be in when entering training); per-run ``wall_time_s``
+        measures lockstep time from start until that run froze or the
+        loop ended.  Raises
+        :class:`~repro.exceptions.TrainingCancelled` when
+        ``cancel_check`` fires at an epoch boundary.
+        """
+        if self.stack is None:
+            raise ConfigurationError(
+                "models cannot be stacked; check available before train()"
+            )
+        if y_train.ndim != 2 or y_val.ndim != 2:
+            raise ShapeError("targets must be one-hot encoded (2-D)")
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ShapeError("x_train and y_train batch sizes differ")
+        if x_val.shape[0] != y_val.shape[0]:
+            raise ShapeError("x_val and y_val batch sizes differ")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        stack = self.stack
+        runs = stack.runs
+        rngs = (
+            list(rngs)
+            if rngs is not None
+            else [np.random.default_rng() for _ in range(runs)]
+        )
+        if len(rngs) != runs:
+            raise ConfigurationError(
+                f"need one rng per run: {runs} runs, {len(rngs)} rngs"
+            )
+
+        optimizer = StackedAdam(learning_rate=self.learning_rate)
+        histories = [History() for _ in range(runs)]
+        active = np.ones(runs, dtype=bool)
+        started = time.perf_counter()
+        n = x_train.shape[0]
+        n_classes = y_train.shape[1]
+        # The per-epoch evaluation passes see the full train/val sets,
+        # tiled run-major once up front.
+        x_train_tiled = np.tile(x_train, (runs, 1))
+        x_val_tiled = np.tile(x_val, (runs, 1))
+        xb = yb = None  # fused minibatch buffers, allocated per size
+
+        for _ in range(epochs):
+            if not active.any():
+                break
+            if cancel_check is not None and cancel_check():
+                raise TrainingCancelled(
+                    "stacked training cancelled after "
+                    f"{max(h.epochs_run for h in histories)} epochs"
+                )
+            # One shuffled index order per active run — drawn from that
+            # run's own stream, exactly like its scalar loop.  Frozen
+            # runs keep an arbitrary (unshuffled) order: their rows ride
+            # along in the fused batch but nothing reads their results.
+            orders = np.empty((runs, n), dtype=np.intp)
+            for r in range(runs):
+                orders[r] = np.arange(n)
+                if shuffle and active[r]:
+                    rngs[r].shuffle(orders[r])
+            epoch_losses: list[list[float]] = [[] for _ in range(runs)]
+            for start in range(0, n, batch_size):
+                idx = orders[:, start : start + batch_size]
+                per = idx.shape[1]
+                rows = idx.reshape(-1)
+                if xb is None or xb.shape[0] != runs * per:
+                    xb = np.empty(
+                        (runs * per, x_train.shape[1]), dtype=x_train.dtype
+                    )
+                    yb = np.empty(
+                        (runs * per, n_classes), dtype=y_train.dtype
+                    )
+                np.take(x_train, rows, axis=0, out=xb)
+                np.take(y_train, rows, axis=0, out=yb)
+                stack.zero_grads()
+                out = stack.forward(xb, training=True)
+                # Loss values and gradients per run slice: the scalar
+                # loss divides by the *run's* batch, not the fused one.
+                grad = np.empty_like(out)
+                for r in range(runs):
+                    sl = slice(r * per, (r + 1) * per)
+                    if active[r]:
+                        epoch_losses[r].append(
+                            self.loss.value(out[sl], yb[sl])
+                        )
+                    grad[sl] = self.loss.gradient(out[sl], yb[sl])
+                stack.backward(grad)
+                optimizer.step(stack.parameters(), stack.gradients(), active)
+
+            train_out = stack.predict(x_train_tiled)
+            val_out = stack.predict(x_val_tiled)
+            n_val = x_val.shape[0]
+            for r in range(runs):
+                if not active[r]:
+                    continue
+                history = histories[r]
+                history.train_loss.append(float(np.mean(epoch_losses[r])))
+                history.train_accuracy.append(
+                    accuracy(y_train, train_out[r * n : (r + 1) * n])
+                )
+                history.val_accuracy.append(
+                    accuracy(y_val, val_out[r * n_val : (r + 1) * n_val])
+                )
+                history.epochs_run += 1
+                if (
+                    early_stop_threshold is not None
+                    and history.meets_threshold(early_stop_threshold)
+                ):
+                    history.stopped_early = True
+                    history.wall_time_s = time.perf_counter() - started
+                    active[r] = False
+
+        elapsed = time.perf_counter() - started
+        for r in range(runs):
+            if active[r]:
+                histories[r].wall_time_s = elapsed
+        stack.sync_to_models()
+        return histories

@@ -45,6 +45,23 @@ across the whole reversed tape; each gate's gradient contraction runs
 over all of its parameters in one vectorised einsum (the ``Rot`` gate's
 three angles cost one contraction, not three).
 
+**Run-stacked execution (one sweep for R parameter sets).**  The paper's
+protocol trains every candidate ``runs`` times with an *identical*
+circuit structure — only the seed-derived weights differ — so
+``execute`` also accepts a stacked 2-D ``weights`` of shape
+``(runs, n_weights)`` together with ``runs=R`` and a fused
+``(runs * batch, n_features)`` input whose rows are run-major.  Weight
+slots then bind one value *per run*: their gate matrices are built as a
+``(R, k, k)`` stack (R matrices instead of R*B) and applied through
+per-run kernels that view the flat ``(R*B, 2**n)`` buffer as
+``(R, B*left, 2, right)`` — a 3-operand einsum, or a broadcast
+``matmul`` on the last wire.  The adjoint sweep mirrors this: derivative
+stacks for per-run weights are ``(P, R, k, k)`` and weight gradients
+come back per run, shape ``(R, n_weights)``.  Per-sample arithmetic is
+identical to ``R`` independent executions (the kernels contract the same
+two-element axes in the same order), which is what makes
+``vectorized_runs`` grid searches bit-identical to per-run ones.
+
 For search workloads that rebuild structurally identical circuits over
 and over, :func:`compiled_tape` + :func:`enable_compile_cache` share one
 engine per circuit structure per process (the parallel runtime enables
@@ -412,12 +429,28 @@ class CompiledTape:
         return self._default_batch
 
     def _resolve_values(
-        self, inputs, weights, batch, shifts
-    ) -> dict[int, list[np.ndarray]]:
+        self, inputs, weights, batch, shifts, runs=None
+    ) -> tuple[dict[int, list[np.ndarray]], set[int]]:
+        """Bind every dynamic op's parameter values for this execution.
+
+        Each value is a scalar (shared by the whole batch), a per-sample
+        ``(batch,)`` vector (``input`` refs), or — in run-stacked mode
+        with 2-D ``weights`` — a per-run ``(runs,)`` vector.  Per-run
+        values of multi-qubit gates are expanded to per-sample up front:
+        only the single-qubit kernels have a dedicated per-run path.
+
+        Also returns the set of *run-stacked* op indices — ops whose 1-D
+        values are all per-run.  Shapes alone cannot identify them (with
+        one sample per run, ``runs == batch``), so the per-run kernel
+        choice is keyed on this set, not on array shapes.
+        """
+        stacked = weights is not None and weights.ndim == 2
         values: dict[int, list[np.ndarray]] = {}
+        run_ops: set[int] = set()
         for g in self._dynamic:
             spec = self._specs[g]
             vals = []
+            per_run = stacked and len(spec.wires) == 1
             for p, ref in enumerate(spec.refs):
                 if ref is not None and ref.kind == "input" and inputs is not None:
                     v = inputs[:, ref.index]
@@ -426,21 +459,35 @@ class CompiledTape:
                     and ref.kind == "weight"
                     and weights is not None
                 ):
-                    v = weights[ref.index]
+                    if stacked:
+                        v = weights[:, ref.index]
+                        if len(spec.wires) != 1:
+                            v = np.repeat(v, batch // runs)
+                    else:
+                        v = weights[ref.index]
                 else:
                     v = spec.defaults[p]
-                if v.ndim == 1 and v.shape[0] != batch:
+                if v.ndim == 1 and v.shape[0] != batch and v.shape[0] != runs:
                     raise ShapeError(
                         f"{spec.name} parameter batch {v.shape[0]} != "
                         f"execution batch {batch}"
                     )
+                if per_run and v.ndim == 1 and not (
+                    ref is not None and ref.kind == "weight"
+                ):
+                    # A per-sample value (input ref or batched default)
+                    # forces this op onto the per-sample path; its
+                    # stacked weights expand there.
+                    per_run = False
                 if shifts is not None:
                     delta = shifts.get((g, p))
                     if delta is not None:
                         v = v + delta
                 vals.append(v)
             values[g] = vals
-        return values
+            if per_run and any(v.ndim == 1 for v in vals):
+                run_ops.add(g)
+        return values, run_ops
 
     def _grouped_matrices(
         self,
@@ -448,47 +495,75 @@ class CompiledTape:
         values: Mapping[int, list[np.ndarray]],
         batch: int,
         deriv: bool = False,
+        run_ops: set[int] | frozenset[int] = frozenset(),
     ) -> dict[int, tuple[np.ndarray, ...] | np.ndarray]:
-        """Vectorised matrix construction: one builder call per gate type.
+        """Vectorised matrix construction: one builder call per gate type
+        and stacking width.
 
-        Returns a 1-tuple holding the gate matrix per op, or — for
-        ``deriv=True`` — one stacked ``(P, [B,] k, k)`` array of the op's
-        per-parameter derivative matrices.
+        Ops of one gate type are partitioned by the *effective length* of
+        their bound values — 1 (scalar parameters, one shared matrix),
+        ``runs`` (run-stacked weights, an ``(R, k, k)`` stack) or
+        ``batch`` (per-sample inputs, a ``(B, k, k)`` stack) — and each
+        partition costs one builder call.  Returns a 1-tuple holding the
+        gate matrix per op, or — for ``deriv=True`` — one stacked
+        ``(P, [L,] k, k)`` array of the op's per-parameter derivative
+        matrices.
+
+        Run-stacked ops (``run_ops``) get their matrices tagged with an
+        extra singleton axis — ``(R, 1, k, k)``, derivs
+        ``(P, R, 1, k, k)`` — so the kernels can tell a per-run stack
+        from a per-sample one even when ``runs == batch``.
         """
         out: dict[int, tuple[np.ndarray, ...] | np.ndarray] = {}
         for name, group in groups.items():
             info = GATE_SET[name]
             fn = info.deriv_fn if deriv else info.matrix_fn
             n_p = info.n_params
-            cols = [[values[g][p] for g in group] for p in range(n_p)]
-            batched = any(v.ndim == 1 for col in cols for v in col)
-            if batched:
-                args = []
-                for col in cols:
-                    a = np.empty((len(group), batch))
-                    for i, v in enumerate(col):
-                        a[i] = v
-                    args.append(a.reshape(-1))
-            else:
-                args = [np.array(col, dtype=np.float64) for col in cols]
-            result = fn(*args)
-            if not isinstance(result, tuple):
-                result = (result,)
-            per_op: list[np.ndarray] = []
-            for mats in result:
-                k = mats.shape[-1]
-                if batched:
-                    mats = mats.reshape(len(group), batch, k, k)
-                per_op.append(mats)
-            if deriv:
-                # Stack the per-parameter derivative matrices into one
-                # (P, [B,] k, k) array per op so the adjoint sweep can
-                # contract all of a gate's parameters in a single einsum.
-                for i, g in enumerate(group):
-                    out[g] = np.stack([mats[i] for mats in per_op])
-            else:
-                for i, g in enumerate(group):
-                    out[g] = tuple(mats[i] for mats in per_op)
+            # Partition key: (0, False) for all-scalar ops (one shared
+            # matrix), else the stacking width and per-run flag (a
+            # batch-1 execution's (1,)-vectors stay on the stacked path).
+            partitions: dict[tuple[int, bool], list[int]] = {}
+            for g in group:
+                lengths = [v.shape[0] for v in values[g] if v.ndim == 1]
+                key = (max(lengths) if lengths else 0, g in run_ops)
+                partitions.setdefault(key, []).append(g)
+            for (eff, per_run), part in partitions.items():
+                cols = [[values[g][p] for g in part] for p in range(n_p)]
+                if eff:
+                    args = []
+                    for col in cols:
+                        a = np.empty((len(part), eff))
+                        for i, v in enumerate(col):
+                            if v.ndim == 1 and v.shape[0] != eff:
+                                # A per-run value inside a per-sample op
+                                # (mixed refs): expand run-major.
+                                v = np.repeat(v, eff // v.shape[0])
+                            a[i] = v
+                        args.append(a.reshape(-1))
+                else:
+                    args = [np.array(col, dtype=np.float64) for col in cols]
+                result = fn(*args)
+                if not isinstance(result, tuple):
+                    result = (result,)
+                per_op: list[np.ndarray] = []
+                for mats in result:
+                    k = mats.shape[-1]
+                    if eff:
+                        if per_run:
+                            mats = mats.reshape(len(part), eff, 1, k, k)
+                        else:
+                            mats = mats.reshape(len(part), eff, k, k)
+                    per_op.append(mats)
+                if deriv:
+                    # Stack the per-parameter derivative matrices into one
+                    # (P, [L,] k, k) array per op so the adjoint sweep can
+                    # contract all of a gate's parameters in a single
+                    # einsum.
+                    for i, g in enumerate(part):
+                        out[g] = np.stack([mats[i] for mats in per_op])
+                else:
+                    for i, g in enumerate(part):
+                        out[g] = tuple(mats[i] for mats in per_op)
         return out
 
     def _mat_of(self, g: int, mats: Mapping[int, tuple]) -> np.ndarray:
@@ -520,12 +595,25 @@ class CompiledTape:
 
     # -- kernels -----------------------------------------------------------
 
-    def _apply_1q(self, mat, wire, src, dst, batch) -> None:
+    def _apply_1q(self, mat, wire, src, dst, batch, runs=None) -> None:
         left, right = self._lr[wire]
         if mat.ndim == 2:
             s = src.reshape(batch, left, 2, right)
             d = dst.reshape(batch, left, 2, right)
             np.einsum("ij,bljr->blir", mat, s, out=d)
+        elif mat.ndim == 4:
+            # Run-stacked (R, 1, 2, 2)-tagged matrices over a run-major
+            # (R*B, dim) buffer: one matrix per run, shared by that
+            # run's samples.  The buffer factors as (R, B*left, 2,
+            # right) for free.  Always einsum here — these matrices
+            # replace *shared* (2, 2) matrices of a per-run execution,
+            # whose kernel is einsum on every wire, and einsum matches
+            # it bitwise where the broadcast-matmul trailing-axis kernel
+            # does not (complex gemm rounds differently).  Bit-identical
+            # vectorized_runs searches depend on this.
+            s = src.reshape(runs, -1, 2, right)
+            d = dst.reshape(runs, -1, 2, right)
+            np.einsum("rij,rmjs->rmis", mat[:, 0], s, out=d)
         elif right == 1:
             # Batched matrices contracting the trailing axis: einsum's
             # slow path; broadcast matmul is ~2x faster (see the kernel
@@ -540,7 +628,7 @@ class CompiledTape:
             d = dst.reshape(batch, left, 2, right)
             np.einsum("bij,bljr->blir", mat, s, out=d)
 
-    def _apply_1q_inv(self, mat, wire, src, dst, batch) -> None:
+    def _apply_1q_inv(self, mat, wire, src, dst, batch, runs=None) -> None:
         if mat.ndim == 2:
             left, right = self._lr[wire]
             s = src.reshape(batch, left, 2, right)
@@ -548,9 +636,9 @@ class CompiledTape:
             np.einsum("ji,bljr->blir", mat.conj(), s, out=d)
         else:
             # Daggered batched matrices reuse the forward kernel (and its
-            # trailing-axis matmul specialization).
+            # trailing-axis matmul and run-stacked specializations).
             self._apply_1q(
-                np.conj(np.swapaxes(mat, -1, -2)), wire, src, dst, batch
+                np.conj(np.swapaxes(mat, -1, -2)), wire, src, dst, batch, runs
             )
 
     def _apply_2q(self, mat, wire_a, wire_b, src, dst, batch) -> None:
@@ -558,11 +646,29 @@ class CompiledTape:
         out = apply_two_qubit(tensor, mat, wire_a, wire_b)
         dst[:] = out.reshape(batch, self.dim)
 
-    def _combined(self, members, mats) -> np.ndarray:
+    def _combined(self, members, mats, runs=None) -> np.ndarray:
         mat = self._mat_of(members[0], mats)
         for m in members[1:]:
-            mat = np.matmul(self._mat_of(m, mats), mat)
+            mat = self._matmul_promote(self._mat_of(m, mats), mat, runs)
         return mat
+
+    @staticmethod
+    def _matmul_promote(a, b, runs=None) -> np.ndarray:
+        """``a @ b`` for any mix of shared, per-run and per-sample stacks.
+
+        Shared ``(k, k)`` matrices broadcast against anything via plain
+        ``matmul`` (a per-run ``(R, 1, k, k)`` tag survives it).  Mixing
+        a per-run stack with a per-sample ``(R*B, k, k)`` stack views
+        the per-sample one as ``(R, B, k, k)`` so the run axis
+        broadcasts, then flattens back — the product is per-sample.
+        """
+        if a.ndim == 4 and b.ndim == 3:
+            wide = b.reshape(runs, -1, *b.shape[1:])
+            return np.matmul(a, wide).reshape(b.shape)
+        if a.ndim == 3 and b.ndim == 4:
+            wide = a.reshape(runs, -1, *a.shape[1:])
+            return np.matmul(wide, b).reshape(a.shape)
+        return np.matmul(a, b)
 
     # -- execution ---------------------------------------------------------
 
@@ -573,6 +679,7 @@ class CompiledTape:
         batch: int | None = None,
         shifts: Mapping[tuple[int, int], float] | None = None,
         record: bool = False,
+        runs: int | None = None,
     ) -> np.ndarray:
         """Run the compiled program; return the final flat ``(B, 2**n)`` state.
 
@@ -583,6 +690,12 @@ class CompiledTape:
         ``shifts`` adds a delta to individual ``(op_index, param_index)``
         slots (the parameter-shift rule's hook).  The returned array is an
         engine-owned buffer, valid only until the next ``execute``.
+
+        ``runs=R`` enables run-stacked execution: ``weights`` may then be
+        a 2-D ``(R, n_weights)`` stack, one parameter set per run, and
+        the batch must be ``R * B`` with run-major rows (run ``r`` owns
+        rows ``r*B .. (r+1)*B``).  One sweep executes all ``R`` runs;
+        see the module docstring.
         """
         if inputs is not None:
             inputs = np.asarray(inputs, dtype=np.float64)
@@ -596,22 +709,46 @@ class CompiledTape:
                     f"have {inputs.shape[1]} features"
                 )
         if weights is not None:
-            weights = np.ravel(np.asarray(weights, dtype=np.float64))
-            if weights.size <= self._max_weight:
-                raise ShapeError(
-                    f"tape references weight {self._max_weight}, got "
-                    f"{weights.size} weights"
-                )
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.ndim == 2 and runs is not None:
+                if weights.shape[0] != runs:
+                    raise ShapeError(
+                        f"stacked weights have {weights.shape[0]} rows, "
+                        f"expected runs={runs}"
+                    )
+                if weights.shape[1] <= self._max_weight:
+                    raise ShapeError(
+                        f"tape references weight {self._max_weight}, got "
+                        f"{weights.shape[1]} weights per run"
+                    )
+            else:
+                weights = np.ravel(weights)
+                if weights.size <= self._max_weight:
+                    raise ShapeError(
+                        f"tape references weight {self._max_weight}, got "
+                        f"{weights.size} weights"
+                    )
         batch = self._resolve_batch(inputs, batch)
         if batch < 1:
             raise ShapeError(f"batch size must be positive, got {batch}")
+        if runs is not None:
+            if runs < 1:
+                raise ShapeError(f"runs must be >= 1, got {runs}")
+            if batch % runs != 0:
+                raise ShapeError(
+                    f"batch {batch} is not a multiple of runs {runs}"
+                )
         if self._fixed_batch > 1 and batch != self._fixed_batch:
             raise ShapeError(
                 f"tape has baked-in batched parameters of size "
                 f"{self._fixed_batch}, cannot execute with batch {batch}"
             )
-        values = self._resolve_values(inputs, weights, batch, shifts)
-        mats = self._grouped_matrices(self._dyn_groups, values, batch)
+        values, run_ops = self._resolve_values(
+            inputs, weights, batch, shifts, runs
+        )
+        mats = self._grouped_matrices(
+            self._dyn_groups, values, batch, run_ops=run_ops
+        )
 
         buf, scratch = self._buffers(batch, "fwd", 2)
         buf.fill(0.0)
@@ -622,8 +759,8 @@ class CompiledTape:
                 self._apply_1q(instr[2], instr[1], buf, scratch, batch)
                 buf, scratch = scratch, buf
             elif kind == _F1Q_DYN:
-                mat = self._combined(instr[2], mats)
-                self._apply_1q(mat, instr[1], buf, scratch, batch)
+                mat = self._combined(instr[2], mats, runs)
+                self._apply_1q(mat, instr[1], buf, scratch, batch, runs)
                 buf, scratch = scratch, buf
             elif kind == _FPERM:
                 np.take(buf, instr[1], axis=1, out=scratch)
@@ -646,6 +783,8 @@ class CompiledTape:
             self._pools[batch].pop("fwd", None)
             self._last = {
                 "batch": batch,
+                "runs": runs,
+                "run_ops": run_ops,
                 "mats": mats,
                 "values": values,
                 "final": buf,
@@ -674,8 +813,16 @@ class CompiledTape:
         self,
         state: np.ndarray | None = None,
         wires: Sequence[int] | None = None,
+        runs: int | None = None,
     ) -> np.ndarray:
-        """Per-wire Z expectations of a flat state (default: last final)."""
+        """Per-wire Z expectations of a flat state (default: last final).
+
+        With ``runs=R`` the sign-table contraction runs once per run's
+        row block: BLAS chooses its blocking by row count, so a single
+        ``(R*B, dim)`` gemm is *not* bitwise identical to the per-run
+        ``(B, dim)`` gemms — and run-stacked training must reproduce the
+        per-run results exactly.
+        """
         if state is None:
             if self._last is None:
                 raise ShapeError("no state given and no recorded execution")
@@ -689,7 +836,19 @@ class CompiledTape:
                         f"wire {w} out of range for {self.n_qubits} qubits"
                     )
             signs = signs[wires]
-        return abs2(state) @ signs.T
+        probs = abs2(state)
+        if runs is None or runs == 1:
+            return probs @ signs.T
+        if probs.shape[0] % runs != 0:
+            raise ShapeError(
+                f"batch {probs.shape[0]} is not a multiple of runs {runs}"
+            )
+        out = np.empty((probs.shape[0], signs.shape[0]))
+        per = probs.shape[0] // runs
+        for r in range(runs):
+            sl = slice(r * per, (r + 1) * per)
+            np.matmul(probs[sl], signs.T, out=out[sl])
+        return out
 
     # -- compiled adjoint --------------------------------------------------
 
@@ -706,15 +865,30 @@ class CompiledTape:
                 pool["fwd"] = [self._last["final"], self._last["scratch"]]
             self._last = None
 
-    def _deriv_overlaps(self, dmats, wire, ket, bra, batch) -> np.ndarray:
+    def _deriv_overlaps(self, dmats, wire, ket, bra, batch, runs=None) -> np.ndarray:
         """``2 Re <bra_b| dU_p |ket_b>`` for all P parameters at once.
 
-        ``dmats`` is the stacked ``(P, 2, 2)`` or ``(P, B, 2, 2)``
-        derivative-matrix array of one gate; returns ``(P, B)`` per-sample
-        overlaps — the adjoint method's gradient contraction, vectorised
-        across the gate's parameters instead of looping.
+        ``dmats`` is the stacked ``(P, 2, 2)``, ``(P, B, 2, 2)`` or —
+        run-stacked — ``(P, R, 2, 2)`` derivative-matrix array of one
+        gate; returns ``(P, B)`` per-sample overlaps — the adjoint
+        method's gradient contraction, vectorised across the gate's
+        parameters instead of looping.
         """
         left, right = self._lr[wire]
+        if dmats.ndim == 5:
+            # Per-run (P, R, 1, 2, 2)-tagged derivative matrices over a
+            # run-major buffer: view the states as (R, B, left, 2,
+            # right) so the run axis lines up, then flatten the
+            # per-sample overlaps back to (P, R*B).
+            per = batch // runs
+            k = ket.reshape(runs, per, left, 2, right)
+            b = bra.reshape(runs, per, left, 2, right)
+            dk = np.einsum("prij,rbljs->prblis", dmats[:, :, 0], k)
+            out = 2.0 * (
+                np.einsum("rblis,prblis->prb", b.real, dk.real)
+                + np.einsum("rblis,prblis->prb", b.imag, dk.imag)
+            )
+            return out.reshape(dmats.shape[0], batch)
         k = ket.reshape(batch, left, 2, right)
         b = bra.reshape(batch, left, 2, right)
         if dmats.ndim == 3:
@@ -726,11 +900,11 @@ class CompiledTape:
             + np.einsum("blir,pblir->pb", b.imag, dk.imag)
         )
 
-    def _apply_adj_step(self, step, mats, src, dst, batch):
+    def _apply_adj_step(self, step, mats, src, dst, batch, runs=None):
         """Apply the inverse of one original op; return the live buffer pair."""
         kind = step[0]
         if kind == "m1":
-            self._apply_1q_inv(mats, step[1], src, dst, batch)
+            self._apply_1q_inv(mats, step[1], src, dst, batch, runs)
             return dst, src
         if kind == "perm":
             np.take(src, step[2], axis=1, out=dst)
@@ -755,7 +929,10 @@ class CompiledTape:
         Consumes the execution recorded by ``execute(record=True)`` —
         reusing its bound gate matrices — and releases it afterwards.
         Returns per-sample ``input`` gradients ``(B, n_inputs)`` and
-        batch-summed ``weight`` gradients ``(n_weights,)``.
+        batch-summed ``weight`` gradients ``(n_weights,)``.  For a
+        run-stacked record (``execute(..., runs=R)`` with 2-D weights)
+        the weight gradients come back **per run**, shape
+        ``(R, n_weights)``, each row summed over that run's samples only.
         """
         if self._last is None:
             raise ShapeError(
@@ -767,6 +944,7 @@ class CompiledTape:
                 raise GateError(reason)
         last = self._last
         batch, mats, values = last["batch"], last["mats"], last["values"]
+        runs = last["runs"]
         ket, kscr = last["final"], last["scratch"]
         bra, bscr = self._buffers(batch, "adj", 2)
 
@@ -781,14 +959,31 @@ class CompiledTape:
             )
         # Seed |bra_b> = (sum_k g_bk Z_k)|psi_b>: the Z combination is a
         # diagonal, so it is one matmul against the sign table followed by
-        # an elementwise product with the final state.
-        np.multiply(grad_out @ signs, ket, out=bra)
+        # an elementwise product with the final state.  Run-stacked
+        # records seed per run block so the gemm's row count — and with
+        # it BLAS's rounding — matches a per-run execution exactly.
+        if runs is None or runs == 1:
+            seed = grad_out @ signs
+        else:
+            seed = np.empty((batch, signs.shape[1]))
+            per = batch // runs
+            for r in range(runs):
+                sl = slice(r * per, (r + 1) * per)
+                np.matmul(grad_out[sl], signs, out=seed[sl])
+        np.multiply(seed, ket, out=bra)
 
         derivs = self._grouped_matrices(
-            self._train_groups, values, batch, deriv=True
+            self._train_groups,
+            values,
+            batch,
+            deriv=True,
+            run_ops=last["run_ops"],
         )
         input_grads = np.zeros((batch, n_inputs), dtype=np.float64)
-        weight_grads = np.zeros(n_weights, dtype=np.float64)
+        if runs is not None:
+            weight_grads = np.zeros((runs, n_weights), dtype=np.float64)
+        else:
+            weight_grads = np.zeros(n_weights, dtype=np.float64)
 
         for g in range(len(self._specs) - 1, -1, -1):
             spec = self._specs[g]
@@ -802,7 +997,9 @@ class CompiledTape:
                 if step[0] in ("m1", "m2")
                 else None
             )
-            ket, kscr = self._apply_adj_step(step, gate_mat, ket, kscr, batch)
+            ket, kscr = self._apply_adj_step(
+                step, gate_mat, ket, kscr, batch, runs
+            )
             d_entry = derivs.get(g)
             if d_entry is not None:
                 refs = spec.refs
@@ -811,14 +1008,23 @@ class CompiledTape:
                     d_entry = d_entry[keep]
                     refs = [refs[p] for p in keep]
                 overlaps = self._deriv_overlaps(
-                    d_entry, spec.wires[0], ket, bra, batch
+                    d_entry, spec.wires[0], ket, bra, batch, runs
                 )
                 for per_sample, ref in zip(overlaps, refs):
                     if ref.kind == "input":
                         input_grads[:, ref.index] += per_sample
+                    elif runs is not None:
+                        # Per-run weight gradients: each run's row sums
+                        # its own B contiguous samples (same pairwise
+                        # reduction a per-run execution would perform).
+                        weight_grads[:, ref.index] += per_sample.reshape(
+                            runs, -1
+                        ).sum(axis=1)
                     else:
                         weight_grads[ref.index] += per_sample.sum()
-            bra, bscr = self._apply_adj_step(step, gate_mat, bra, bscr, batch)
+            bra, bscr = self._apply_adj_step(
+                step, gate_mat, bra, bscr, batch, runs
+            )
 
         pool = self._pools.get(batch)
         if pool is not None:

@@ -7,19 +7,25 @@ while the embarrassingly parallel (candidate, run) training work fans
 out across workers.
 
 :mod:`repro.runtime.pool` provides the persistent worker pool — spun up
-once, reused across every grid search of a protocol run — and the
+once, reused across every grid search of a protocol run — the
 shared-memory dataset protocol (workers attach to published
-:class:`~repro.data.splits.DataSplit` segments zero-copy).
+:class:`~repro.data.splits.DataSplit` segments zero-copy), the
+shared-memory return path for oversized results, and the measured-cost
+model behind adaptive chunk packing.
 :mod:`repro.runtime.parallel` is the speculative scheduler with
-FLOPs-aware job packing, and :mod:`repro.runtime.jobs` the shared run
-primitive.
+cost-aware job packing, and :mod:`repro.runtime.jobs` holds the shared
+run primitives — scalar :func:`~repro.runtime.jobs.execute_job` and the
+run-stacked :func:`~repro.runtime.jobs.execute_runs` that trains a
+candidate's whole run set in one vectorized sweep.
 """
 
-from .jobs import RunResult, TrainingJob, execute_job
+from .jobs import RunResult, TrainingJob, execute_job, execute_runs
 from .parallel import SPECULATION_FACTOR, resolve_workers, speculative_search
 from .pool import (
+    ChunkCostModel,
     PersistentPool,
     SharedSplitHandle,
+    ShmResultHandle,
     attach_split,
     publish_split,
 )
@@ -28,11 +34,14 @@ __all__ = [
     "TrainingJob",
     "RunResult",
     "execute_job",
+    "execute_runs",
     "resolve_workers",
     "speculative_search",
     "SPECULATION_FACTOR",
     "PersistentPool",
     "SharedSplitHandle",
+    "ShmResultHandle",
+    "ChunkCostModel",
     "publish_split",
     "attach_split",
 ]

@@ -1,4 +1,4 @@
-"""Picklable training-job payloads and the shared run primitive.
+"""Picklable training-job payloads and the shared run primitives.
 
 The parallel search runtime ships jobs to worker processes, so a job
 must be a small, picklable value object: the :class:`ModelSpec` (frozen
@@ -8,29 +8,37 @@ that derive the job's RNG stream.  The heavyweight, per-search constants
 :class:`~repro.core.grid_search.TrainingSettings` — travel once per
 worker via the pool initializer, not once per job.
 
-:func:`execute_job` is the *only* place a (candidate, run) training run
-happens: the sequential grid search and every pool worker call the same
-function with the same ``(seed, candidate_index, run)``-derived RNG, so
-parallel results are bit-identical to sequential ones by construction
-rather than by testing alone.
+:func:`execute_job` is the *only* place a scalar (candidate, run)
+training run happens: the sequential grid search and every pool worker
+call the same function with the same ``(seed, candidate_index,
+run)``-derived RNG, so parallel results are bit-identical to sequential
+ones by construction rather than by testing alone.
+
+:func:`execute_runs` is its run-vectorized sibling: it trains a whole
+run set of one candidate as one stacked sweep
+(:class:`repro.nn.training.VectorizedTrainer`) when the model stacks,
+and falls back to per-run :func:`execute_job` calls otherwise.  The
+stacked path's kernels are bit-identical to the scalar ones per run, so
+either path yields the same :class:`RunResult` list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..nn.optimizers import Adam
-from ..nn.training import train_model
+from ..nn.training import VectorizedTrainer, train_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.grid_search import TrainingSettings
     from ..core.search_space import ModelSpec
     from ..data.splits import DataSplit
+    from ..nn.training import History
 
-__all__ = ["TrainingJob", "RunResult", "execute_job"]
+__all__ = ["TrainingJob", "RunResult", "execute_job", "execute_runs"]
 
 
 @dataclass(frozen=True)
@@ -47,9 +55,13 @@ class TrainingJob:
 class RunResult:
     """The outcome of one training run, reduced to what aggregation needs.
 
-    Histories stay in the worker; only the paper's per-run metrics (max
-    train/val accuracy over epochs), the epoch count and the wall time
-    cross the process boundary.
+    By default histories stay in the worker; only the paper's per-run
+    metrics (max train/val accuracy over epochs), the epoch count and
+    the wall time cross the process boundary.  With
+    ``TrainingSettings.return_histories`` the full per-epoch
+    :class:`~repro.nn.training.History` rides along too — large ones are
+    shipped back through shared memory rather than the pool's pickle
+    channel (see :mod:`repro.runtime.pool`).
     """
 
     candidate_index: int
@@ -58,6 +70,7 @@ class RunResult:
     val_accuracy: float
     epochs_run: int
     wall_time_s: float
+    history: "History | None" = None
 
 
 def execute_job(
@@ -91,11 +104,111 @@ def execute_job(
         early_stop_threshold=settings.early_stop_threshold,
         cancel_check=cancel_check,
     )
+    return _to_result(job.candidate_index, job.run, history, settings)
+
+
+def _to_result(
+    candidate_index: int,
+    run: int,
+    history: "History",
+    settings: "TrainingSettings",
+) -> RunResult:
     return RunResult(
-        candidate_index=job.candidate_index,
-        run=job.run,
+        candidate_index=candidate_index,
+        run=run,
         train_accuracy=history.max_train_accuracy,
         val_accuracy=history.max_val_accuracy,
         epochs_run=history.epochs_run,
         wall_time_s=history.wall_time_s,
+        history=history if getattr(settings, "return_histories", False) else None,
     )
+
+
+def execute_runs(
+    spec: "ModelSpec",
+    seed: int,
+    candidate_index: int,
+    runs: Sequence[int],
+    split: "DataSplit",
+    settings: "TrainingSettings",
+    cancel_check: Callable[[], bool] | None = None,
+    vectorized: bool = True,
+) -> list[RunResult]:
+    """Train several runs of one candidate; same results either way.
+
+    With ``vectorized`` (and at least two runs), the models are built
+    from their per-run RNG streams, stacked, and trained in lockstep by
+    one :class:`~repro.nn.training.VectorizedTrainer` sweep — the
+    innermost hot loop of a grid search becomes one tape sweep instead
+    of ``len(runs)``.  Models that cannot be stacked (custom layers,
+    parameter-shift gradients...), and single-run sets, fall back to
+    scalar :func:`execute_job` calls.  Both paths produce bit-identical
+    :class:`RunResult` metrics; only ``wall_time_s`` differs (stacked
+    runs share the lockstep clock).
+    """
+    runs = list(runs)
+
+    def scalar() -> list[RunResult]:
+        return [
+            execute_job(
+                TrainingJob(spec, seed, candidate_index, run),
+                split,
+                settings,
+                cancel_check=cancel_check,
+            )
+            for run in runs
+        ]
+
+    if not vectorized or len(runs) < 2:
+        return scalar()
+    # Build each run's model from its own (seed, candidate, run) stream;
+    # the streams then continue into minibatch shuffling, exactly as in
+    # execute_job.  Build errors surface at the lowest run first, like
+    # the scalar loop's.
+    rngs = [
+        np.random.default_rng((seed, candidate_index, run)) for run in runs
+    ]
+    models = [spec.build(rng=rng) for rng in rngs]
+    trainer = VectorizedTrainer(
+        models, learning_rate=settings.learning_rate
+    )
+    if not trainer.available:
+        # Unstackable models: train the ones just built (their rngs are
+        # already past initialization, exactly where execute_job's would
+        # be) instead of rebuilding each from scratch.
+        return [
+            _to_result(
+                candidate_index,
+                run,
+                train_model(
+                    model,
+                    split.x_train,
+                    split.y_train,
+                    split.x_val,
+                    split.y_val,
+                    epochs=settings.epochs,
+                    batch_size=settings.batch_size,
+                    optimizer=Adam(learning_rate=settings.learning_rate),
+                    rng=rng,
+                    early_stop_threshold=settings.early_stop_threshold,
+                    cancel_check=cancel_check,
+                ),
+                settings,
+            )
+            for run, model, rng in zip(runs, models, rngs)
+        ]
+    histories = trainer.train(
+        split.x_train,
+        split.y_train,
+        split.x_val,
+        split.y_val,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        rngs=rngs,
+        early_stop_threshold=settings.early_stop_threshold,
+        cancel_check=cancel_check,
+    )
+    return [
+        _to_result(candidate_index, run, history, settings)
+        for run, history in zip(runs, histories)
+    ]

@@ -46,7 +46,6 @@ same primitive the sequential path uses.
 
 from __future__ import annotations
 
-import heapq
 import os
 from queue import Empty, SimpleQueue
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -130,23 +129,38 @@ def speculative_search(
     outcome = SearchOutcome(threshold=threshold, winner=None)
     runs = settings.runs
     window = max(SPECULATION_FACTOR * workers, workers + 1)
-    # Speculation is bounded in *candidates*, not just in-flight chunks:
-    # only candidates within `lookahead` of the commit frontier may be
-    # submitted, so the training work discarded on an early pass is
-    # capped at ~`window` chunks past the winner even when one cheap
-    # candidate trains much slower than everything after it.  The bound
-    # still exposes >= `window` submittable chunks (lookahead * runs >=
-    # window * chunk), so workers stay busy across uneven run times.
-    lookahead = max(1, -(-window // runs))
-    # Runs per chunk: 1 unless `runs` is large relative to the window
-    # (many runs, few workers), where batching consecutive runs of one
-    # candidate into a single submission amortizes IPC and shares one
-    # compiled tape per worker invocation without starving any worker —
-    # the window always holds >= `window` submittable chunks.
-    chunk_size = max(1, (lookahead * runs) // window)
+    vectorized = settings.vectorized_runs and runs > 1
+    if vectorized:
+        # Run-stacked mode: one chunk per candidate carries the whole
+        # run set, so a single worker invocation trains all R runs in
+        # one stacked sweep.  The candidate lookahead equals the chunk
+        # window (one chunk each).
+        chunk_size = runs
+        lookahead = window
+    else:
+        # Speculation is bounded in *candidates*, not just in-flight
+        # chunks: only candidates within `lookahead` of the commit
+        # frontier may be submitted, so the training work discarded on
+        # an early pass is capped at ~`window` chunks past the winner
+        # even when one cheap candidate trains much slower than
+        # everything after it.  The bound still exposes >= `window`
+        # submittable chunks (lookahead * runs >= window * chunk), so
+        # workers stay busy across uneven run times.
+        lookahead = max(1, -(-window // runs))
+        # Runs per chunk: 1 unless `runs` is large relative to the
+        # window (many runs, few workers), where batching consecutive
+        # runs of one candidate into a single submission amortizes IPC
+        # and shares one compiled tape per worker invocation without
+        # starving any worker — the window always holds >= `window`
+        # submittable chunks.
+        chunk_size = max(1, (lookahead * runs) // window)
     #: Static per-candidate cost estimates: the same FLOPs the ranking
-    #: was computed from drive the packing order below.
+    #: was computed from seed the packing order below; measured chunk
+    #: times refine it through the pool's ChunkCostModel (an EWMA per
+    #: candidate label), so later searches on a persistent pool pack by
+    #: observed seconds rather than raw FLOPs.
     costs = [spec.flops(convention) for spec in ranked]
+    cost_model = pool.cost_model
 
     generation = pool.new_generation()
     handle = pool.acquire_split(split)
@@ -155,12 +169,18 @@ def speculative_search(
     pending_runs: dict[int, dict[int, RunResult | Exception]] = {}
     ready: dict[int, "CandidateResult | Exception"] = {}
     next_commit = 0
-    next_unqueued = 0  # next candidate not yet expanded into the heap
-    # Submittable chunks, ordered most-expensive-first (FLOPs-aware
-    # packing).  Ties (chunks of one candidate, equal-FLOPs candidates)
-    # fall back to (candidate, run) order, keeping submission fully
-    # deterministic.
-    submittable: list[tuple[int, int, int, JobChunk]] = []
+    next_unqueued = 0  # next candidate not yet expanded into submittable
+    # Submittable chunks as (candidate_index, first_run, chunk).  The
+    # most expensive one is picked at *submit* time — estimates must be
+    # priced when the slot frees, not when the chunk was queued, or the
+    # first measured chunk would leave stale FLOPs-priced entries
+    # competing on a different scale.  The pool is at most
+    # `lookahead * ceil(runs/chunk)` entries, so a linear scan is
+    # cheaper than keeping a heap consistent with moving estimates.
+    # Ties (chunks of one candidate, equal-cost candidates) fall back
+    # to (candidate, run) order, keeping submission deterministic for
+    # any fixed cost-model state.
+    submittable: list[tuple[int, int, JobChunk]] = []
     in_flight = 0
 
     # Completions cross from the pool's result-handler thread to this
@@ -190,14 +210,24 @@ def speculative_search(
                 handle,
                 settings,
                 generation,
+                vectorized=vectorized,
             ):
-                heapq.heappush(
-                    submittable,
-                    (-costs[index], index, job_chunk.jobs[0].run, job_chunk),
-                )
+                submittable.append((index, job_chunk.jobs[0].run, job_chunk))
             next_unqueued += 1
         while submittable and in_flight < window:
-            _, _, _, job_chunk = heapq.heappop(submittable)
+            best = max(
+                range(len(submittable)),
+                key=lambda i: (
+                    cost_model.estimate(
+                        ranked[submittable[i][0]].label,
+                        costs[submittable[i][0]],
+                        len(submittable[i][2].jobs),
+                    ),
+                    -submittable[i][0],
+                    -submittable[i][1],
+                ),
+            )
+            _, _, job_chunk = submittable.pop(best)
             submit(job_chunk)
             in_flight += 1
 
@@ -234,6 +264,16 @@ def speculative_search(
                     "a worker cancelled a chunk of a live search; was the "
                     "pool closed concurrently?"
                 )
+            # Feed the measured chunk time back into the packer: later
+            # windows (and later searches on this pool) order by
+            # observed cost instead of the static FLOPs estimate.
+            chunk_index = job_chunk.jobs[0].candidate_index
+            cost_model.observe(
+                ranked[chunk_index].label,
+                costs[chunk_index],
+                result.wall_time_s,
+                len(job_chunk.jobs),
+            )
             for entry in result.entries:
                 per_run = pending_runs.setdefault(entry.candidate_index, {})
                 if isinstance(entry, RunError):

@@ -43,6 +43,7 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import pickle
+import time
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -50,7 +51,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..exceptions import SearchError, TrainingCancelled
-from .jobs import RunResult, TrainingJob, execute_job
+from .jobs import RunResult, TrainingJob, execute_job, execute_runs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.shared_memory import SharedMemory
@@ -66,6 +67,9 @@ __all__ = [
     "JobChunk",
     "ChunkResult",
     "RunError",
+    "ChunkCostModel",
+    "ShmResultHandle",
+    "RESULT_SHM_THRESHOLD",
 ]
 
 #: Byte alignment for each array inside a published segment (cache-line
@@ -248,12 +252,18 @@ class JobChunk:
     one dataset attachment) across several runs, and cuts per-job IPC
     when ``runs`` is large relative to the worker count.  The payload is
     small by construction: jobs are coordinates, the handle is a name.
+
+    ``vectorized`` asks the worker to train the chunk's whole run set as
+    a single run-stacked sweep
+    (:func:`repro.runtime.jobs.execute_runs`); the scheduler then packs
+    one chunk per candidate so the stack spans every run.
     """
 
     jobs: tuple[TrainingJob, ...]
     handle: SharedSplitHandle
     settings: "TrainingSettings"
     generation: int
+    vectorized: bool = False
 
 
 @dataclass(frozen=True)
@@ -267,16 +277,71 @@ class RunError:
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """What a worker sends back for one chunk."""
+    """What a worker sends back for one chunk.
+
+    ``wall_time_s`` is the measured execution time of the whole chunk on
+    its worker — the feedback signal for the scheduler's measured-cost
+    packing (:class:`ChunkCostModel`).  ``vectorized_fallback`` flags a
+    chunk whose stacked sweep raised and was re-run scalar (that chunk
+    paid for both attempts); the pool counts these so a deterministic
+    stacked-path failure is visible instead of silently doubling a
+    candidate's cost.
+    """
 
     cancelled: bool
     entries: tuple["RunResult | RunError", ...] = ()
+    wall_time_s: float = 0.0
+    vectorized_fallback: bool = False
 
 
 _CANCELLED_CHUNK = ChunkResult(cancelled=True)
 
 
-def _run_chunk(chunk: JobChunk) -> ChunkResult:
+def _chunk_entries(chunk: JobChunk, split, cancelled):
+    """Execute a chunk's runs; per-run errors become RunError entries.
+
+    Returns ``(entries, vectorized_fallback)``.  The vectorized path
+    trains the whole run set in one stacked sweep.  A failure inside
+    that sweep cannot be attributed to a single run, so it falls back to
+    the scalar per-run loop, which reproduces the exact error the
+    sequential path would hit first (lowest run) and still accounts for
+    every other run.
+    """
+    fallback = False
+    if chunk.vectorized and len(chunk.jobs) > 1:
+        job0 = chunk.jobs[0]
+        try:
+            return (
+                execute_runs(
+                    job0.spec,
+                    job0.seed,
+                    job0.candidate_index,
+                    [job.run for job in chunk.jobs],
+                    split,
+                    chunk.settings,
+                    cancel_check=cancelled,
+                    vectorized=True,
+                ),
+                False,
+            )
+        except TrainingCancelled:
+            raise
+        except Exception:  # noqa: BLE001 - re-run scalar for attribution
+            fallback = True
+    entries: list[RunResult | RunError] = []
+    for job in chunk.jobs:
+        try:
+            entries.append(
+                execute_job(job, split, chunk.settings, cancel_check=cancelled)
+            )
+        except TrainingCancelled:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
+            entries.append(RunError(job.candidate_index, job.run, exc))
+    return entries, fallback
+
+
+def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
     """Worker entry point: execute a chunk's runs under its generation.
 
     A stale generation (the submitting search already ended) returns
@@ -284,7 +349,11 @@ def _run_chunk(chunk: JobChunk) -> ChunkResult:
     next epoch boundary.  Per-run exceptions are captured — the
     scheduler surfaces them at the candidate's commit turn, never
     earlier — and the remaining runs still execute so the candidate can
-    complete (commit needs all runs accounted for).
+    complete (commit needs all runs accounted for).  Oversized results
+    (e.g. ``return_histories`` payloads) come back as a
+    :class:`ShmResultHandle` instead of travelling through the pool's
+    pickle pipe; :meth:`PersistentPool.submit` unwraps them before the
+    scheduler sees the result.
     """
     generation = chunk.generation
     if _cancel_floor() > generation:
@@ -299,17 +368,132 @@ def _run_chunk(chunk: JobChunk) -> ChunkResult:
     def cancelled() -> bool:
         return _cancel_floor() > generation
 
-    entries: list[RunResult | RunError] = []
-    for job in chunk.jobs:
-        try:
-            entries.append(
-                execute_job(job, split, chunk.settings, cancel_check=cancelled)
-            )
-        except TrainingCancelled:
-            return _CANCELLED_CHUNK
-        except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
-            entries.append(RunError(job.candidate_index, job.run, exc))
-    return ChunkResult(cancelled=False, entries=tuple(entries))
+    started = time.perf_counter()
+    try:
+        entries, fallback = _chunk_entries(chunk, split, cancelled)
+    except TrainingCancelled:
+        return _CANCELLED_CHUNK
+    return _ship_result(
+        ChunkResult(
+            cancelled=False,
+            entries=tuple(entries),
+            wall_time_s=time.perf_counter() - started,
+            vectorized_fallback=fallback,
+        )
+    )
+
+
+# -- shared-memory result path ---------------------------------------------
+
+#: Results whose pickle exceeds this many bytes travel back through a
+#: shared-memory segment instead of the pool's result pipe.  Plain metric
+#: payloads (a few hundred bytes) never hit it; ``return_histories``
+#: payloads of long trainings do.
+RESULT_SHM_THRESHOLD = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ShmResultHandle:
+    """Tiny picklable pointer to a result parked in shared memory.
+
+    Single-reader by construction: the worker writes the segment once,
+    the parent reads it once and unlinks it immediately (the same
+    parent-owned unlink discipline as the dataset segments — a shared
+    resource tracker under forkserver means the parent's unlink clears
+    the worker's create-time registration, and a worker that dies before
+    its handle is read leaves the segment to the tracker's exit sweep).
+    """
+
+    segment: str
+    nbytes: int
+
+
+def _ship_result(result: ChunkResult) -> "ChunkResult | ShmResultHandle":
+    """Park an oversized result in shared memory; small ones pass through."""
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) < RESULT_SHM_THRESHOLD:
+        return result
+    from multiprocessing.shared_memory import SharedMemory
+
+    shm = SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload
+    shm.close()
+    return ShmResultHandle(segment=shm.name, nbytes=len(payload))
+
+
+def _receive_result(obj):
+    """Parent side: inflate a shipped result (pass-through otherwise)."""
+    if not isinstance(obj, ShmResultHandle):
+        return obj
+    shm = _attach_segment(obj.segment)
+    try:
+        result = pickle.loads(bytes(shm.buf[: obj.nbytes]))
+    finally:
+        _unlink_quietly(shm)
+    return result
+
+
+# -- measured-cost packing --------------------------------------------------
+
+
+class ChunkCostModel:
+    """EWMA of measured per-run training cost, keyed by candidate label.
+
+    The scheduler's FLOPs-aware packing submits the speculation window's
+    most expensive chunks first (longest-processing-time).  Static FLOPs
+    are only a proxy for wall time — per-epoch Python overhead and early
+    stopping skew real costs — so each finished chunk's measured
+    ``wall_time_s`` feeds an EWMA here, and later packing decisions (the
+    next search, the next complexity level on a persistent pool) rank by
+    observed seconds instead.  Candidates never seen before are
+    estimated from their FLOPs through a global seconds-per-FLOP EWMA,
+    which keeps the two kinds of estimate on one comparable scale.
+
+    Packing order never affects results (the scheduler commits strictly
+    in FLOPs order); this model only shapes the window's makespan.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise SearchError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._per_label: dict[str, float] = {}
+        self._rate: float | None = None  # seconds per FLOP
+        self.observations = 0
+
+    def _ewma(self, old: float | None, new: float) -> float:
+        if old is None:
+            return new
+        return old + self.alpha * (new - old)
+
+    def observe(
+        self, label: str, flops: int, wall_time_s: float, n_runs: int
+    ) -> None:
+        """Record a finished chunk's measured cost."""
+        if n_runs < 1 or wall_time_s <= 0.0:
+            return
+        per_run = wall_time_s / n_runs
+        self._per_label[label] = self._ewma(
+            self._per_label.get(label), per_run
+        )
+        if flops > 0:
+            self._rate = self._ewma(self._rate, per_run / flops)
+        self.observations += 1
+
+    def estimate(self, label: str, flops: int, n_runs: int = 1) -> float:
+        """Expected chunk cost in seconds (raw FLOPs before any data)."""
+        per_run = self._per_label.get(label)
+        if per_run is None:
+            if self._rate is None:
+                # No measurements yet anywhere: fall back to the static
+                # FLOPs ranking (any monotone scale packs identically).
+                return float(flops) * n_runs
+            per_run = float(flops) * self._rate
+        return per_run * n_runs
+
+    def snapshot(self) -> dict[str, float]:
+        """Current per-label EWMA estimates (observability + tests)."""
+        return dict(self._per_label)
 
 
 # --------------------------------------------------------------------------
@@ -406,6 +590,17 @@ class PersistentPool:
         #: tests/runtime/test_shared_memory.py).
         self.init_payload_bytes = len(pickle.dumps(self._initargs))
         self.searches_started = 0
+        #: Measured-cost packing state, shared by every search on this
+        #: pool: chunk wall times observed at one complexity level shape
+        #: the packing order of the next (see :class:`ChunkCostModel`).
+        self.cost_model = ChunkCostModel()
+        #: Instrumentation: results that came back via shared memory.
+        self.shm_results_received = 0
+        #: Instrumentation: chunks whose stacked sweep failed and was
+        #: re-trained scalar (each paid for both attempts).  A climbing
+        #: counter means some candidate's vectorized path is broken —
+        #: results stay correct, wall time silently doubles.
+        self.vectorized_fallbacks = 0
         # Worker processes start lazily on the first submitted chunk, so
         # a pool created "just in case" (a CLI run whose experiments all
         # hit the results cache, or one that never searches) costs one
@@ -530,10 +725,22 @@ class PersistentPool:
 
     def submit(self, chunk: JobChunk, callback, error_callback) -> None:
         self._ensure_open()
+
+        def unwrap(obj, cb=callback):
+            # Oversized results arrive as a ShmResultHandle; inflate (and
+            # unlink the one-shot segment) before the scheduler sees it.
+            # Runs on the pool's result-handler thread, like cb itself.
+            if isinstance(obj, ShmResultHandle):
+                self.shm_results_received += 1
+                obj = _receive_result(obj)
+            if isinstance(obj, ChunkResult) and obj.vectorized_fallback:
+                self.vectorized_fallbacks += 1
+            cb(obj)
+
         self._worker_pool().apply_async(
             _run_chunk,
             (chunk,),
-            callback=callback,
+            callback=unwrap,
             error_callback=error_callback,
         )
 
@@ -581,8 +788,13 @@ def make_chunks(
     handle: SharedSplitHandle,
     settings: "TrainingSettings",
     generation: int,
+    vectorized: bool = False,
 ) -> list[JobChunk]:
-    """All chunks of one candidate, in run order."""
+    """All chunks of one candidate, in run order.
+
+    ``vectorized`` marks the chunks for run-stacked execution (the
+    caller packs the whole run set into one chunk in that mode).
+    """
     return [
         JobChunk(
             jobs=tuple(
@@ -592,6 +804,7 @@ def make_chunks(
             handle=handle,
             settings=settings,
             generation=generation,
+            vectorized=vectorized,
         )
         for start, stop in chunk_runs(runs, chunk)
     ]

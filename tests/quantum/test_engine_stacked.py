@@ -1,0 +1,171 @@
+"""Differential tests for the engine's run-stacked execution mode.
+
+The contract: ``execute(inputs, weights_2d, runs=R)`` over a run-major
+fused batch is **bit-identical** — not merely 1e-12-close — to R
+independent executions with each run's weight row.  Bit-identity is what
+lets ``vectorized_runs`` grid searches reproduce per-run training
+trajectories exactly (training is chaotic; a ulp would amplify).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.quantum.engine import CompiledTape
+from repro.quantum.templates import (
+    angle_embedding,
+    basic_entangler_layers,
+    random_bel_weights,
+    random_sel_weights,
+    strongly_entangling_layers,
+)
+
+
+def make_tape(ansatz: str, n_qubits: int, n_layers: int, rng):
+    x0 = np.zeros((1, n_qubits))
+    if ansatz == "sel":
+        w0 = random_sel_weights(n_layers, n_qubits, rng)
+        ops = angle_embedding(x0, n_qubits) + strongly_entangling_layers(
+            w0, n_qubits
+        )
+    else:
+        w0 = random_bel_weights(n_layers, n_qubits, rng)
+        ops = angle_embedding(x0, n_qubits) + basic_entangler_layers(
+            w0, n_qubits
+        )
+    return ops, w0.size
+
+
+CASES = [
+    ("sel", 3, 1, 2, 1),
+    ("sel", 4, 3, 5, 8),
+    ("sel", 5, 2, 4, 6),
+    ("sel", 4, 2, 5, 1),
+    ("bel", 3, 1, 2, 1),
+    ("bel", 4, 3, 5, 8),
+    ("bel", 5, 2, 4, 6),
+    ("bel", 4, 10, 3, 8),
+]
+
+
+class TestStackedForward:
+    @pytest.mark.parametrize("ansatz,n_q,n_l,runs,batch", CASES)
+    def test_bitwise_equal_to_per_run(self, ansatz, n_q, n_l, runs, batch):
+        rng = np.random.default_rng((hash(ansatz) & 0xFFFF, n_q, n_l))
+        ops, n_w = make_tape(ansatz, n_q, n_l, rng)
+        stacked = CompiledTape(ops, n_q)
+        scalar = CompiledTape(ops, n_q)
+        weights = rng.normal(size=(runs, n_w))
+        inputs = rng.normal(size=(runs * batch, n_q))
+
+        state = stacked.execute(inputs=inputs, weights=weights, runs=runs)
+        state = state.copy()
+        ev = stacked.expvals(state, runs=runs)
+        for r in range(runs):
+            sl = slice(r * batch, (r + 1) * batch)
+            ref = scalar.execute(inputs=inputs[sl], weights=weights[r])
+            assert np.array_equal(ref, state[sl])
+            assert np.array_equal(scalar.expvals(ref), ev[sl])
+
+    def test_shared_1d_weights_broadcast_across_runs(self):
+        """1-D weights with runs= mean 'same parameters every run'."""
+        rng = np.random.default_rng(5)
+        ops, n_w = make_tape("sel", 3, 2, rng)
+        engine = CompiledTape(ops, 3)
+        w = rng.normal(size=n_w)
+        x = rng.normal(size=(6, 3))
+        fused = engine.execute(inputs=x, weights=w, runs=2).copy()
+        ref = engine.execute(inputs=x, weights=w)
+        assert np.array_equal(fused, ref)
+
+
+class TestStackedAdjoint:
+    @pytest.mark.parametrize("ansatz,n_q,n_l,runs,batch", CASES)
+    def test_gradients_bitwise_equal(self, ansatz, n_q, n_l, runs, batch):
+        rng = np.random.default_rng((n_q, n_l, runs, batch))
+        ops, n_w = make_tape(ansatz, n_q, n_l, rng)
+        stacked = CompiledTape(ops, n_q)
+        scalar = CompiledTape(ops, n_q)
+        weights = rng.normal(size=(runs, n_w))
+        inputs = rng.normal(size=(runs * batch, n_q))
+        grad = rng.normal(size=(runs * batch, n_q))
+
+        stacked.execute(inputs=inputs, weights=weights, runs=runs, record=True)
+        ig, wg = stacked.adjoint_gradients(grad, n_inputs=n_q, n_weights=n_w)
+        assert ig.shape == (runs * batch, n_q)
+        assert wg.shape == (runs, n_w)
+        for r in range(runs):
+            sl = slice(r * batch, (r + 1) * batch)
+            scalar.execute(
+                inputs=inputs[sl], weights=weights[r], record=True
+            )
+            rig, rwg = scalar.adjoint_gradients(
+                grad[sl], n_inputs=n_q, n_weights=n_w
+            )
+            assert np.array_equal(rig, ig[sl])
+            assert np.array_equal(rwg, wg[r])
+
+    def test_record_released_after_backward(self):
+        rng = np.random.default_rng(9)
+        ops, n_w = make_tape("bel", 3, 2, rng)
+        engine = CompiledTape(ops, 3)
+        engine.execute(
+            inputs=rng.normal(size=(6, 3)),
+            weights=rng.normal(size=(2, n_w)),
+            runs=2,
+            record=True,
+        )
+        assert engine.has_record
+        engine.adjoint_gradients(
+            np.ones((6, 3)), n_inputs=3, n_weights=n_w
+        )
+        assert not engine.has_record
+
+
+class TestStackedValidation:
+    def setup_method(self):
+        rng = np.random.default_rng(3)
+        self.ops, self.n_w = make_tape("sel", 3, 1, rng)
+        self.engine = CompiledTape(self.ops, 3)
+        self.rng = rng
+
+    def test_batch_must_be_multiple_of_runs(self):
+        with pytest.raises(ShapeError, match="multiple of runs"):
+            self.engine.execute(
+                inputs=self.rng.normal(size=(7, 3)),
+                weights=self.rng.normal(size=(3, self.n_w)),
+                runs=3,
+            )
+
+    def test_weight_rows_must_match_runs(self):
+        with pytest.raises(ShapeError, match="rows"):
+            self.engine.execute(
+                inputs=self.rng.normal(size=(6, 3)),
+                weights=self.rng.normal(size=(2, self.n_w)),
+                runs=3,
+            )
+
+    def test_too_few_weights_per_run(self):
+        with pytest.raises(ShapeError, match="weights per run"):
+            self.engine.execute(
+                inputs=self.rng.normal(size=(4, 3)),
+                weights=self.rng.normal(size=(2, 1)),
+                runs=2,
+            )
+
+    def test_nonpositive_runs_rejected(self):
+        with pytest.raises(ShapeError, match="runs"):
+            self.engine.execute(
+                inputs=self.rng.normal(size=(4, 3)),
+                weights=self.rng.normal(size=self.n_w),
+                runs=0,
+            )
+
+    def test_expvals_batch_not_multiple_of_runs(self):
+        state = self.engine.execute(
+            inputs=self.rng.normal(size=(4, 3)),
+            weights=self.rng.normal(size=(2, self.n_w)),
+            runs=2,
+        )
+        with pytest.raises(ShapeError, match="multiple of runs"):
+            self.engine.expvals(state[:3], runs=2)

@@ -29,6 +29,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--profile", "gigantic"])
 
+    def test_runs_and_vectorized_flags(self):
+        args = build_parser().parse_args(
+            ["fig8", "--runs", "3", "--no-vectorized-runs"]
+        )
+        assert args.runs == 3
+        assert args.no_vectorized_runs
+        default = build_parser().parse_args(["fig8"])
+        assert default.runs is None
+        assert not default.no_vectorized_runs
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig8", "--runs", "0"],
+            ["fig8", "--runs", "-2"],
+            ["fig8", "--workers", "-1"],
+        ],
+    )
+    def test_invalid_numeric_flags_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
 
 class TestMain:
     def test_fig4_smoke(self, capsys):
@@ -53,3 +75,25 @@ class TestMain:
         # cache was populated for both hybrid families
         assert (tmp_path / "bel_smoke.json").exists()
         assert (tmp_path / "sel_smoke.json").exists()
+
+    def test_runs_override_keys_cache_separately(self, capsys, tmp_path):
+        """--runs changes results, so it must not share the default
+        cache entry; --no-vectorized-runs does not change results and
+        reuses it."""
+        code = main(
+            [
+                "fig8",
+                "--profile",
+                "smoke",
+                "--runs",
+                "2",
+                "--no-vectorized-runs",
+                "--cache",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "Fig 8" in capsys.readouterr().out
+        assert (tmp_path / "sel_smoke_runs_per_candidate-2.json").exists()
+        assert not (tmp_path / "sel_smoke.json").exists()
