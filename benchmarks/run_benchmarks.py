@@ -105,6 +105,7 @@ def main(argv: list[str] | None = None) -> int:
             "benchmarks/test_grid_search_parallel.py",
             "benchmarks/test_pool_reuse.py",
             "benchmarks/test_vectorized_runs.py",
+            "benchmarks/test_candidate_stacking.py",
         ]
     )
     rev = git_revision()

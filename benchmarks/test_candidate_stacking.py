@@ -1,0 +1,84 @@
+"""Cross-candidate stacked vs per-candidate grid-search wall clock.
+
+A head-varied hybrid search space holds many candidates whose compiled
+tapes are structurally identical (same qubits/ansatz/depth, different
+classical heads).  With candidate stacking the sequential search trains
+each tape-structure group as **one** fused ``(C*R*B, 2**n)`` sweep
+(`repro.nn.stacked.stack_candidates` via
+`repro.runtime.jobs.execute_candidates`) instead of one run-stacked
+sweep per candidate.
+
+Two benchmarks pin the issue's acceptance target — stacked at least
+1.5x faster on a multi-candidate search at the bench config (4
+same-structure candidates, runs=2 as in the reduced profile, batch 8,
+4 qubits, SEL depth 3) — into the committed ``BENCH_<rev>.json``
+snapshots:
+
+* ``test_per_candidate_search`` — candidate stacking off: one
+  run-stacked sweep per candidate (the PR-4 execution mode).
+* ``test_stacked_candidate_search`` — candidate stacking on: one fused
+  sweep for the whole tape-structure group; bit-identical outcome.
+"""
+
+import pytest
+
+from repro.core.grid_search import TrainingSettings, grid_search
+from repro.core.search_space import HybridSpec
+from repro.data import make_spiral, stratified_split
+
+_RUNS = 2
+_HEADS = ((), (4,), (6,), (8,))
+_SPECS = [
+    HybridSpec(n_features=4, n_qubits=4, n_layers=3, ansatz="sel", hidden=h)
+    for h in _HEADS
+]
+
+
+def _settings(stacked: bool) -> TrainingSettings:
+    return TrainingSettings(
+        epochs=3,
+        batch_size=8,
+        runs=_RUNS,
+        stacked_candidates=stacked,
+    )
+
+
+@pytest.fixture(scope="module")
+def split():
+    ds = make_spiral(4, n_points=96, noise=0.0, turns=0.8, seed=7)
+    return stratified_split(ds, seed=7)
+
+
+def _search(split, stacked: bool):
+    # threshold 1.01 is unreachable: every candidate trains, so the
+    # snapshot's delta is pure execution strategy on a fixed workload.
+    return grid_search(
+        _SPECS,
+        split,
+        threshold=1.01,
+        settings=_settings(stacked),
+        workers=1,
+        seed=7,
+    )
+
+
+class TestCandidateStackedSearch:
+    def test_per_candidate_search(self, benchmark, split):
+        outcome = benchmark.pedantic(
+            lambda: _search(split, stacked=False), rounds=3, iterations=1
+        )
+        assert outcome.candidates_trained == len(_SPECS)
+
+    def test_stacked_candidate_search(self, benchmark, split):
+        outcome = benchmark.pedantic(
+            lambda: _search(split, stacked=True), rounds=3, iterations=1
+        )
+        assert outcome.candidates_trained == len(_SPECS)
+        # same outcome as the per-candidate mode — the snapshot's delta
+        # is pure execution strategy
+        reference = _search(split, stacked=False)
+        for got, ref in zip(outcome.evaluated, reference.evaluated):
+            assert got.spec == ref.spec
+            assert got.train_accuracies == ref.train_accuracies
+            assert got.val_accuracies == ref.val_accuracies
+            assert got.epochs_run == ref.epochs_run

@@ -25,6 +25,12 @@ not an error).
 Snapshots taken on different machines (``machine``/``cpu_count``
 mismatch) only warn: wall-clock deltas across hardware are not
 regressions.  Pass ``--strict`` to fail anyway.
+
+``--history`` switches to reporting mode: instead of the latest pair,
+it prints the full per-snapshot trajectory table — one row per
+benchmark, one column per committed snapshot (oldest to newest, mean
+runtimes) — so a review can see where a hot path sped up or slipped
+across the whole PR sequence.  Always exits 0.
 """
 
 from __future__ import annotations
@@ -71,6 +77,56 @@ def find_baseline(snapshots: list[dict], rev: str) -> dict:
             f"--baseline {rev!r} is ambiguous; it matches: {names}"
         )
     return matches[0]
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact human scale: us under 1ms, ms under 1s, else seconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def print_history(snapshots: list[dict]) -> None:
+    """The full perf trajectory: benchmarks x snapshots, mean runtimes."""
+    revs = [s.get("rev") or s["_path"].stem.removeprefix("BENCH_") for s in snapshots]
+    names = sorted({n for s in snapshots for n in s.get("benchmarks", {})})
+    # Short row labels: the fully qualified pytest id minus the shared
+    # "benchmarks/" prefix still uniquely names every benchmark.
+    rows = []
+    for name in names:
+        label = name.removeprefix("benchmarks/")
+        cells = []
+        for snap in snapshots:
+            entry = snap.get("benchmarks", {}).get(name)
+            cells.append(format_seconds(entry["mean_s"]) if entry else "-")
+        rows.append((label, cells))
+    if not rows:
+        print(f"0 benchmark(s) across {len(snapshots)} snapshot(s)")
+        return
+    label_width = max(len(label) for label, _ in rows)
+    widths = [
+        max(len(rev), max(len(row[1][i]) for row in rows))
+        for i, rev in enumerate(revs)
+    ]
+    header = " " * label_width + "  " + "  ".join(
+        rev.rjust(w) for rev, w in zip(revs, widths)
+    )
+    print(f"{len(names)} benchmark(s) across {len(snapshots)} snapshot(s), "
+          "oldest to newest (mean runtime; '-' = not in that snapshot):")
+    print(header)
+    for label, cells in rows:
+        line = label.ljust(label_width) + "  " + "  ".join(
+            cell.rjust(w) for cell, w in zip(cells, widths)
+        )
+        print(line)
+    nodes = {s.get("node") for s in snapshots}
+    if len(nodes) > 1:
+        print(
+            "note: snapshots span multiple machines; cross-machine "
+            "deltas are not comparable"
+        )
 
 
 def compare(old: dict, new: dict, threshold: float) -> tuple[list[str], list[str]]:
@@ -125,7 +181,25 @@ def main(argv: list[str] | None = None) -> int:
         help="compare the latest snapshot against the snapshot whose "
         "revision (or filename) matches REV, instead of the second-latest",
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="print the full per-snapshot trajectory table (every "
+        "benchmark across every committed snapshot) instead of checking "
+        "the latest pair; always exits 0",
+    )
     args = parser.parse_args(argv)
+
+    if args.history:
+        if args.snapshots or args.baseline:
+            parser.error("--history scans every committed snapshot; drop "
+                         "the explicit paths / --baseline")
+        snapshots = all_snapshots()
+        if not snapshots:
+            print(f"no BENCH_*.json snapshots under {BENCH_DIR}")
+            return 0
+        print_history(snapshots)
+        return 0
 
     if args.snapshots and len(args.snapshots) != 2:
         parser.error("pass either no snapshot paths or exactly two (OLD NEW)")

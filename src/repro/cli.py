@@ -85,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
         "time changes",
     )
     parser.add_argument(
+        "--no-stacked-candidates",
+        action="store_true",
+        help="do not merge same-structure candidates' run sets into one "
+        "cross-candidate fused sweep; results are identical either way, "
+        "only wall time changes",
+    )
+    parser.add_argument(
+        "--cost-cache",
+        default=None,
+        metavar="PATH",
+        help="JSON file persisting the measured chunk-cost model across "
+        "invocations so adaptive packing is warm on the first search of "
+        "a rerun (default: chunk_costs.json inside --cache when both "
+        "--cache and --workers > 1 are given)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -167,6 +183,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["runs_per_candidate"] = args.runs
     if args.no_vectorized_runs:
         overrides["vectorized_runs"] = False
+    if args.no_stacked_candidates:
+        overrides["stacked_candidates"] = False
 
     from .runtime.parallel import resolve_workers
 
@@ -175,6 +193,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .runtime.pool import PersistentPool
 
         pool = PersistentPool(resolve_workers(args.workers))
+    # Warm the adaptive packer from a previous invocation's measured
+    # chunk costs; written back below so reruns keep learning.  Cost
+    # estimates shape submission order only, never results.
+    cost_cache = args.cost_cache
+    if cost_cache is None and args.cache and pool is not None:
+        from pathlib import Path
+
+        cost_cache = str(Path(args.cache) / "chunk_costs.json")
+    if pool is None and args.cost_cache:
+        # Sequential runs have no chunk scheduler, so there is nothing
+        # to warm or record; say so instead of silently dropping it.
+        print(
+            "note: --cost-cache has no effect without --workers > 1",
+            file=sys.stderr,
+        )
+    if pool is not None and cost_cache:
+        pool.cost_model.load_json(cost_cache)
     try:
         for target in targets:
             print(
@@ -191,6 +226,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
     finally:
         if pool is not None:
+            if cost_cache and pool.cost_model.observations:
+                pool.cost_model.save_json(cost_cache)
             pool.close()
     return 0
 

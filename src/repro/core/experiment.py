@@ -70,6 +70,10 @@ class ProtocolConfig:
     #: see :class:`~repro.core.grid_search.TrainingSettings`); results
     #: are identical with it on or off, only wall time changes.
     vectorized_runs: bool = True
+    #: Cross-candidate stacked execution: candidates with structurally
+    #: identical tapes merge their run sets into one fused sweep.
+    #: Results are identical with it on or off, only wall time changes.
+    stacked_candidates: bool = True
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -79,6 +83,7 @@ class ProtocolConfig:
             runs=self.runs_per_candidate,
             early_stop_threshold=self.threshold if self.early_stop else None,
             vectorized_runs=self.vectorized_runs,
+            stacked_candidates=self.stacked_candidates,
         )
 
     def with_(self, **overrides) -> "ProtocolConfig":

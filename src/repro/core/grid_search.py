@@ -25,7 +25,7 @@ import numpy as np
 from ..data.splits import DataSplit
 from ..exceptions import SearchError
 from ..flops.conventions import CountingConvention, get_convention
-from ..runtime.jobs import RunResult, execute_runs
+from ..runtime.jobs import RunResult, execute_candidates, execute_runs
 from .search_space import ModelSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,7 +38,20 @@ __all__ = [
     "rank_by_flops",
     "aggregate_runs",
     "grid_search",
+    "plan_group",
+    "MAX_GROUP_CANDIDATES",
+    "GROUP_LOOKAHEAD",
 ]
+
+#: Candidates fused into one cross-candidate sweep are capped: the
+#: whole group trains speculatively once its first member's turn comes,
+#: so the cap bounds the work discarded when that member passes.
+MAX_GROUP_CANDIDATES = 4
+
+#: How far past the commit frontier the sequential search scans for
+#: same-structure candidates to group.  Non-matching candidates in
+#: between are skipped (they commit from their own, later groups).
+GROUP_LOOKAHEAD = 8
 
 
 @dataclass(frozen=True)
@@ -57,6 +70,15 @@ class TrainingSettings:
     :class:`~repro.runtime.jobs.RunResult` (and on
     :attr:`CandidateResult.histories`) instead of dropping it after the
     max-over-epochs metrics are extracted.
+
+    ``stacked_candidates`` lets the search merge the run sets of
+    several candidates whose compiled tapes are structurally identical
+    (equal :meth:`~repro.core.search_space.ModelSpec.group_key`) into
+    one cross-candidate fused sweep — speculative, bounded by
+    :data:`MAX_GROUP_CANDIDATES`.  ``compact_frozen`` drops
+    early-stopped runs' rows from subsequent stacked sweeps instead of
+    masking them.  Results are bit-identical with either knob on or
+    off; only wall time changes.
     """
 
     epochs: int = 100
@@ -66,6 +88,8 @@ class TrainingSettings:
     early_stop_threshold: float | None = None
     vectorized_runs: bool = True
     return_histories: bool = False
+    stacked_candidates: bool = True
+    compact_frozen: bool = True
 
 
 @dataclass
@@ -182,6 +206,94 @@ def _evaluate_candidate(
     )
 
 
+def plan_group(
+    ranked: Sequence[ModelSpec],
+    index: int,
+    settings: TrainingSettings,
+    skip: "frozenset[int] | set[int]" = frozenset(),
+) -> list[int]:
+    """Candidate indices to train as one fused sweep, anchored at ``index``.
+
+    Scans up to :data:`GROUP_LOOKAHEAD` candidates past the anchor for
+    equal non-``None`` group keys, capped at
+    :data:`MAX_GROUP_CANDIDATES` members; ``skip`` holds indices whose
+    results already exist (earlier speculation).  Grouping never
+    changes results — members are committed strictly in rank order and
+    anything past a winner is discarded — so the plan only shapes wall
+    time.
+    """
+    if not (settings.stacked_candidates and settings.vectorized_runs):
+        return [index]
+    key = ranked[index].group_key()
+    if key is None:
+        return [index]
+    group = [index]
+    limit = min(len(ranked), index + 1 + GROUP_LOOKAHEAD)
+    for j in range(index + 1, limit):
+        if len(group) >= MAX_GROUP_CANDIDATES:
+            break
+        if j in skip:
+            continue
+        if ranked[j].group_key() == key:
+            group.append(j)
+    return group
+
+
+def _evaluate_group(
+    ranked: Sequence[ModelSpec],
+    indices: Sequence[int],
+    split: DataSplit,
+    settings: TrainingSettings,
+    seed: int,
+    convention: CountingConvention,
+) -> "dict[int, CandidateResult | Exception] | None":
+    """Train a multi-candidate group as one fused sweep.
+
+    Returns per-candidate results keyed by candidate index — or
+    ``None`` when the group cannot be stacked (the caller then trains
+    the anchor alone, speculating nothing).  A failure inside the fused
+    sweep falls back to per-candidate execution so the error is
+    re-attributed to the candidate the sequential loop would blame:
+    errors are captured per candidate and surface only at that
+    candidate's commit turn.
+    """
+    group = [(ranked[j], j, range(settings.runs)) for j in indices]
+    try:
+        results = execute_candidates(group, seed, split, settings)
+    except Exception:  # noqa: BLE001 - re-run per candidate to attribute
+        results = None
+    else:
+        if results is None:
+            return None
+        out: dict[int, CandidateResult | Exception] = {}
+        for spec, j, _ in group:
+            out[j] = aggregate_runs(
+                spec,
+                convention,
+                [rr for rr in results if rr.candidate_index == j],
+            )
+        return out
+    out = {}
+    for spec, j, runs_j in group:
+        try:
+            out[j] = aggregate_runs(
+                spec,
+                convention,
+                execute_runs(
+                    spec,
+                    seed,
+                    j,
+                    runs_j,
+                    split,
+                    settings,
+                    vectorized=settings.vectorized_runs,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
+            out[j] = exc
+    return out
+
+
 def grid_search(
     specs: Sequence[ModelSpec],
     split: DataSplit,
@@ -280,21 +392,51 @@ def grid_search(
         enable_compile_cache()
     try:
         outcome = SearchOutcome(threshold=threshold, winner=None)
-        for index, spec in enumerate(ranked):
-            candidate = _evaluate_candidate(
-                spec,
-                split,
-                settings,
-                seed=seed,
-                candidate_index=index,
-                convention=conv,
-            )
+        # Results of speculatively trained group members past the
+        # commit frontier; an Exception entry re-raises at its
+        # candidate's turn (exactly when the ungrouped loop would hit
+        # it) and is discarded wholesale if a cheaper candidate passes.
+        speculated: dict[int, CandidateResult | Exception] = {}
+        index = 0
+        while index < len(ranked):
+            if index in speculated:
+                committed = speculated.pop(index)
+                if isinstance(committed, Exception):
+                    raise committed
+                candidate = committed
+            else:
+                group = plan_group(
+                    ranked, index, settings, skip=speculated.keys()
+                )
+                verdicts = (
+                    _evaluate_group(
+                        ranked, group, split, settings, seed, conv
+                    )
+                    if len(group) > 1
+                    else None
+                )
+                if verdicts is None:
+                    candidate = _evaluate_candidate(
+                        ranked[index],
+                        split,
+                        settings,
+                        seed=seed,
+                        candidate_index=index,
+                        convention=conv,
+                    )
+                else:
+                    # Re-enter the loop: the anchor's verdict now sits
+                    # in `speculated` and commits through the single
+                    # raise-or-commit branch above.
+                    speculated.update(verdicts)
+                    continue
             outcome.evaluated.append(candidate)
             if progress is not None:
                 progress(candidate)
             if candidate.passes(threshold):
                 outcome.winner = candidate
                 break
+            index += 1
         return outcome
     finally:
         if not had_cache:

@@ -50,6 +50,7 @@ def spec_to_dict(spec: ModelSpec) -> dict[str, Any]:
             "n_qubits": spec.n_qubits,
             "n_layers": spec.n_layers,
             "ansatz": spec.ansatz,
+            "hidden": list(spec.hidden),
         }
     raise ExperimentError(f"cannot serialize spec type {type(spec).__name__}")
 
@@ -69,6 +70,9 @@ def spec_from_dict(data: dict[str, Any]) -> ModelSpec:
             n_qubits=int(data["n_qubits"]),
             n_layers=int(data["n_layers"]),
             ansatz=str(data["ansatz"]),
+            # Pre-head snapshots have no "hidden" field (the paper's
+            # architecture): absent means the empty head.
+            hidden=tuple(int(h) for h in data.get("hidden", ())),
         )
     raise ExperimentError(f"unknown spec type {kind!r}")
 

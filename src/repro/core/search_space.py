@@ -67,6 +67,17 @@ class ModelSpec:
     def build(self, rng: np.random.Generator | None = None) -> Sequential:
         raise NotImplementedError
 
+    def group_key(self) -> tuple | None:
+        """Structural signature for cross-candidate stacked execution.
+
+        Candidates with equal non-``None`` keys compile to structurally
+        identical tapes (same qubits/ansatz/depth at the same feature
+        size), so the runtime may merge their run sets into one fused
+        sweep (:func:`repro.nn.stacked.stack_candidates`).  ``None``
+        means this spec never groups.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class ClassicalSpec(ModelSpec):
@@ -101,11 +112,20 @@ class ClassicalSpec(ModelSpec):
 
 @dataclass(frozen=True)
 class HybridSpec(ModelSpec):
-    """One hybrid grid-search combination."""
+    """One hybrid grid-search combination.
+
+    ``hidden`` is an optional classical head (``Dense + ReLU`` per
+    width) in front of the quantum block's input layer.  The paper's
+    search space keeps it empty; head-varying spaces hold many
+    candidates that differ *only* in their head — structurally
+    identical tapes the runtime trains as one cross-candidate fused
+    sweep (see :meth:`group_key`).
+    """
 
     n_qubits: int = 3
     n_layers: int = 1
     ansatz: str = "sel"
+    hidden: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.ansatz not in ("bel", "sel"):
@@ -114,10 +134,17 @@ class HybridSpec(ModelSpec):
             raise ConfigurationError(
                 f"invalid hybrid spec: q={self.n_qubits}, l={self.n_layers}"
             )
+        if any(h < 1 for h in self.hidden):
+            raise ConfigurationError(
+                f"hidden widths must be >= 1, got {self.hidden}"
+            )
 
     @property
     def label(self) -> str:
-        return f"{self.ansatz.upper()}({self.n_qubits},{self.n_layers})"
+        base = f"{self.ansatz.upper()}({self.n_qubits},{self.n_layers})"
+        if self.hidden:
+            base += "+C[" + ",".join(str(h) for h in self.hidden) + "]"
+        return base
 
     @property
     def param_count(self) -> int:
@@ -127,6 +154,7 @@ class HybridSpec(ModelSpec):
             self.n_layers,
             self.ansatz,
             self.n_classes,
+            hidden=self.hidden,
         )
 
     def flops(self, convention: str | CountingConvention = "paper") -> int:
@@ -137,6 +165,7 @@ class HybridSpec(ModelSpec):
             self.ansatz,
             self.n_classes,
             convention,
+            hidden=self.hidden,
         )
 
     def build(self, rng: np.random.Generator | None = None) -> Sequential:
@@ -146,7 +175,21 @@ class HybridSpec(ModelSpec):
             self.n_layers,
             ansatz=self.ansatz,
             n_classes=self.n_classes,
+            hidden=self.hidden,
             rng=rng,
+        )
+
+    def group_key(self) -> tuple | None:
+        # Everything that shapes the compiled tape and the fixed
+        # classical tail — the head (``hidden``) is deliberately
+        # excluded: it only shapes the per-candidate prefix stack.
+        return (
+            "hybrid",
+            self.n_features,
+            self.n_classes,
+            self.n_qubits,
+            self.n_layers,
+            self.ansatz,
         )
 
 
@@ -193,10 +236,19 @@ def hybrid_search_space(
     qubit_options: Sequence[int] = config.HYBRID_QUBIT_OPTIONS,
     depth_options: Sequence[int] = config.HYBRID_DEPTH_OPTIONS,
     n_classes: int = config.N_CLASSES,
+    head_options: Sequence[Sequence[int]] = ((),),
 ) -> list[HybridSpec]:
-    """All hybrid combinations for one ansatz."""
+    """All hybrid combinations for one ansatz.
+
+    ``head_options`` extends the space with classical-head variants per
+    quantum block (default: the paper's single head-less architecture).
+    Every head variant of one ``(qubits, depth)`` cell shares a tape
+    structure, so the search trains them as one cross-candidate stack.
+    """
     if not qubit_options or not depth_options:
         raise ConfigurationError("qubit/depth options must be non-empty")
+    if not head_options:
+        raise ConfigurationError("head_options must be non-empty")
     return [
         HybridSpec(
             n_features=n_features,
@@ -204,9 +256,11 @@ def hybrid_search_space(
             n_qubits=q,
             n_layers=l,
             ansatz=ansatz,
+            hidden=tuple(head),
         )
         for q in qubit_options
         for l in depth_options
+        for head in head_options
     ]
 
 

@@ -182,12 +182,12 @@ def run_family_cached(
 
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
     pass ``cache_dir=None`` to disable caching entirely.  ``workers``,
-    ``pool`` and ``vectorized_runs`` do not enter the cache key:
-    parallel, sequential and run-stacked executions produce identical
-    results, so any may serve another's cache.  Every other config
-    override *does* change results, so it is appended to the key —
-    ``repro fig8 --runs 3`` will never be served a default-runs cache
-    entry (nor poison it).
+    ``pool``, ``vectorized_runs`` and ``stacked_candidates`` do not
+    enter the cache key: parallel, sequential, run-stacked and
+    candidate-stacked executions produce identical results, so any may
+    serve another's cache.  Every other config override *does* change
+    results, so it is appended to the key — ``repro fig8 --runs 3``
+    will never be served a default-runs cache entry (nor poison it).
     """
     prof = get_profile(profile)
     if cache_dir is None:
@@ -204,7 +204,8 @@ def run_family_cached(
     affecting = {
         k: v
         for k, v in sorted(config_overrides.items())
-        if k != "vectorized_runs" and getattr(base_cfg, k, None) != v
+        if k not in ("vectorized_runs", "stacked_candidates")
+        and getattr(base_cfg, k, None) != v
     }
     suffix = "".join(f"_{k}-{v}" for k, v in affecting.items())
     path = cache_dir / f"{family}_{prof.name}{suffix}.json"

@@ -75,8 +75,14 @@ def hybrid_param_count(
     n_layers: int,
     ansatz: str = "sel",
     n_classes: int = 3,
+    hidden: Sequence[int] = (),
 ) -> int:
-    """Trainable parameters of an HQNN spec (Fig. 3 architecture)."""
+    """Trainable parameters of an HQNN spec (Fig. 3 architecture).
+
+    ``hidden`` is the optional classical head in front of the input
+    layer (``Dense + ReLU`` per width), matching
+    :func:`repro.hybrid.build_hybrid_model`.
+    """
     ansatz = ansatz.lower()
     if ansatz == "bel":
         q_params = bel_param_count(n_layers, n_qubits)
@@ -84,9 +90,14 @@ def hybrid_param_count(
         q_params = sel_param_count(n_layers, n_qubits)
     else:
         raise ConfigurationError(f"unknown ansatz {ansatz!r}")
-    input_dense = n_features * n_qubits + n_qubits
+    head = 0
+    dim = n_features
+    for width in hidden:
+        head += dim * width + width
+        dim = width
+    input_dense = dim * n_qubits + n_qubits
     output_dense = n_qubits * n_classes + n_classes
-    return input_dense + q_params + output_dense
+    return head + input_dense + q_params + output_dense
 
 
 def _spec_tape(n_qubits: int, n_layers: int, ansatz: str):
@@ -115,12 +126,14 @@ def hybrid_flops_breakdown(
     n_classes: int = 3,
     convention: str | CountingConvention = "paper",
     input_activation: str | None = None,
+    hidden: Sequence[int] = (),
 ) -> FlopsBreakdown:
     """Table I decomposition (Enc / CL / QL) for an HQNN spec.
 
     ``input_activation`` must match the builder's choice (``None`` for
     the default linear input layer, ``"relu"`` for the Table-I-calibrated
-    variant); see :func:`repro.hybrid.build_hybrid_model`.
+    variant); see :func:`repro.hybrid.build_hybrid_model`.  ``hidden``
+    is the optional classical head in front of the input layer.
     """
     conv = get_convention(convention)
     if input_activation not in (None, "relu"):
@@ -128,9 +141,15 @@ def hybrid_flops_breakdown(
             f"input_activation must be None or 'relu', "
             f"got {input_activation!r}"
         )
-    classical = (
-        conv.dense_fwd(n_features, n_qubits)
-        + conv.dense_bwd(n_features, n_qubits)
+    classical = 0
+    dim = n_features
+    for width in hidden:
+        classical += conv.dense_fwd(dim, width) + conv.dense_bwd(dim, width)
+        classical += conv.relu_fwd(width) + conv.relu_bwd(width)
+        dim = width
+    classical += (
+        conv.dense_fwd(dim, n_qubits)
+        + conv.dense_bwd(dim, n_qubits)
         + conv.dense_fwd(n_qubits, n_classes)
         + conv.dense_bwd(n_qubits, n_classes)
         + conv.softmax_fwd(n_classes)
@@ -154,6 +173,7 @@ def hybrid_model_flops(
     n_classes: int = 3,
     convention: str | CountingConvention = "paper",
     input_activation: str | None = None,
+    hidden: Sequence[int] = (),
 ) -> int:
     """Per-sample forward+backward FLOPs of an HQNN spec."""
     return hybrid_flops_breakdown(
@@ -164,4 +184,5 @@ def hybrid_model_flops(
         n_classes,
         convention,
         input_activation,
+        hidden,
     ).total

@@ -82,12 +82,19 @@ def build_hybrid_model(
     rotation: str = "Y",
     gradient_method: str = "adjoint",
     input_activation: str | None = None,
+    hidden: Sequence[int] = (),
     rng: np.random.Generator | None = None,
 ) -> Sequential:
     """Build an HQNN for one grid-search combination (Fig. 3, right).
 
     ``input_activation`` is ``None`` (linear input layer, default) or
     ``"relu"`` — see the module docstring for the trade-off.
+
+    ``hidden`` prepends an optional classical head — ``Dense(h) + ReLU``
+    per width, mirroring the classical builder — in front of the input
+    layer.  The paper's search spaces keep it empty; head-varying
+    spaces produce many candidates sharing one quantum structure, which
+    the cross-candidate stacked runtime trains as a single fused sweep.
     """
     if n_features < 1:
         raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
@@ -98,8 +105,16 @@ def build_hybrid_model(
             f"input_activation must be None or 'relu', "
             f"got {input_activation!r}"
         )
+    if any(h < 1 for h in hidden):
+        raise ConfigurationError(f"hidden widths must be >= 1, got {hidden}")
     rng = rng or np.random.default_rng()
-    layers: list = [Dense(n_features, n_qubits, rng=rng, name="dense_in")]
+    layers: list = []
+    in_dim = n_features
+    for i, width in enumerate(hidden):
+        layers.append(Dense(in_dim, width, rng=rng, name=f"dense_head_{i}"))
+        layers.append(ReLU(name=f"relu_head_{i}"))
+        in_dim = width
+    layers.append(Dense(in_dim, n_qubits, rng=rng, name="dense_in"))
     if input_activation == "relu":
         layers.append(ReLU(name="relu_in"))
     layers += [
@@ -115,4 +130,6 @@ def build_hybrid_model(
         Softmax(name="softmax"),
     ]
     name = f"hybrid_{ansatz}_q{n_qubits}_l{n_layers}"
+    if hidden:
+        name += "_h" + "x".join(str(h) for h in hidden)
     return Sequential(layers, name=name)

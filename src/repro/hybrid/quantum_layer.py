@@ -28,7 +28,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn.layers import Layer
-from ..nn.stacked import StackedLayer, register_stacker
+from ..nn.stacked import StackedLayer, register_group_pivot, register_stacker
 from ..quantum.adjoint import adjoint_gradients
 from ..quantum.circuit import Operation, run
 from ..quantum.engine import CompiledTape, compiled_tape
@@ -345,6 +345,15 @@ class StackedQuantumLayer(StackedLayer):
         for r, lay in enumerate(layers):
             lay.weights[...] = self.weights[r]
 
+    def compact(self, keep) -> None:
+        """Drop frozen runs' weight rows; the compiled engine adapts to
+        the smaller run-major batch on the next execute (its per-run
+        kernels are bit-identical for any slice count)."""
+        super().compact(keep)
+        self.weights = self.weights[keep]
+        self.params = [self.weights]
+        self.grads = [g[keep] for g in self.grads]
+
 
 def _stack_quantum_layers(runs, layers):
     """Stacker for exact :class:`QuantumLayer` instances (see
@@ -376,3 +385,9 @@ def _stack_quantum_layers(runs, layers):
 
 
 register_stacker(QuantumLayer, _stack_quantum_layers)
+
+# The quantum layer is the split point for cross-candidate stacks:
+# candidates whose tapes are structurally identical fuse their quantum
+# sweep (and the fixed classical tail) across every run of every
+# candidate, while heterogeneous classical heads stay per candidate.
+register_group_pivot(QuantumLayer)

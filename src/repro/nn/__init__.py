@@ -20,12 +20,18 @@ from .losses import CrossEntropy, Loss, MeanSquaredError, SoftmaxCrossEntropy
 from .metrics import accuracy, confusion_matrix
 from .model import Sequential
 from .optimizers import SGD, Adam, Optimizer, StackedAdam
-from .stacked import StackedSequential, stack_models
+from .stacked import (
+    GroupedStack,
+    StackedSequential,
+    stack_candidates,
+    stack_models,
+)
 from .training import (
     History,
     VectorizedTrainer,
     iterate_minibatches,
     train_model,
+    train_stack,
 )
 
 __all__ = [
@@ -50,9 +56,12 @@ __all__ = [
     "Adam",
     "StackedAdam",
     "StackedSequential",
+    "GroupedStack",
     "stack_models",
+    "stack_candidates",
     "History",
     "train_model",
+    "train_stack",
     "VectorizedTrainer",
     "iterate_minibatches",
 ]

@@ -111,6 +111,16 @@ class StackedAdam(Adam):
     if its scalar training loop had broken out), while the surviving
     runs keep stepping.  Frozen runs never resume, so the shared ``t``
     stays equal to every active run's step count.
+
+    ``row_maps`` supports cross-candidate stacks
+    (:class:`repro.nn.stacked.GroupedStack`): parameter stacks whose
+    leading axis covers only a subset of the group's slices carry an
+    index map from their rows to global slice ids, and the ``active``
+    mask is translated through it per parameter.
+
+    ``compact`` mirrors the stacks' frozen-row compaction: moment
+    buffers gather the surviving rows (bit-identical values), and a
+    parameter stack whose rows all froze drops its state entirely.
     """
 
     def step(
@@ -118,6 +128,7 @@ class StackedAdam(Adam):
         params: list[np.ndarray],
         grads: list[np.ndarray],
         active: np.ndarray | None = None,
+        row_maps: "list[np.ndarray | None] | None" = None,
     ) -> None:
         if active is None or bool(np.all(active)):
             super().step(params, grads)
@@ -131,15 +142,38 @@ class StackedAdam(Adam):
             np.sqrt(1.0 - self.beta_2**self._t) / (1.0 - self.beta_1**self._t)
         )
         idx = np.flatnonzero(active)
-        for p, g, m, v in zip(params, grads, self._m, self._v):
+        for i, (p, g, m, v) in enumerate(zip(params, grads, self._m, self._v)):
+            rows = row_maps[i] if row_maps is not None else None
+            local = idx if rows is None else np.flatnonzero(active[rows])
+            if local.size == 0:
+                continue
             # Fancy indexing copies the active slices; the arithmetic on
             # them is the same elementwise sequence as the unmasked
             # update, then the results are written back in place.
-            ms, vs, gs = m[idx], v[idx], g[idx]
+            ms, vs, gs = m[local], v[local], g[local]
             ms *= self.beta_1
             ms += (1.0 - self.beta_1) * gs
             vs *= self.beta_2
             vs += (1.0 - self.beta_2) * np.square(gs)
-            m[idx] = ms
-            v[idx] = vs
-            p[idx] = p[idx] - lr_t * ms / (np.sqrt(vs) + self.epsilon)
+            m[local] = ms
+            v[local] = vs
+            p[local] = p[local] - lr_t * ms / (np.sqrt(vs) + self.epsilon)
+
+    def compact(self, row_keeps: "list[np.ndarray]") -> None:
+        """Gather each parameter's surviving moment rows.
+
+        ``row_keeps`` aligns with the parameter list of the *last* step:
+        one index array per parameter; an empty array drops the
+        parameter's state (its stack left the group).  No-op before the
+        first step (no moments exist yet).
+        """
+        if self._m is None:
+            return
+        kept_m: list[np.ndarray] = []
+        kept_v: list[np.ndarray] = []
+        for m, v, keep in zip(self._m, self._v, row_keeps):
+            if keep.size:
+                kept_m.append(m[keep])
+                kept_v.append(v[keep])
+        self._m = kept_m
+        self._v = kept_v

@@ -30,6 +30,27 @@ that case, so vectorization is always an optimization, never a
 behaviour change.  Layer types register themselves via
 :func:`register_stacker` (the hybrid quantum layer does this on import,
 keeping this module free of a quantum dependency).
+
+**Cross-candidate stacks.**  :func:`stack_candidates` generalizes the
+run axis to a *slice* axis spanning several candidates: C candidates x
+R runs whose models share one expensive pivot structure (the quantum
+layer — same qubits/ansatz/depth) merge into a single
+:class:`GroupedStack` of S = sum(R_c) slices.  Heterogeneous classical
+heads are handled per candidate (each candidate's prefix layers form
+their own R_c-slice stack over that candidate's contiguous row block),
+while the pivot and everything after it — structurally identical across
+the group — stack across all S slices.  Per-slice arithmetic is again
+bit-identical to the per-candidate stacks (and transitively to scalar
+training): prefix gemms see the same per-slice row blocks, and the
+pivot's per-slice engine kernels do not care whether neighbouring
+slices belong to the same candidate.
+
+**Frozen-row compaction.**  Every stacked layer supports
+``compact(keep)``: dropping a slice's rows from the parameter stacks
+(an index-map gather) leaves the surviving slices' per-slice kernels —
+einsum-only quantum kernels, per-slice gemms — bit-identical, so a run
+that early-stops (or a candidate whose runs all finished) can leave the
+fused sweep instead of riding along frozen.
 """
 
 from __future__ import annotations
@@ -46,8 +67,11 @@ __all__ = [
     "StackedLayer",
     "StackedDense",
     "StackedSequential",
+    "GroupedStack",
     "register_stacker",
+    "register_group_pivot",
     "stack_models",
+    "stack_candidates",
 ]
 
 
@@ -77,6 +101,16 @@ class StackedLayer:
 
     def sync_to_layers(self, layers: Sequence[Layer]) -> None:
         """Copy the per-run parameter slices back into the source layers."""
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop all run rows not in ``keep`` (an index array).
+
+        The gather is a plain fancy-index copy, so the surviving rows'
+        values — and every per-slice kernel that consumes them — are
+        bit-identical to the uncompacted stack's.  Subclasses with
+        parameters extend this to gather their stacks.
+        """
+        self.runs = int(np.asarray(keep).size)
 
 
 class _StackedPassthrough(StackedLayer):
@@ -158,6 +192,14 @@ class StackedDense(StackedLayer):
             lay.weight[...] = self.weight[r]
             lay.bias[...] = self.bias[r]
 
+    def compact(self, keep: np.ndarray) -> None:
+        super().compact(keep)
+        self.weight = self.weight[keep]
+        self.bias = self.bias[keep]
+        self.params = [self.weight, self.bias]
+        self.grads = [g[keep] for g in self.grads]
+        self._cache_x = None
+
 
 #: type -> stacker(runs, layers) registry.  Keyed on the *exact* type:
 #: a subclass may override behaviour the stacker does not model, so it
@@ -236,6 +278,15 @@ class StackedSequential:
     def gradients(self) -> list[np.ndarray]:
         return [g for layer in self.layers for g in layer.grads]
 
+    def row_maps(self) -> list[np.ndarray | None]:
+        """Per-parameter map from parameter rows to stack slices.
+
+        ``None`` means the identity (every parameter stack spans every
+        slice) — true for a plain run stack.  :class:`GroupedStack`
+        overrides this for per-candidate parameter stacks.
+        """
+        return [None] * len(self.parameters())
+
     def zero_grads(self) -> None:
         for layer in self.layers:
             layer.zero_grads()
@@ -244,6 +295,37 @@ class StackedSequential:
         """Write the trained per-run parameters back into the R models."""
         for pos, layer in enumerate(self.layers):
             layer.sync_to_layers([m.layers[pos] for m in self._models])
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every run row not in ``keep`` from all layer stacks."""
+        keep = np.asarray(keep, dtype=np.intp)
+        for layer in self.layers:
+            layer.compact(keep)
+        self._models = [self._models[i] for i in keep]
+        self.runs = int(keep.size)
+
+
+def _stack_rows(
+    runs: int, rows: Sequence[Sequence[Layer]]
+) -> list[StackedLayer] | None:
+    """Stack aligned layer rows (one list of ``runs`` instances per
+    position); ``None`` if any position has no exact-type stacker."""
+    stacked: list[StackedLayer] = []
+    for layers in rows:
+        tp = type(layers[0])
+        if any(type(lay) is not tp for lay in layers[1:]):
+            return None
+        stacker = _STACKERS.get(tp)
+        if stacker is not None:
+            entry = stacker(runs, layers)
+            if entry is None:
+                return None
+            stacked.append(entry)
+        elif tp in _PASSTHROUGH_TYPES:
+            stacked.append(_StackedPassthrough(runs, layers[0]))
+        else:
+            return None
+    return stacked
 
 
 def stack_models(models: Sequence[Sequential]) -> StackedSequential | None:
@@ -261,20 +343,285 @@ def stack_models(models: Sequence[Sequential]) -> StackedSequential | None:
     if any(len(m.layers) != n_layers for m in models[1:]):
         return None
     runs = len(models)
-    stacked: list[StackedLayer] = []
-    for pos in range(n_layers):
-        layers = [m.layers[pos] for m in models]
-        tp = type(layers[0])
-        if any(type(lay) is not tp for lay in layers[1:]):
-            return None
-        stacker = _STACKERS.get(tp)
-        if stacker is not None:
-            entry = stacker(runs, layers)
-            if entry is None:
-                return None
-            stacked.append(entry)
-        elif tp in _PASSTHROUGH_TYPES:
-            stacked.append(_StackedPassthrough(runs, layers[0]))
-        else:
-            return None
+    stacked = _stack_rows(
+        runs, [[m.layers[pos] for m in models] for pos in range(n_layers)]
+    )
+    if stacked is None:
+        return None
     return StackedSequential(runs, stacked, models)
+
+
+# -- cross-candidate groups -------------------------------------------------
+
+#: Layer types a heterogeneous candidate group may be split at: each
+#: member model must contain exactly one pivot layer, the pivot and the
+#: layers after it stack across the whole group, and everything before
+#: it stacks per candidate.  The hybrid quantum layer registers itself
+#: on import (same pattern as the stacker registry).
+_GROUP_PIVOTS: set[type] = set()
+
+
+def register_group_pivot(layer_type: type) -> None:
+    """Mark a layer type as a valid cross-candidate split point."""
+    _GROUP_PIVOTS.add(layer_type)
+
+
+class _GroupMember:
+    """One candidate's run set inside a :class:`GroupedStack`."""
+
+    __slots__ = ("models", "prefix", "pivot_pos", "size")
+
+    def __init__(
+        self,
+        models: list[Sequential],
+        prefix: StackedSequential | None,
+        pivot_pos: int,
+    ) -> None:
+        self.models = models
+        self.prefix = prefix
+        self.pivot_pos = pivot_pos
+        self.size = len(models)
+
+
+class GroupedStack:
+    """C candidates x R runs as one stack with per-candidate prefixes.
+
+    Built by :func:`stack_candidates`.  The fused activation batch is
+    *slice-major*: slice ``s`` (candidate-major, runs in order) owns
+    rows ``s*B .. (s+1)*B``, exactly like :class:`StackedSequential`'s
+    run-major layout — ``runs`` here counts slices.  Classical prefix
+    layers that differ between candidates run per candidate on that
+    candidate's contiguous row block; the pivot layer (the quantum
+    sweep) and the shared suffix run once over all S slices.
+
+    Every kernel is per slice (per-slice gemms, per-run engine
+    kernels), so each slice's arithmetic is bit-identical to the same
+    run trained in a single-candidate stack — which is what lets
+    candidate-stacked grid searches reproduce unstacked results
+    exactly.
+    """
+
+    def __init__(
+        self, members: list[_GroupMember], shared: list[StackedLayer]
+    ) -> None:
+        self.members = members
+        self.shared = shared
+        self.runs = sum(m.size for m in members)
+
+    @property
+    def _segmented(self) -> bool:
+        return any(m.prefix is not None for m in self.members)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] % self.runs:
+            raise ShapeError(
+                f"grouped stack expected (slices*batch, features), got "
+                f"{x.shape} for {self.runs} slices"
+            )
+        out = x
+        if self._segmented:
+            per = x.shape[0] // self.runs
+            mid: np.ndarray | None = None
+            offset = 0
+            for member in self.members:
+                rows = member.size * per
+                block = x[offset : offset + rows]
+                if member.prefix is not None:
+                    block = member.prefix.forward(block, training=training)
+                if mid is None:
+                    mid = np.empty(
+                        (x.shape[0], block.shape[1]), dtype=np.float64
+                    )
+                mid[offset : offset + rows] = block
+                offset += rows
+            out = mid
+        for layer in self.shared:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.shared):
+            grad = layer.backward(grad)
+        if not self._segmented:
+            return grad
+        per = grad.shape[0] // self.runs
+        out: np.ndarray | None = None
+        offset = 0
+        for member in self.members:
+            rows = member.size * per
+            block = grad[offset : offset + rows]
+            if member.prefix is not None:
+                block = member.prefix.backward(block)
+            if out is None:
+                out = np.empty(
+                    (grad.shape[0], block.shape[1]), dtype=np.float64
+                )
+            out[offset : offset + rows] = block
+            offset += rows
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    def parameters(self) -> list[np.ndarray]:
+        out = []
+        for member in self.members:
+            if member.prefix is not None:
+                out.extend(member.prefix.parameters())
+        for layer in self.shared:
+            out.extend(layer.params)
+        return out
+
+    def gradients(self) -> list[np.ndarray]:
+        out = []
+        for member in self.members:
+            if member.prefix is not None:
+                out.extend(member.prefix.gradients())
+        for layer in self.shared:
+            out.extend(layer.grads)
+        return out
+
+    def row_maps(self) -> list[np.ndarray | None]:
+        """Slice indices behind each parameter stack's rows.
+
+        Prefix parameters of the candidate at slice offset ``o`` with
+        ``R_c`` runs map to slices ``o .. o+R_c``; shared parameters map
+        identically (``None``).  The optimizer uses these maps to
+        translate a global freeze mask into per-parameter row masks.
+        """
+        maps: list[np.ndarray | None] = []
+        offset = 0
+        for member in self.members:
+            if member.prefix is not None:
+                rows = np.arange(offset, offset + member.size)
+                maps.extend(
+                    [rows] * len(member.prefix.parameters())
+                )
+            offset += member.size
+        maps.extend([None] * sum(len(lay.params) for lay in self.shared))
+        return maps
+
+    def zero_grads(self) -> None:
+        for member in self.members:
+            if member.prefix is not None:
+                member.prefix.zero_grads()
+        for layer in self.shared:
+            layer.zero_grads()
+
+    def sync_to_models(self) -> None:
+        """Write every slice's parameters back into its source model."""
+        for member in self.members:
+            if member.prefix is not None:
+                member.prefix.sync_to_models()
+        flat = [
+            (model, member.pivot_pos)
+            for member in self.members
+            for model in member.models
+        ]
+        for j, layer in enumerate(self.shared):
+            layer.sync_to_layers([m.layers[pos + j] for m, pos in flat])
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every slice not in ``keep`` (current slice indices).
+
+        A candidate whose slices all vanish leaves the group entirely —
+        its prefix stack (and its parameters) drop out of
+        :meth:`parameters` — so the caller must compact any optimizer
+        state with the matching :meth:`row_maps` *before* this call.
+        """
+        keep = np.asarray(keep, dtype=np.intp)
+        survivors: list[_GroupMember] = []
+        offset = 0
+        for member in self.members:
+            local = keep[(keep >= offset) & (keep < offset + member.size)]
+            local = local - offset
+            offset += member.size
+            if local.size == 0:
+                continue
+            if member.prefix is not None:
+                member.prefix.compact(local)
+            member.models = [member.models[i] for i in local]
+            member.size = int(local.size)
+            survivors.append(member)
+        self.members = survivors
+        for layer in self.shared:
+            layer.compact(keep)
+        self.runs = int(keep.size)
+
+
+def stack_candidates(
+    model_groups: Sequence[Sequence[Sequential]],
+) -> GroupedStack | None:
+    """Fold several candidates' run sets into one :class:`GroupedStack`.
+
+    ``model_groups[c]`` holds candidate ``c``'s run models (all
+    structurally identical to each other by construction).  Returns
+    ``None`` — train each candidate separately — unless either
+
+    * every model across the whole group stacks position-wise
+      (identical layer types and shapes: the fully fused case), or
+    * every model has exactly one registered pivot layer
+      (:func:`register_group_pivot`), the pivot and the layers after it
+      stack across all S slices, and each candidate's prefix stacks on
+      its own (heterogeneous classical heads).
+    """
+    groups = [list(g) for g in model_groups]
+    if any(not g for g in groups):
+        return None
+    flat = [m for g in groups for m in g]
+    total = len(flat)
+    if total < 2:
+        return None
+    # Fully aligned fast path: one stack over every slice, no segments.
+    n_layers = len(flat[0].layers)
+    if all(len(m.layers) == n_layers for m in flat):
+        stacked = _stack_rows(
+            total, [[m.layers[pos] for m in flat] for pos in range(n_layers)]
+        )
+        if stacked is not None:
+            members = [_GroupMember(g, None, 0) for g in groups]
+            return GroupedStack(members, stacked)
+    # Segmented path: split each model at its unique pivot layer.
+    split_at: list[int] = []
+    for model in flat:
+        pivots = [
+            pos
+            for pos, lay in enumerate(model.layers)
+            if type(lay) in _GROUP_PIVOTS
+        ]
+        if len(pivots) != 1:
+            return None
+        split_at.append(pivots[0])
+    suffix_lens = {
+        len(m.layers) - pos for m, pos in zip(flat, split_at)
+    }
+    if len(suffix_lens) != 1:
+        return None
+    shared = _stack_rows(
+        total,
+        [
+            [m.layers[pos + j] for m, pos in zip(flat, split_at)]
+            for j in range(suffix_lens.pop())
+        ],
+    )
+    if shared is None:
+        return None
+    members = []
+    start = 0
+    for group in groups:
+        positions = split_at[start : start + len(group)]
+        start += len(group)
+        pos = positions[0]
+        if any(p != pos for p in positions):
+            return None
+        if pos == 0:
+            prefix = None
+        else:
+            rows = [[m.layers[j] for m in group] for j in range(pos)]
+            layers = _stack_rows(len(group), rows)
+            if layers is None:
+                return None
+            prefix = StackedSequential(len(group), layers, group)
+        members.append(_GroupMember(group, prefix, pos))
+    return GroupedStack(members, shared)

@@ -30,6 +30,7 @@ __all__ = [
     "History",
     "train_model",
     "iterate_minibatches",
+    "train_stack",
     "VectorizedTrainer",
 ]
 
@@ -152,6 +153,181 @@ def train_model(
     return history
 
 
+def train_stack(
+    stack,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    epochs: int = 100,
+    batch_size: int = 8,
+    loss: Loss | None = None,
+    learning_rate: float = 0.001,
+    rngs: Sequence[np.random.Generator] | None = None,
+    early_stop_threshold: float | None = None,
+    shuffle: bool = True,
+    cancel_check: Callable[[], bool] | None = None,
+    compact: bool = True,
+) -> list[History]:
+    """Train a slice stack in lockstep; one :class:`History` per slice.
+
+    ``stack`` is a :class:`~repro.nn.stacked.StackedSequential` (R runs
+    of one candidate) or a :class:`~repro.nn.stacked.GroupedStack`
+    (several candidates' run sets fused into one sweep); ``rngs`` holds
+    one generator per slice, each in the state its scalar
+    :func:`train_model` counterpart would be in when entering training.
+    Histories come back in the stack's original slice order.
+
+    Every slice's training is bit-identical to its scalar loop: per-run
+    engine kernels, per-slice gemms, per-slice loss values and its own
+    RNG stream for minibatch shuffles.  A slice that reaches
+    ``early_stop_threshold`` freezes exactly as its scalar loop would
+    have broken out — and with ``compact`` (the default) its rows are
+    *dropped from subsequent sweeps* instead of riding along frozen: an
+    index-map gather of the parameter stacks, optimizer moments and RNG
+    bookkeeping that leaves the surviving slices' arithmetic untouched.
+    ``compact=False`` keeps the shape-stable masking behaviour; results
+    are identical either way, only wall time changes.
+    """
+    if y_train.ndim != 2 or y_val.ndim != 2:
+        raise ShapeError("targets must be one-hot encoded (2-D)")
+    if x_train.shape[0] != y_train.shape[0]:
+        raise ShapeError("x_train and y_train batch sizes differ")
+    if x_val.shape[0] != y_val.shape[0]:
+        raise ShapeError("x_val and y_val batch sizes differ")
+    if epochs < 1:
+        raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+    loss = loss or CrossEntropy()
+    total = stack.runs
+    rngs = (
+        list(rngs)
+        if rngs is not None
+        else [np.random.default_rng() for _ in range(total)]
+    )
+    if len(rngs) != total:
+        raise ConfigurationError(
+            f"need one rng per run: {total} runs, {len(rngs)} rngs"
+        )
+
+    optimizer = StackedAdam(learning_rate=learning_rate)
+    histories = [History() for _ in range(total)]
+    # Row maps only change when the stack compacts; cache them instead
+    # of rebuilding per minibatch step.
+    maps = stack.row_maps()
+    #: Index map: current stack row -> original slice (history / rng).
+    slots = np.arange(total)
+    active = np.ones(total, dtype=bool)
+    started = time.perf_counter()
+    n = x_train.shape[0]
+    n_val = x_val.shape[0]
+    n_classes = y_train.shape[1]
+    # The per-epoch evaluation passes see the full train/val sets,
+    # tiled slice-major (rebuilt whenever compaction shrinks the stack).
+    x_train_tiled = np.tile(x_train, (total, 1))
+    x_val_tiled = np.tile(x_val, (total, 1))
+    xb = yb = None  # fused minibatch buffers, allocated per size
+
+    for _ in range(epochs):
+        if not active.any():
+            break
+        if cancel_check is not None and cancel_check():
+            raise TrainingCancelled(
+                "stacked training cancelled after "
+                f"{max(h.epochs_run for h in histories)} epochs"
+            )
+        slices = stack.runs
+        # One shuffled index order per active slice — drawn from that
+        # slice's own stream, exactly like its scalar loop.  Frozen
+        # slices (masking mode only) keep an arbitrary unshuffled
+        # order: their rows ride along but nothing reads their results.
+        orders = np.empty((slices, n), dtype=np.intp)
+        for r in range(slices):
+            orders[r] = np.arange(n)
+            if shuffle and active[r]:
+                rngs[slots[r]].shuffle(orders[r])
+        epoch_losses: list[list[float]] = [[] for _ in range(slices)]
+        for start in range(0, n, batch_size):
+            idx = orders[:, start : start + batch_size]
+            per = idx.shape[1]
+            rows = idx.reshape(-1)
+            if xb is None or xb.shape[0] != slices * per:
+                xb = np.empty(
+                    (slices * per, x_train.shape[1]), dtype=x_train.dtype
+                )
+                yb = np.empty((slices * per, n_classes), dtype=y_train.dtype)
+            np.take(x_train, rows, axis=0, out=xb)
+            np.take(y_train, rows, axis=0, out=yb)
+            stack.zero_grads()
+            out = stack.forward(xb, training=True)
+            # Loss values and gradients per slice: the scalar loss
+            # divides by the *slice's* batch, not the fused one.
+            grad = np.empty_like(out)
+            for r in range(slices):
+                sl = slice(r * per, (r + 1) * per)
+                if active[r]:
+                    epoch_losses[r].append(loss.value(out[sl], yb[sl]))
+                grad[sl] = loss.gradient(out[sl], yb[sl])
+            stack.backward(grad)
+            optimizer.step(
+                stack.parameters(),
+                stack.gradients(),
+                active,
+                row_maps=maps,
+            )
+
+        train_out = stack.predict(x_train_tiled)
+        val_out = stack.predict(x_val_tiled)
+        frozen_now = False
+        for r in range(slices):
+            if not active[r]:
+                continue
+            history = histories[slots[r]]
+            history.train_loss.append(float(np.mean(epoch_losses[r])))
+            history.train_accuracy.append(
+                accuracy(y_train, train_out[r * n : (r + 1) * n])
+            )
+            history.val_accuracy.append(
+                accuracy(y_val, val_out[r * n_val : (r + 1) * n_val])
+            )
+            history.epochs_run += 1
+            if (
+                early_stop_threshold is not None
+                and history.meets_threshold(early_stop_threshold)
+            ):
+                history.stopped_early = True
+                history.wall_time_s = time.perf_counter() - started
+                active[r] = False
+                frozen_now = True
+        if compact and frozen_now:
+            # Frozen slices leave the sweep.  Their parameters are final
+            # right now, so sync everything back (active slices resync
+            # at the end) before the index-map gather drops their rows
+            # from the stacks and the optimizer moments.
+            stack.sync_to_models()
+            keep = np.flatnonzero(active)
+            if keep.size:
+                optimizer.compact(
+                    [
+                        keep if rows is None else np.flatnonzero(active[rows])
+                        for rows in maps
+                    ]
+                )
+                stack.compact(keep)
+                maps = stack.row_maps()
+                slots = slots[keep]
+                active = np.ones(keep.size, dtype=bool)
+                x_train_tiled = np.tile(x_train, (keep.size, 1))
+                x_val_tiled = np.tile(x_val, (keep.size, 1))
+                xb = yb = None
+
+    elapsed = time.perf_counter() - started
+    for r in range(stack.runs):
+        if active[r]:
+            histories[slots[r]].wall_time_s = elapsed
+    stack.sync_to_models()
+    return histories
+
+
 class VectorizedTrainer:
     """Train R same-structure models in lockstep as one run-stacked sweep.
 
@@ -171,11 +347,12 @@ class VectorizedTrainer:
     * every stacked kernel is bit-identical to the scalar one per run
       slice, so losses, accuracies and parameter trajectories match
       per-run training bit for bit;
-    * a run that reaches ``early_stop_threshold`` **freezes but stays in
-      the stack**: its parameters, optimizer state and history stop
-      changing (exactly as if its scalar loop had broken out) while the
-      remaining runs keep training; the epoch loop ends when every run
-      is frozen or the epoch budget is spent.
+    * a run that reaches ``early_stop_threshold`` **freezes**: its
+      parameters, optimizer state and history stop changing (exactly as
+      if its scalar loop had broken out) while the remaining runs keep
+      training; by default its rows are then *compacted out* of the
+      fused sweep (see :func:`train_stack`), and the epoch loop ends
+      when every run is frozen or the epoch budget is spent.
 
     ``available`` is ``False`` when any layer cannot be stacked (custom
     layers, parameter-shift gradients, Dropout...); callers then fall
@@ -211,6 +388,7 @@ class VectorizedTrainer:
         early_stop_threshold: float | None = None,
         shuffle: bool = True,
         cancel_check: Callable[[], bool] | None = None,
+        compact: bool = True,
     ) -> list[History]:
         """Train the stack; return one :class:`History` per run.
 
@@ -218,118 +396,29 @@ class VectorizedTrainer:
         one generator per run (each in the state its scalar counterpart
         would be in when entering training); per-run ``wall_time_s``
         measures lockstep time from start until that run froze or the
-        loop ended.  Raises
-        :class:`~repro.exceptions.TrainingCancelled` when
+        loop ended.  With ``compact`` (the default) early-stopped runs
+        are dropped from subsequent sweeps instead of riding along
+        frozen — see :func:`train_stack` for the bit-identity contract.
+        Raises :class:`~repro.exceptions.TrainingCancelled` when
         ``cancel_check`` fires at an epoch boundary.
         """
         if self.stack is None:
             raise ConfigurationError(
                 "models cannot be stacked; check available before train()"
             )
-        if y_train.ndim != 2 or y_val.ndim != 2:
-            raise ShapeError("targets must be one-hot encoded (2-D)")
-        if x_train.shape[0] != y_train.shape[0]:
-            raise ShapeError("x_train and y_train batch sizes differ")
-        if x_val.shape[0] != y_val.shape[0]:
-            raise ShapeError("x_val and y_val batch sizes differ")
-        if epochs < 1:
-            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
-        stack = self.stack
-        runs = stack.runs
-        rngs = (
-            list(rngs)
-            if rngs is not None
-            else [np.random.default_rng() for _ in range(runs)]
+        return train_stack(
+            self.stack,
+            x_train,
+            y_train,
+            x_val,
+            y_val,
+            epochs=epochs,
+            batch_size=batch_size,
+            loss=self.loss,
+            learning_rate=self.learning_rate,
+            rngs=rngs,
+            early_stop_threshold=early_stop_threshold,
+            shuffle=shuffle,
+            cancel_check=cancel_check,
+            compact=compact,
         )
-        if len(rngs) != runs:
-            raise ConfigurationError(
-                f"need one rng per run: {runs} runs, {len(rngs)} rngs"
-            )
-
-        optimizer = StackedAdam(learning_rate=self.learning_rate)
-        histories = [History() for _ in range(runs)]
-        active = np.ones(runs, dtype=bool)
-        started = time.perf_counter()
-        n = x_train.shape[0]
-        n_classes = y_train.shape[1]
-        # The per-epoch evaluation passes see the full train/val sets,
-        # tiled run-major once up front.
-        x_train_tiled = np.tile(x_train, (runs, 1))
-        x_val_tiled = np.tile(x_val, (runs, 1))
-        xb = yb = None  # fused minibatch buffers, allocated per size
-
-        for _ in range(epochs):
-            if not active.any():
-                break
-            if cancel_check is not None and cancel_check():
-                raise TrainingCancelled(
-                    "stacked training cancelled after "
-                    f"{max(h.epochs_run for h in histories)} epochs"
-                )
-            # One shuffled index order per active run — drawn from that
-            # run's own stream, exactly like its scalar loop.  Frozen
-            # runs keep an arbitrary (unshuffled) order: their rows ride
-            # along in the fused batch but nothing reads their results.
-            orders = np.empty((runs, n), dtype=np.intp)
-            for r in range(runs):
-                orders[r] = np.arange(n)
-                if shuffle and active[r]:
-                    rngs[r].shuffle(orders[r])
-            epoch_losses: list[list[float]] = [[] for _ in range(runs)]
-            for start in range(0, n, batch_size):
-                idx = orders[:, start : start + batch_size]
-                per = idx.shape[1]
-                rows = idx.reshape(-1)
-                if xb is None or xb.shape[0] != runs * per:
-                    xb = np.empty(
-                        (runs * per, x_train.shape[1]), dtype=x_train.dtype
-                    )
-                    yb = np.empty(
-                        (runs * per, n_classes), dtype=y_train.dtype
-                    )
-                np.take(x_train, rows, axis=0, out=xb)
-                np.take(y_train, rows, axis=0, out=yb)
-                stack.zero_grads()
-                out = stack.forward(xb, training=True)
-                # Loss values and gradients per run slice: the scalar
-                # loss divides by the *run's* batch, not the fused one.
-                grad = np.empty_like(out)
-                for r in range(runs):
-                    sl = slice(r * per, (r + 1) * per)
-                    if active[r]:
-                        epoch_losses[r].append(
-                            self.loss.value(out[sl], yb[sl])
-                        )
-                    grad[sl] = self.loss.gradient(out[sl], yb[sl])
-                stack.backward(grad)
-                optimizer.step(stack.parameters(), stack.gradients(), active)
-
-            train_out = stack.predict(x_train_tiled)
-            val_out = stack.predict(x_val_tiled)
-            n_val = x_val.shape[0]
-            for r in range(runs):
-                if not active[r]:
-                    continue
-                history = histories[r]
-                history.train_loss.append(float(np.mean(epoch_losses[r])))
-                history.train_accuracy.append(
-                    accuracy(y_train, train_out[r * n : (r + 1) * n])
-                )
-                history.val_accuracy.append(
-                    accuracy(y_val, val_out[r * n_val : (r + 1) * n_val])
-                )
-                history.epochs_run += 1
-                if (
-                    early_stop_threshold is not None
-                    and history.meets_threshold(early_stop_threshold)
-                ):
-                    history.stopped_early = True
-                    history.wall_time_s = time.perf_counter() - started
-                    active[r] = False
-
-        elapsed = time.perf_counter() - started
-        for r in range(runs):
-            if active[r]:
-                histories[r].wall_time_s = elapsed
-        stack.sync_to_models()
-        return histories

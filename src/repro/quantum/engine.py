@@ -415,6 +415,24 @@ class CompiledTape:
                     out.append((g, p, ref))
         return out
 
+    @property
+    def shift_stackable(self) -> bool:
+        """Whether all 2P parameter-shifted executions of this tape can
+        run as one run-stacked sweep.
+
+        Requires every referenced parameter to sit on a single-qubit
+        gate (the per-run kernels — and their bit-identity to separate
+        executions — only exist for single-qubit matrices) and no
+        baked-in batched default parameters (their batch would conflict
+        with the fused ``2P * B`` one).
+        """
+        if self._default_batch > 1 or self._fixed_batch > 1:
+            return False
+        return all(
+            len(self._specs[g].wires) == 1
+            for g, _, _ in self.referenced_params()
+        )
+
     # -- parameter binding -------------------------------------------------
 
     def _resolve_batch(self, inputs, batch) -> int:
@@ -482,6 +500,19 @@ class CompiledTape:
                 if shifts is not None:
                     delta = shifts.get((g, p))
                     if delta is not None:
+                        delta = np.asarray(delta)
+                        if (
+                            delta.ndim == 1
+                            and runs is not None
+                            and v.ndim == 1
+                            and v.shape[0] == batch
+                            and batch != runs
+                        ):
+                            # A per-run (runs,) shift vector meeting a
+                            # per-sample value (input refs, expanded
+                            # multi-qubit weights): expand run-major so
+                            # each run's rows see their own delta.
+                            delta = np.repeat(delta, batch // runs)
                         v = v + delta
                 vals.append(v)
             values[g] = vals
@@ -688,7 +719,10 @@ class CompiledTape:
         every ``weight``-ref parameter from a flat vector.  Parameters
         without a binding keep the values baked in at compile time.
         ``shifts`` adds a delta to individual ``(op_index, param_index)``
-        slots (the parameter-shift rule's hook).  The returned array is an
+        slots (the parameter-shift rule's hook); in run-stacked mode a
+        delta may be a per-run ``(runs,)`` vector — one shift per run —
+        which is how all ``2P`` shifted circuits of the parameter-shift
+        rule execute as a single fused sweep.  The returned array is an
         engine-owned buffer, valid only until the next ``execute``.
 
         ``runs=R`` enables run-stacked execution: ``weights`` may then be

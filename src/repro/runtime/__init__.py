@@ -19,7 +19,13 @@ run-stacked :func:`~repro.runtime.jobs.execute_runs` that trains a
 candidate's whole run set in one vectorized sweep.
 """
 
-from .jobs import RunResult, TrainingJob, execute_job, execute_runs
+from .jobs import (
+    RunResult,
+    TrainingJob,
+    execute_candidates,
+    execute_job,
+    execute_runs,
+)
 from .parallel import SPECULATION_FACTOR, resolve_workers, speculative_search
 from .pool import (
     ChunkCostModel,
@@ -35,6 +41,7 @@ __all__ = [
     "RunResult",
     "execute_job",
     "execute_runs",
+    "execute_candidates",
     "resolve_workers",
     "speculative_search",
     "SPECULATION_FACTOR",

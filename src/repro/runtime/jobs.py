@@ -20,6 +20,15 @@ run set of one candidate as one stacked sweep
 and falls back to per-run :func:`execute_job` calls otherwise.  The
 stacked path's kernels are bit-identical to the scalar ones per run, so
 either path yields the same :class:`RunResult` list.
+
+:func:`execute_candidates` generalizes one step further: several
+candidates whose compiled tapes are structurally identical (equal
+:meth:`~repro.core.search_space.ModelSpec.group_key`) merge their run
+sets into one cross-candidate fused sweep
+(:func:`repro.nn.stacked.stack_candidates` +
+:func:`repro.nn.training.train_stack`).  Per-slice arithmetic is again
+bit-identical to the per-candidate paths, so grouping is pure wall-time
+optimization.
 """
 
 from __future__ import annotations
@@ -30,7 +39,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from ..nn.optimizers import Adam
-from ..nn.training import VectorizedTrainer, train_model
+from ..nn.stacked import stack_candidates
+from ..nn.training import VectorizedTrainer, train_model, train_stack
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.grid_search import TrainingSettings
@@ -38,7 +48,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..data.splits import DataSplit
     from ..nn.training import History
 
-__all__ = ["TrainingJob", "RunResult", "execute_job", "execute_runs"]
+__all__ = [
+    "TrainingJob",
+    "RunResult",
+    "execute_job",
+    "execute_runs",
+    "execute_candidates",
+]
 
 
 @dataclass(frozen=True)
@@ -207,8 +223,74 @@ def execute_runs(
         rngs=rngs,
         early_stop_threshold=settings.early_stop_threshold,
         cancel_check=cancel_check,
+        compact=getattr(settings, "compact_frozen", True),
     )
     return [
         _to_result(candidate_index, run, history, settings)
         for run, history in zip(runs, histories)
+    ]
+
+
+def execute_candidates(
+    group: Sequence[tuple["ModelSpec", int, Sequence[int]]],
+    seed: int,
+    split: "DataSplit",
+    settings: "TrainingSettings",
+    cancel_check: Callable[[], bool] | None = None,
+) -> list[RunResult] | None:
+    """Train several candidates' run sets as one cross-candidate sweep.
+
+    ``group`` holds ``(spec, candidate_index, runs)`` triples whose
+    specs share a tape structure (equal ``group_key``).  Every slice —
+    one ``(candidate, run)`` pair, candidate-major in group order —
+    builds its model from the same ``(seed, candidate_index, run)``
+    stream the scalar and per-candidate paths use, so results are
+    bit-identical to training each candidate separately.
+
+    Returns ``None`` when the group cannot be stacked
+    (:func:`repro.nn.stacked.stack_candidates` declined) — the caller
+    falls back to per-candidate execution with nothing consumed.  A
+    training (or build) error raises: the error cannot be attributed to
+    one candidate from inside the fused sweep, so callers re-run per
+    candidate to reproduce the exact per-candidate error.
+    """
+    slices = [
+        (spec, candidate_index, run)
+        for spec, candidate_index, runs in group
+        for run in runs
+    ]
+    if len(slices) < 2:
+        return None
+    rngs = [
+        np.random.default_rng((seed, candidate_index, run))
+        for _, candidate_index, run in slices
+    ]
+    models = [
+        spec.build(rng=rng) for (spec, _, _), rng in zip(slices, rngs)
+    ]
+    model_groups = []
+    offset = 0
+    for _, _, runs in group:
+        model_groups.append(models[offset : offset + len(runs)])
+        offset += len(runs)
+    stack = stack_candidates(model_groups)
+    if stack is None:
+        return None
+    histories = train_stack(
+        stack,
+        split.x_train,
+        split.y_train,
+        split.x_val,
+        split.y_val,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        learning_rate=settings.learning_rate,
+        rngs=rngs,
+        early_stop_threshold=settings.early_stop_threshold,
+        cancel_check=cancel_check,
+        compact=getattr(settings, "compact_frozen", True),
+    )
+    return [
+        _to_result(candidate_index, run, history, settings)
+        for (_, candidate_index, run), history in zip(slices, histories)
     ]

@@ -10,7 +10,10 @@ embarrassingly parallel.  The scheduler exploits that gap:
   (*speculation*: workers may train candidate ``i + k`` before candidate
   ``i``'s verdict is known); each chunk batches consecutive runs of one
   candidate so a single worker invocation shares one dataset attachment
-  and one compiled tape across its runs;
+  and one compiled tape across its runs — and, with candidate stacking,
+  waiting chunks of candidates with structurally identical tapes merge
+  into one multi-candidate chunk the worker trains as a single
+  cross-candidate fused sweep;
 
 * within the speculation window, chunks are submitted
   **most-expensive-first** (FLOPs-aware packing): training time scales
@@ -117,7 +120,11 @@ def speculative_search(
     shared memory at most once per pool, and the search leaves the pool
     warm for the caller's next search.
     """
-    from ..core.grid_search import SearchOutcome, aggregate_runs
+    from ..core.grid_search import (
+        MAX_GROUP_CANDIDATES,
+        SearchOutcome,
+        aggregate_runs,
+    )
 
     if settings.runs < 1:
         raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
@@ -129,7 +136,22 @@ def speculative_search(
     outcome = SearchOutcome(threshold=threshold, winner=None)
     runs = settings.runs
     window = max(SPECULATION_FACTOR * workers, workers + 1)
-    vectorized = settings.vectorized_runs and runs > 1
+    # Cross-candidate stacking: vectorized chunks of same-structure
+    # candidates still waiting for a worker slot are merged into one
+    # multi-candidate chunk (one fused sweep on the worker).  Merging is
+    # opportunistic — it depends on what is still unsubmitted when a
+    # candidate enters the window — which, like packing order, only
+    # shapes wall time: every run's arithmetic is bit-identical however
+    # its chunk was grouped, and commits stay in FLOPs order.  Stacking
+    # makes single-run candidates worth vectorizing too (the group
+    # supplies the slices a lone run lacks).
+    stacking = settings.vectorized_runs and getattr(
+        settings, "stacked_candidates", True
+    )
+    vectorized = settings.vectorized_runs and (runs > 1 or stacking)
+    group_keys = (
+        [spec.group_key() for spec in ranked] if stacking else None
+    )
     if vectorized:
         # Run-stacked mode: one chunk per candidate carries the whole
         # run set, so a single worker invocation trains all R runs in
@@ -196,12 +218,68 @@ def speculative_search(
             ),
         )
 
+    def chunk_run_counts(job_chunk: JobChunk) -> dict[int, int]:
+        """Runs per candidate inside a (possibly merged) chunk."""
+        counts: dict[int, int] = {}
+        for job in job_chunk.jobs:
+            counts[job.candidate_index] = counts.get(job.candidate_index, 0) + 1
+        return counts
+
+    def chunk_estimate(job_chunk: JobChunk) -> float:
+        """Expected chunk seconds: sum of its candidates' estimates."""
+        return sum(
+            cost_model.estimate(ranked[c].label, costs[c], n)
+            for c, n in chunk_run_counts(job_chunk).items()
+        )
+
+    def try_merge(index: int, job_chunk: JobChunk) -> bool:
+        """Merge a new candidate's chunk into a waiting same-key chunk.
+
+        Only still-unsubmitted vectorized chunks are candidates, and a
+        merged chunk is capped at MAX_GROUP_CANDIDATES members; the
+        merged jobs stay candidate-major so the worker's fused sweep
+        sees each candidate's runs contiguously.
+
+        Merging trades parallelism for per-sweep efficiency, so it only
+        happens once the window already holds enough distinct chunks to
+        keep every submission slot busy: on an idle pool the group's
+        members spread across workers instead of collapsing onto one
+        (a fused sweep is ~2x cheaper, but starving N-1 workers costs
+        ~Nx).  The excess beyond the window's supply merges.
+        """
+        if len(submittable) + in_flight < window:
+            return False
+        key = group_keys[index]
+        if key is None:
+            return False
+        for slot, (anchor, first_run, existing) in enumerate(submittable):
+            if not existing.vectorized:
+                continue
+            counts = chunk_run_counts(existing)
+            if index in counts or len(counts) >= MAX_GROUP_CANDIDATES:
+                continue
+            if any(group_keys[c] != key for c in counts):
+                continue
+            submittable[slot] = (
+                anchor,
+                first_run,
+                JobChunk(
+                    jobs=existing.jobs + job_chunk.jobs,
+                    handle=existing.handle,
+                    settings=existing.settings,
+                    generation=existing.generation,
+                    vectorized=True,
+                ),
+            )
+            return True
+        return False
+
     def top_up() -> None:
         nonlocal next_unqueued, in_flight
         limit = min(len(ranked), next_commit + lookahead)
         while next_unqueued < limit:
             index = next_unqueued
-            for job_chunk in make_chunks(
+            chunks = make_chunks(
                 ranked[index],
                 index,
                 seed,
@@ -211,18 +289,18 @@ def speculative_search(
                 settings,
                 generation,
                 vectorized=vectorized,
-            ):
+            )
+            if stacking and len(chunks) == 1 and try_merge(index, chunks[0]):
+                next_unqueued += 1
+                continue
+            for job_chunk in chunks:
                 submittable.append((index, job_chunk.jobs[0].run, job_chunk))
             next_unqueued += 1
         while submittable and in_flight < window:
             best = max(
                 range(len(submittable)),
                 key=lambda i: (
-                    cost_model.estimate(
-                        ranked[submittable[i][0]].label,
-                        costs[submittable[i][0]],
-                        len(submittable[i][2].jobs),
-                    ),
+                    chunk_estimate(submittable[i][2]),
                     -submittable[i][0],
                     -submittable[i][1],
                 ),
@@ -266,14 +344,17 @@ def speculative_search(
                 )
             # Feed the measured chunk time back into the packer: later
             # windows (and later searches on this pool) order by
-            # observed cost instead of the static FLOPs estimate.
-            chunk_index = job_chunk.jobs[0].candidate_index
-            cost_model.observe(
-                ranked[chunk_index].label,
-                costs[chunk_index],
-                result.wall_time_s,
-                len(job_chunk.jobs),
-            )
+            # observed cost instead of the static FLOPs estimate.  A
+            # merged multi-candidate chunk splits its wall time across
+            # its candidates by run share.
+            counted = chunk_run_counts(job_chunk)
+            for chunk_index, n_chunk_runs in counted.items():
+                cost_model.observe(
+                    ranked[chunk_index].label,
+                    costs[chunk_index],
+                    result.wall_time_s * n_chunk_runs / len(job_chunk.jobs),
+                    n_chunk_runs,
+                )
             for entry in result.entries:
                 per_run = pending_runs.setdefault(entry.candidate_index, {})
                 if isinstance(entry, RunError):

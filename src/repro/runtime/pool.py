@@ -41,7 +41,9 @@ stays warm for the next search instead of being torn down.
 from __future__ import annotations
 
 import gc
+import json
 import multiprocessing
+import pathlib
 import pickle
 import time
 import weakref
@@ -51,7 +53,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..exceptions import SearchError, TrainingCancelled
-from .jobs import RunResult, TrainingJob, execute_job, execute_runs
+from .jobs import (
+    RunResult,
+    TrainingJob,
+    execute_candidates,
+    execute_job,
+    execute_runs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.shared_memory import SharedMemory
@@ -246,7 +254,7 @@ def _attached_split(handle: SharedSplitHandle) -> "DataSplit":
 
 @dataclass(frozen=True)
 class JobChunk:
-    """A batch of runs of **one** candidate, shipped as a single task.
+    """A batch of training runs shipped to a worker as a single task.
 
     Batching runs lets one worker invocation share a compiled tape (and
     one dataset attachment) across several runs, and cuts per-job IPC
@@ -256,7 +264,12 @@ class JobChunk:
     ``vectorized`` asks the worker to train the chunk's whole run set as
     a single run-stacked sweep
     (:func:`repro.runtime.jobs.execute_runs`); the scheduler then packs
-    one chunk per candidate so the stack spans every run.
+    one chunk per candidate so the stack spans every run.  A vectorized
+    chunk may additionally span **several candidates** whose tapes are
+    structurally identical (the scheduler merges their chunks by group
+    key): the worker then trains every run of every candidate as one
+    cross-candidate fused sweep
+    (:func:`repro.runtime.jobs.execute_candidates`).
     """
 
     jobs: tuple[TrainingJob, ...]
@@ -297,8 +310,14 @@ class ChunkResult:
 _CANCELLED_CHUNK = ChunkResult(cancelled=True)
 
 
-def _chunk_entries(chunk: JobChunk, split, cancelled):
-    """Execute a chunk's runs; per-run errors become RunError entries.
+def _candidate_entries(
+    jobs: "tuple[TrainingJob, ...] | list[TrainingJob]",
+    split,
+    settings,
+    cancelled,
+    vectorized: bool,
+):
+    """Execute one candidate's runs; per-run errors become RunError entries.
 
     Returns ``(entries, vectorized_fallback)``.  The vectorized path
     trains the whole run set in one stacked sweep.  A failure inside
@@ -308,17 +327,17 @@ def _chunk_entries(chunk: JobChunk, split, cancelled):
     every other run.
     """
     fallback = False
-    if chunk.vectorized and len(chunk.jobs) > 1:
-        job0 = chunk.jobs[0]
+    if vectorized and len(jobs) > 1:
+        job0 = jobs[0]
         try:
             return (
                 execute_runs(
                     job0.spec,
                     job0.seed,
                     job0.candidate_index,
-                    [job.run for job in chunk.jobs],
+                    [job.run for job in jobs],
                     split,
-                    chunk.settings,
+                    settings,
                     cancel_check=cancelled,
                     vectorized=True,
                 ),
@@ -329,15 +348,59 @@ def _chunk_entries(chunk: JobChunk, split, cancelled):
         except Exception:  # noqa: BLE001 - re-run scalar for attribution
             fallback = True
     entries: list[RunResult | RunError] = []
-    for job in chunk.jobs:
+    for job in jobs:
         try:
             entries.append(
-                execute_job(job, split, chunk.settings, cancel_check=cancelled)
+                execute_job(job, split, settings, cancel_check=cancelled)
             )
         except TrainingCancelled:
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
             entries.append(RunError(job.candidate_index, job.run, exc))
+    return entries, fallback
+
+
+def _chunk_entries(chunk: JobChunk, split, cancelled):
+    """Execute a chunk's runs; per-run errors become RunError entries.
+
+    Returns ``(entries, vectorized_fallback)``.  A multi-candidate
+    vectorized chunk first attempts one cross-candidate fused sweep
+    (:func:`repro.runtime.jobs.execute_candidates`); if the group
+    declines to stack or the sweep raises, every candidate re-runs
+    through the per-candidate path below, which re-attributes any error
+    to its exact (candidate, run) coordinates.
+    """
+    by_candidate: dict[int, list[TrainingJob]] = {}
+    for job in chunk.jobs:
+        by_candidate.setdefault(job.candidate_index, []).append(job)
+    fallback = False
+    if chunk.vectorized and len(by_candidate) > 1:
+        group = [
+            (jobs[0].spec, index, [job.run for job in jobs])
+            for index, jobs in by_candidate.items()
+        ]
+        try:
+            results = execute_candidates(
+                group,
+                chunk.jobs[0].seed,
+                split,
+                chunk.settings,
+                cancel_check=cancelled,
+            )
+        except TrainingCancelled:
+            raise
+        except Exception:  # noqa: BLE001 - re-run per candidate
+            fallback = True
+        else:
+            if results is not None:
+                return results, False
+    entries: list[RunResult | RunError] = []
+    for jobs in by_candidate.values():
+        sub_entries, sub_fallback = _candidate_entries(
+            jobs, split, chunk.settings, cancelled, chunk.vectorized
+        )
+        entries.extend(sub_entries)
+        fallback = fallback or sub_fallback
     return entries, fallback
 
 
@@ -422,7 +485,14 @@ def _ship_result(result: ChunkResult) -> "ChunkResult | ShmResultHandle":
 
 
 def _receive_result(obj):
-    """Parent side: inflate a shipped result (pass-through otherwise)."""
+    """Parent side: inflate a shipped result (pass-through otherwise).
+
+    Raises ``FileNotFoundError`` when the segment no longer exists —
+    e.g. a worker crashed mid-result and the resource tracker already
+    swept its segment.  Callers must route that to the search's error
+    path rather than let it kill the pool's result-handler thread (see
+    :func:`_unwrap_result`).
+    """
     if not isinstance(obj, ShmResultHandle):
         return obj
     shm = _attach_segment(obj.segment)
@@ -431,6 +501,27 @@ def _receive_result(obj):
     finally:
         _unlink_quietly(shm)
     return result
+
+
+def _unwrap_result(pool: "PersistentPool", obj, callback, error_callback):
+    """Inflate a chunk result on the pool's result-handler thread.
+
+    Any failure while attaching/unpickling a shared-memory result — a
+    worker crash mid-result leaves a handle whose segment is gone or
+    truncated — is routed to ``error_callback`` so the search fails
+    loudly instead of the handler thread dying and the search hanging
+    on a completion that never arrives.
+    """
+    try:
+        if isinstance(obj, ShmResultHandle):
+            pool.shm_results_received += 1
+            obj = _receive_result(obj)
+    except Exception as exc:  # noqa: BLE001 - surfaced to the scheduler
+        error_callback(exc)
+        return
+    if isinstance(obj, ChunkResult) and obj.vectorized_fallback:
+        pool.vectorized_fallbacks += 1
+    callback(obj)
 
 
 # -- measured-cost packing --------------------------------------------------
@@ -494,6 +585,61 @@ class ChunkCostModel:
     def snapshot(self) -> dict[str, float]:
         """Current per-label EWMA estimates (observability + tests)."""
         return dict(self._per_label)
+
+    # -- persistence -------------------------------------------------------
+    #
+    # Measured costs survive the pool (and the process): the CLI saves
+    # the model next to the run-family result cache (``--cost-cache``),
+    # so the first search of a rerun packs by observed seconds instead
+    # of re-learning from raw FLOPs.  Estimates only shape submission
+    # order, never results, so a stale or mismatched cache is harmless.
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the whole model."""
+        return {
+            "alpha": self.alpha,
+            "per_label": dict(self._per_label),
+            "rate": self._rate,
+            "observations": self.observations,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`state` snapshot (bad entries are ignored)."""
+        alpha = state.get("alpha")
+        if isinstance(alpha, (int, float)) and 0.0 < alpha <= 1.0:
+            self.alpha = float(alpha)
+        per_label = state.get("per_label")
+        if isinstance(per_label, dict):
+            self._per_label = {
+                str(k): float(v)
+                for k, v in per_label.items()
+                if isinstance(v, (int, float)) and v > 0.0
+            }
+        rate = state.get("rate")
+        if isinstance(rate, (int, float)) and rate > 0.0:
+            self._rate = float(rate)
+        observations = state.get("observations")
+        if isinstance(observations, int) and observations >= 0:
+            self.observations = observations
+
+    def save_json(self, path) -> None:
+        """Write the model's state to ``path`` (parents created)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.state(), indent=2, sort_keys=True))
+
+    def load_json(self, path) -> bool:
+        """Restore from ``path``; missing or corrupt files are a no-op
+        (returns whether anything was loaded)."""
+        path = pathlib.Path(path)
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        if not isinstance(state, dict):
+            return False
+        self.restore(state)
+        return True
 
 
 # --------------------------------------------------------------------------
@@ -726,16 +872,11 @@ class PersistentPool:
     def submit(self, chunk: JobChunk, callback, error_callback) -> None:
         self._ensure_open()
 
-        def unwrap(obj, cb=callback):
+        def unwrap(obj):
             # Oversized results arrive as a ShmResultHandle; inflate (and
             # unlink the one-shot segment) before the scheduler sees it.
-            # Runs on the pool's result-handler thread, like cb itself.
-            if isinstance(obj, ShmResultHandle):
-                self.shm_results_received += 1
-                obj = _receive_result(obj)
-            if isinstance(obj, ChunkResult) and obj.vectorized_fallback:
-                self.vectorized_fallbacks += 1
-            cb(obj)
+            # Runs on the pool's result-handler thread, like callback.
+            _unwrap_result(self, obj, callback, error_callback)
 
         self._worker_pool().apply_async(
             _run_chunk,

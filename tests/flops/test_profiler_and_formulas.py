@@ -76,6 +76,19 @@ class TestProfilerAgreesWithFormulas:
                 9, spec.n_qubits, spec.n_layers, ansatz
             )
 
+    @pytest.mark.parametrize("head", [(4,), (8, 4)])
+    def test_head_varied_hybrids(self, head, rng):
+        """Classical heads (the cross-candidate-stacking workload) keep
+        the closed-form formulas in lockstep with the profiler."""
+        model = build_hybrid_model(9, 3, 2, ansatz="sel", hidden=head, rng=rng)
+        prof = profile_model(model)
+        assert prof.total_flops == hybrid_model_flops(
+            9, 3, 2, "sel", hidden=head
+        )
+        assert prof.param_count == hybrid_param_count(
+            9, 3, 2, "sel", hidden=head
+        )
+
     @pytest.mark.parametrize("conv", [PAPER, FIRST_PRINCIPLES])
     def test_breakdown_agreement(self, conv, rng):
         model = build_hybrid_model(12, 4, 3, ansatz="sel", rng=rng)

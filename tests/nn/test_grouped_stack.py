@@ -1,0 +1,238 @@
+"""Tests for cross-candidate stacks (stack_candidates + GroupedStack).
+
+The contract mirrors the run-stacked one, one level up: training C
+candidates' run sets as a single fused sweep must be bit-identical —
+histories *and* final parameters — to training each candidate's run set
+in its own stack (and transitively to scalar per-run training),
+including when frozen slices are compacted out mid-training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_spiral, stratified_split
+from repro.hybrid.builders import build_classical_model, build_hybrid_model
+from repro.hybrid.quantum_layer import QuantumLayer, StackedQuantumLayer
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.stacked import (
+    GroupedStack,
+    StackedDense,
+    stack_candidates,
+    stack_models,
+)
+from repro.nn.training import train_stack
+
+
+@pytest.fixture(scope="module")
+def split():
+    ds = make_spiral(4, n_points=90, noise=0.0, turns=0.4, seed=7)
+    return stratified_split(ds, seed=7)
+
+
+HEADS = ((), (4,), (6, 4))
+
+
+def build_group(runs, heads=HEADS, n_layers=2):
+    """One run set per head variant, every variant sharing one tape."""
+    groups, rngs = [], []
+    for c, head in enumerate(heads):
+        group_rngs = [np.random.default_rng((0, c, r)) for r in range(runs)]
+        groups.append(
+            [
+                build_hybrid_model(4, 3, n_layers, hidden=head, rng=rng)
+                for rng in group_rngs
+            ]
+        )
+        rngs.append(group_rngs)
+    return groups, rngs
+
+
+def train_grouped(split, runs, **kw):
+    groups, rngs = build_group(runs)
+    stack = stack_candidates(groups)
+    assert stack is not None
+    histories = train_stack(
+        stack,
+        split.x_train,
+        split.y_train,
+        split.x_val,
+        split.y_val,
+        rngs=[rng for group in rngs for rng in group],
+        **kw,
+    )
+    params = [
+        [[p.copy() for p in m.parameters()] for m in group]
+        for group in groups
+    ]
+    return histories, params
+
+
+def train_per_candidate(split, runs, **kw):
+    groups, rngs = build_group(runs)
+    histories, params = [], []
+    for group, group_rngs in zip(groups, rngs):
+        stack = stack_models(group)
+        assert stack is not None
+        histories.extend(
+            train_stack(
+                stack,
+                split.x_train,
+                split.y_train,
+                split.x_val,
+                split.y_val,
+                rngs=group_rngs,
+                **kw,
+            )
+        )
+        params.append([[p.copy() for p in m.parameters()] for m in group])
+    return histories, params
+
+
+def assert_bit_identical(ref, got):
+    ref_h, ref_p = ref
+    got_h, got_p = got
+    assert len(ref_h) == len(got_h)
+    for rh, gh in zip(ref_h, got_h):
+        assert rh.train_loss == gh.train_loss
+        assert rh.train_accuracy == gh.train_accuracy
+        assert rh.val_accuracy == gh.val_accuracy
+        assert rh.epochs_run == gh.epochs_run
+        assert rh.stopped_early == gh.stopped_early
+    for rc, gc in zip(ref_p, got_p):
+        for rm, gm in zip(rc, gc):
+            for a, b in zip(rm, gm):
+                assert np.array_equal(a, b)
+
+
+class TestGroupedDifferential:
+    def test_heterogeneous_heads_bit_identical(self, split):
+        kw = dict(epochs=3, batch_size=8)
+        assert_bit_identical(
+            train_per_candidate(split, 2, **kw),
+            train_grouped(split, 2, **kw),
+        )
+
+    def test_single_run_per_candidate(self, split):
+        """runs=1 candidates cannot run-stack alone but do group."""
+        groups, rngs = build_group(1)
+        stack = stack_candidates(groups)
+        assert stack is not None
+        assert stack.runs == len(HEADS)
+
+    def test_early_stop_with_compaction_bit_identical(self, split):
+        kw = dict(epochs=20, batch_size=8, early_stop_threshold=0.5)
+        ref = train_per_candidate(split, 2, **kw, compact=False)
+        got = train_grouped(split, 2, **kw, compact=True)
+        assert_bit_identical(ref, got)
+        # the scenario is only meaningful if some slice actually froze
+        # before the rest (compaction fired mid-training)
+        epochs = sorted(h.epochs_run for h in ref[0])
+        assert epochs[0] < epochs[-1]
+        assert any(h.stopped_early for h in ref[0])
+
+    def test_masking_equals_compaction(self, split):
+        kw = dict(epochs=20, batch_size=8, early_stop_threshold=0.5)
+        assert_bit_identical(
+            train_grouped(split, 2, **kw, compact=False),
+            train_grouped(split, 2, **kw, compact=True),
+        )
+
+
+class TestGroupedStackStructure:
+    def test_segmented_build(self):
+        groups, _ = build_group(2)
+        stack = stack_candidates(groups)
+        assert isinstance(stack, GroupedStack)
+        assert stack.runs == 2 * len(HEADS)
+        # the quantum pivot and classical tail are fused across all
+        # slices; heads stay per candidate
+        assert isinstance(stack.shared[0], StackedQuantumLayer)
+        assert stack.shared[0].runs == stack.runs
+        prefixes = [m.prefix for m in stack.members]
+        assert prefixes[0] is not None  # the head-less variant still
+        # holds its dense_in input layer before the pivot
+        assert prefixes[0].runs == 2
+
+    def test_fully_aligned_build_has_no_segments(self):
+        models = [
+            build_hybrid_model(4, 3, 1, rng=np.random.default_rng(i))
+            for i in range(4)
+        ]
+        stack = stack_candidates([models[:2], models[2:]])
+        assert isinstance(stack, GroupedStack)
+        assert all(m.prefix is None for m in stack.members)
+        assert len(stack.shared) == len(models[0].layers)
+
+    def test_row_maps_cover_group_layout(self):
+        groups, _ = build_group(2)
+        stack = stack_candidates(groups)
+        maps = stack.row_maps()
+        assert len(maps) == len(stack.parameters())
+        # prefix params map to their candidate's slice block; shared
+        # params are identity (None)
+        offsets = {0: [0, 1], 1: [2, 3], 2: [4, 5]}
+        seen_none = 0
+        for rows, param in zip(maps, stack.parameters()):
+            if rows is None:
+                seen_none += 1
+                assert param.shape[0] == stack.runs
+            else:
+                assert list(rows) in offsets.values()
+                assert param.shape[0] == len(rows)
+        assert seen_none == sum(
+            len(lay.params) for lay in stack.shared
+        )
+
+    def test_compact_drops_candidate_entirely(self, split):
+        groups, _ = build_group(2)
+        stack = stack_candidates(groups)
+        # drop both slices of the middle candidate and one of the last
+        stack.compact(np.array([0, 1, 4]))
+        assert stack.runs == 3
+        assert len(stack.members) == 2
+        assert [m.size for m in stack.members] == [2, 1]
+        assert stack.shared[0].weights.shape[0] == 3
+        out = stack.forward(np.zeros((3 * 4, 4)))
+        assert out.shape == (12, 3)
+
+    def test_mismatched_tapes_do_not_group(self):
+        a = [
+            build_hybrid_model(4, 3, 1, rng=np.random.default_rng(i))
+            for i in range(2)
+        ]
+        b = [
+            build_hybrid_model(4, 3, 2, rng=np.random.default_rng(i + 2))
+            for i in range(2)
+        ]
+        assert stack_candidates([a, b]) is None
+
+    def test_classical_models_do_not_group_across_shapes(self):
+        a = [
+            build_classical_model(4, (4,), rng=np.random.default_rng(i))
+            for i in range(2)
+        ]
+        b = [
+            build_classical_model(4, (8,), rng=np.random.default_rng(i + 2))
+            for i in range(2)
+        ]
+        assert stack_candidates([a, b]) is None
+
+    def test_two_pivots_do_not_group(self):
+        def build(i, n_layers):
+            rng = np.random.default_rng(i)
+            return Sequential(
+                [
+                    Dense(3, 3, rng=rng),
+                    QuantumLayer(3, 1, rng=rng),
+                    QuantumLayer(3, n_layers, rng=rng),
+                    Dense(3, 3, rng=rng),
+                ]
+            )
+
+        assert stack_candidates([[build(0, 1)], [build(1, 2)]]) is None
+
+    def test_empty_or_single_slice_groups_rejected(self):
+        m = build_hybrid_model(4, 3, 1, rng=np.random.default_rng(0))
+        assert stack_candidates([[m]]) is None
+        assert stack_candidates([[m], []]) is None

@@ -47,7 +47,7 @@ def train_scalar(builder, split, runs, **kw):
     return histories, params
 
 
-def train_stacked(builder, split, runs, **kw):
+def train_stacked(builder, split, runs, compact=True, **kw):
     rngs = [np.random.default_rng((0, 1, r)) for r in range(runs)]
     models = [builder(rng) for rng in rngs]
     trainer = VectorizedTrainer(models, learning_rate=0.001)
@@ -58,6 +58,7 @@ def train_stacked(builder, split, runs, **kw):
         split.x_val,
         split.y_val,
         rngs=rngs,
+        compact=compact,
         **kw,
     )
     return histories, [[p.copy() for p in m.parameters()] for m in models]
@@ -99,20 +100,25 @@ class TestVectorizedTrainerDifferential:
             train_stacked(builder, split, 4, **kw),
         )
 
-    def test_early_stop_freezes_runs_in_stack(self, split):
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_early_stop_freezes_runs_in_stack(self, split, compact):
         """Runs that hit the threshold freeze (params, optimizer state,
         history) while the rest keep training — exactly like their
-        scalar loops breaking out at different epochs."""
+        scalar loops breaking out at different epochs.  With ``compact``
+        the frozen rows additionally leave the fused sweep; either mode
+        must match the scalar loops bit for bit."""
 
         def builder(rng):
             return build_hybrid_model(4, 3, 1, ansatz="sel", rng=rng)
 
         kw = dict(epochs=25, batch_size=8, early_stop_threshold=0.5)
         ref = train_scalar(builder, split, 3, **kw)
-        got = train_stacked(builder, split, 3, **kw)
+        got = train_stacked(builder, split, 3, compact=compact, **kw)
         assert_bit_identical(ref, got)
-        # the scenario is only meaningful if early stopping actually fired
+        # the scenario is only meaningful if early stopping actually
+        # fired for a strict subset of the runs (compaction mid-sweep)
         assert any(h.stopped_early for h in ref[0])
+        assert len({h.epochs_run for h in ref[0]}) > 1
 
     def test_remainder_minibatch(self, split):
         """batch_size not dividing n exercises the short (even size-1)

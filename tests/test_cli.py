@@ -39,6 +39,16 @@ class TestParser:
         assert default.runs is None
         assert not default.no_vectorized_runs
 
+    def test_stacking_and_cost_cache_flags(self):
+        args = build_parser().parse_args(
+            ["fig8", "--no-stacked-candidates", "--cost-cache", "c.json"]
+        )
+        assert args.no_stacked_candidates
+        assert args.cost_cache == "c.json"
+        default = build_parser().parse_args(["fig8"])
+        assert not default.no_stacked_candidates
+        assert default.cost_cache is None
+
     @pytest.mark.parametrize(
         "argv",
         [
@@ -97,3 +107,60 @@ class TestMain:
         assert "Fig 8" in capsys.readouterr().out
         assert (tmp_path / "sel_smoke_runs_per_candidate-2.json").exists()
         assert not (tmp_path / "sel_smoke.json").exists()
+
+    def test_no_stacked_candidates_shares_cache_entry(self, capsys, tmp_path):
+        """--no-stacked-candidates does not change results, so it reuses
+        the default cache key rather than forking it."""
+        code = main(
+            [
+                "fig8",
+                "--profile",
+                "smoke",
+                "--no-stacked-candidates",
+                "--cache",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "Fig 8" in capsys.readouterr().out
+        assert (tmp_path / "sel_smoke.json").exists()
+
+    def test_cost_cache_written_and_reloaded(self, capsys, tmp_path, monkeypatch):
+        """With --cache and --workers > 1 the measured-cost model is
+        persisted next to the result cache and warms the next run."""
+        import repro.cli as cli_mod
+        from repro.runtime.pool import ChunkCostModel
+
+        class _FakePool:
+            def __init__(self, workers):
+                self.workers = workers
+                self.cost_model = ChunkCostModel()
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+        created = []
+
+        def fake_dispatch(*args, **kwargs):
+            pool = kwargs.get("pool") or args[5]
+            pool.cost_model.observe("A", 10, 2.0, 1)
+            return "ok"
+
+        monkeypatch.setattr(
+            "repro.runtime.pool.PersistentPool",
+            lambda workers: created.append(_FakePool(workers)) or created[-1],
+        )
+        monkeypatch.setattr(cli_mod, "_dispatch", fake_dispatch)
+        code = main(
+            ["fig4", "--workers", "2", "--cache", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        cost_path = tmp_path / "chunk_costs.json"
+        assert cost_path.exists()
+        assert created and created[0].closed
+
+        warm = ChunkCostModel()
+        assert warm.load_json(cost_path)
+        assert "A" in warm.snapshot()
