@@ -101,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache and --workers > 1 are given)",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint journal: every committed candidate of every "
+        "grid search is appended durably, and rerunning the same "
+        "configuration against the same journal resumes past the "
+        "completed prefix with bit-identical results (records are keyed "
+        "by config hash, so one file serves the whole invocation)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many times a parallel search re-executes a chunk lost to "
+        "a worker death, hard timeout, or runtime error before finishing "
+        "the sweep in-process sequentially (default: 2); never changes "
+        "results",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -114,6 +134,8 @@ def validate_args(parser: argparse.ArgumentParser, args) -> None:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.runs is not None and args.runs < 1:
         parser.error(f"--runs must be >= 1, got {args.runs}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
 
 
 def _progress_printer(quiet: bool):
@@ -185,6 +207,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["vectorized_runs"] = False
     if args.no_stacked_candidates:
         overrides["stacked_candidates"] = False
+    if args.journal:
+        overrides["journal"] = args.journal
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
 
     from .runtime.parallel import resolve_workers
 

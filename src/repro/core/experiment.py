@@ -74,6 +74,16 @@ class ProtocolConfig:
     #: identical tapes merge their run sets into one fused sweep.
     #: Results are identical with it on or off, only wall time changes.
     stacked_candidates: bool = True
+    #: How many times the parallel scheduler re-executes a chunk lost to
+    #: a worker death, hard timeout, or runtime error before degrading
+    #: to in-process sequential execution.  Never changes results.
+    max_retries: int = 2
+    #: Optional checkpoint journal path: every grid search of the
+    #: protocol appends its committed candidates there (records are
+    #: keyed by config hash, so all the protocol's searches share one
+    #: file), and an interrupted protocol rerun skips everything
+    #: already committed.
+    journal: str | None = None
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -84,6 +94,7 @@ class ProtocolConfig:
             early_stop_threshold=self.threshold if self.early_stop else None,
             vectorized_runs=self.vectorized_runs,
             stacked_candidates=self.stacked_candidates,
+            max_retries=self.max_retries,
         )
 
     def with_(self, **overrides) -> "ProtocolConfig":
@@ -216,6 +227,14 @@ def run_protocol(
     result = ProtocolResult(family=family, config=cfg)
     settings = cfg.training_settings()
 
+    # Fault-tolerance events (worker lost, chunk retried/timed out,
+    # sequential fallback) flow into the same string-based progress
+    # sink the drivers already display, so retries are visible without
+    # a new reporting channel.
+    on_event = None
+    if progress is not None:
+        on_event = lambda event: progress(f"[{family}] runtime: {event}")  # noqa: E731
+
     from ..runtime.parallel import resolve_workers
 
     owns_pool = False
@@ -241,6 +260,8 @@ def run_protocol(
                         max_candidates=cfg.max_candidates,
                         workers=cfg.workers,
                         pool=pool,
+                        journal=cfg.journal,
+                        on_event=on_event,
                     )
                     level.outcomes.append(outcome)
                     if progress is not None:

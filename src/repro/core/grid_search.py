@@ -79,6 +79,27 @@ class TrainingSettings:
     early-stopped runs' rows from subsequent stacked sweeps instead of
     masking them.  Results are bit-identical with either knob on or
     off; only wall time changes.
+
+    The remaining knobs configure the parallel scheduler's *fault
+    tolerance* (chunks are deterministic, so none of them can change
+    results — see ``docs/parallel_runtime.md``):
+
+    - ``max_retries``: how many times a chunk lost to a worker death,
+      hard timeout, or runtime error is re-executed before the search
+      gives up on the pool.
+    - ``fallback_sequential``: on retry exhaustion, finish the
+      remaining candidates in-process with the sequential primitive
+      instead of raising.  Disable when a candidate is suspected of
+      *killing* its process (an in-process rerun would kill the
+      driver).
+    - ``chunk_timeout_s``: absolute per-chunk deadline (submission to
+      completion).  ``None`` derives deadlines from measured cost:
+      ``chunk_deadline_factor`` x the cost model's seconds estimate,
+      floored at ``chunk_deadline_floor_s`` — and only once the model
+      is calibrated.
+    - ``watchdog_interval_s``: how often the scheduler checks worker
+      liveness and deadlines while idle (``None`` = runtime default,
+      10s).
     """
 
     epochs: int = 100
@@ -90,6 +111,12 @@ class TrainingSettings:
     return_histories: bool = False
     stacked_candidates: bool = True
     compact_frozen: bool = True
+    max_retries: int = 2
+    fallback_sequential: bool = True
+    chunk_timeout_s: float | None = None
+    chunk_deadline_factor: float = 8.0
+    chunk_deadline_floor_s: float = 30.0
+    watchdog_interval_s: float | None = None
 
 
 @dataclass
@@ -305,6 +332,8 @@ def grid_search(
     progress: Callable[[CandidateResult], None] | None = None,
     workers: int | None = 1,
     pool: "PersistentPool | None" = None,
+    journal: "str | None" = None,
+    on_event: Callable[..., None] | None = None,
 ) -> SearchOutcome:
     """Run the FLOPs-sorted search.
 
@@ -342,6 +371,22 @@ def grid_search(
         memory, published at most once per (pool, split).  The caller
         owns the pool's lifetime.  Results are identical with or
         without a pool.
+    journal:
+        Optional path to a JSONL checkpoint journal
+        (:class:`repro.runtime.journal.SearchJournal`).  Every
+        committed candidate is appended durably; rerunning the same
+        configuration against the same journal skips the completed
+        prefix (replaying it through ``progress``) and produces an
+        outcome bit-identical to an uninterrupted run.  A journal
+        written under a different configuration is ignored (records are
+        keyed by a config hash).  Incompatible with
+        ``settings.return_histories`` (histories are not journaled).
+    on_event:
+        Optional callback receiving a
+        :class:`repro.runtime.parallel.SearchEvent` for every
+        fault-tolerance decision the parallel scheduler takes (worker
+        loss, retry, deadline warning/timeout, sequential fallback);
+        unused by the sequential path.
 
     Returns
     -------
@@ -359,6 +404,39 @@ def grid_search(
     if max_candidates is not None:
         ranked = ranked[:max_candidates]
 
+    # Checkpoint/resume: replay the journal's committed prefix (if any)
+    # through the normal commit path — same progress sequence, same
+    # early-stop check — then hand the frontier to whichever execution
+    # mode runs the rest.  Candidate indices are *absolute* ranks:
+    # every run's RNG stream derives from (seed, candidate_index, run),
+    # so the remainder must never be computed over a sliced list.
+    search_journal = None
+    outcome = SearchOutcome(threshold=threshold, winner=None)
+    start_index = 0
+    if journal is not None:
+        if settings.return_histories:
+            raise SearchError(
+                "journal= cannot be combined with "
+                "settings.return_histories: journal records drop "
+                "per-epoch histories, so a resumed outcome could not "
+                "be bit-identical"
+            )
+        from ..runtime.journal import SearchJournal, search_key
+
+        search_journal = SearchJournal(
+            journal, search_key(ranked, threshold, settings, conv, seed)
+        )
+        for candidate in search_journal.load():
+            outcome.evaluated.append(candidate)
+            if progress is not None:
+                progress(candidate)
+            if candidate.passes(threshold):
+                outcome.winner = candidate
+                return outcome
+        start_index = len(outcome.evaluated)
+        if start_index >= len(ranked):
+            return outcome
+
     from ..runtime.parallel import resolve_workers, speculative_search
 
     n_workers = resolve_workers(workers)
@@ -373,6 +451,10 @@ def grid_search(
             workers=n_workers,
             progress=progress,
             pool=pool,
+            journal=search_journal,
+            on_event=on_event,
+            outcome=outcome,
+            start_index=start_index,
         )
 
     # The same compiled-tape reuse the parallel workers get: every
@@ -391,13 +473,12 @@ def grid_search(
         # Leave an already-configured cache (custom maxsize) untouched.
         enable_compile_cache()
     try:
-        outcome = SearchOutcome(threshold=threshold, winner=None)
         # Results of speculatively trained group members past the
         # commit frontier; an Exception entry re-raises at its
         # candidate's turn (exactly when the ungrouped loop would hit
         # it) and is discarded wholesale if a cheaper candidate passes.
         speculated: dict[int, CandidateResult | Exception] = {}
-        index = 0
+        index = start_index
         while index < len(ranked):
             if index in speculated:
                 committed = speculated.pop(index)
@@ -431,6 +512,11 @@ def grid_search(
                     speculated.update(verdicts)
                     continue
             outcome.evaluated.append(candidate)
+            if search_journal is not None:
+                # Journal before the progress callback: if the driver
+                # dies inside its own callback, the committed candidate
+                # is already durable and a resume replays it.
+                search_journal.append(index, candidate)
             if progress is not None:
                 progress(candidate)
             if candidate.passes(threshold):

@@ -182,12 +182,13 @@ def run_family_cached(
 
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
     pass ``cache_dir=None`` to disable caching entirely.  ``workers``,
-    ``pool``, ``vectorized_runs`` and ``stacked_candidates`` do not
-    enter the cache key: parallel, sequential, run-stacked and
-    candidate-stacked executions produce identical results, so any may
-    serve another's cache.  Every other config override *does* change
-    results, so it is appended to the key — ``repro fig8 --runs 3``
-    will never be served a default-runs cache entry (nor poison it).
+    ``pool``, ``vectorized_runs``, ``stacked_candidates``,
+    ``max_retries`` and ``journal`` do not enter the cache key: they
+    select execution/supervision mechanics that produce identical
+    results, so any may serve another's cache.  Every other config
+    override *does* change results, so it is appended to the key —
+    ``repro fig8 --runs 3`` will never be served a default-runs cache
+    entry (nor poison it).
     """
     prof = get_profile(profile)
     if cache_dir is None:
@@ -204,7 +205,13 @@ def run_family_cached(
     affecting = {
         k: v
         for k, v in sorted(config_overrides.items())
-        if k not in ("vectorized_runs", "stacked_candidates")
+        if k
+        not in (
+            "vectorized_runs",
+            "stacked_candidates",
+            "max_retries",
+            "journal",
+        )
         and getattr(base_cfg, k, None) != v
     }
     suffix = "".join(f"_{k}-{v}" for k, v in affecting.items())

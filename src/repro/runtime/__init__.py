@@ -13,12 +13,21 @@ shared-memory dataset protocol (workers attach to published
 shared-memory return path for oversized results, and the measured-cost
 model behind adaptive chunk packing.
 :mod:`repro.runtime.parallel` is the speculative scheduler with
-cost-aware job packing, and :mod:`repro.runtime.jobs` holds the shared
-run primitives — scalar :func:`~repro.runtime.jobs.execute_job` and the
-run-stacked :func:`~repro.runtime.jobs.execute_runs` that trains a
-candidate's whole run set in one vectorized sweep.
+cost-aware job packing and fault-tolerant supervision (chunk retry,
+deadline watchdog, sequential fallback), and :mod:`repro.runtime.jobs`
+holds the shared run primitives — scalar
+:func:`~repro.runtime.jobs.execute_job` and the run-stacked
+:func:`~repro.runtime.jobs.execute_runs` that trains a candidate's
+whole run set in one vectorized sweep.
+
+:mod:`repro.runtime.journal` persists every committed candidate to a
+JSONL checkpoint so interrupted searches resume bit-identically, and
+:mod:`repro.runtime.faults` provides the deterministic fault-injection
+hooks (worker kill, chunk delay, corrupt result segment) the
+fault-tolerance tests drive real process death with.
 """
 
+from .faults import FaultPlan
 from .jobs import (
     RunResult,
     TrainingJob,
@@ -26,7 +35,13 @@ from .jobs import (
     execute_job,
     execute_runs,
 )
-from .parallel import SPECULATION_FACTOR, resolve_workers, speculative_search
+from .journal import SearchJournal, search_key
+from .parallel import (
+    SPECULATION_FACTOR,
+    SearchEvent,
+    resolve_workers,
+    speculative_search,
+)
 from .pool import (
     ChunkCostModel,
     PersistentPool,
@@ -34,6 +49,7 @@ from .pool import (
     ShmResultHandle,
     attach_split,
     publish_split,
+    sweep_stale_segments,
 )
 
 __all__ = [
@@ -44,6 +60,7 @@ __all__ = [
     "execute_candidates",
     "resolve_workers",
     "speculative_search",
+    "SearchEvent",
     "SPECULATION_FACTOR",
     "PersistentPool",
     "SharedSplitHandle",
@@ -51,4 +68,8 @@ __all__ = [
     "ChunkCostModel",
     "publish_split",
     "attach_split",
+    "sweep_stale_segments",
+    "FaultPlan",
+    "SearchJournal",
+    "search_key",
 ]

@@ -1,0 +1,192 @@
+"""Deterministic fault injection for the parallel search runtime.
+
+Fault tolerance is only trustworthy if every failure path is exercised
+by *real* process death, not by mocks: a worker that is ``kill -9``-ed
+mid-chunk goes through the same ``multiprocessing.Pool`` respawn, the
+same lost-callback hole and the same watchdog detection as a production
+OOM kill.  This module provides hook-based faults that workers execute
+on themselves, armed by the parent through the pool's shared control
+segment (the same 4 KiB segment that carries the cancellation floor —
+see :mod:`repro.runtime.pool`):
+
+* ``kill`` — the worker SIGKILLs itself at the start of a matching
+  chunk, exactly the signal an OOM killer sends;
+* ``delay`` — the worker sleeps before executing a matching chunk,
+  pushing it past its scheduler deadline;
+* ``corrupt-result`` — the worker ships a shared-memory result handle
+  whose segment holds garbage, exercising the parent's result-inflation
+  error path.
+
+A plan matches either a specific ``candidate`` index (fully
+deterministic regardless of worker count or scheduling) or the Nth
+chunk execution counted across all workers (``after_chunks``; the
+counter lives in the control segment and is exact for one worker,
+best-effort under concurrent increments).  ``times`` bounds how often
+the plan fires, so a killed chunk's *retry* runs clean — which is what
+lets a test assert the retried search's outcome is bit-identical to the
+fault-free one.
+
+Faults never fire outside an armed plan: with the plan region zeroed
+(the default), :func:`maybe_fire` is one 4-byte read per chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import SearchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pool import JobChunk, ShmResultHandle
+
+__all__ = ["FaultPlan", "KILL", "DELAY", "CORRUPT_RESULT"]
+
+KILL = "kill"
+DELAY = "delay"
+CORRUPT_RESULT = "corrupt-result"
+_KINDS = (KILL, DELAY, CORRUPT_RESULT)
+
+# Control-segment layout.  Byte 0 onward is owned by the cancellation
+# protocol (an 8-byte generation floor, see pool._cancel_floor); the
+# fault region sits behind it so arming a fault never perturbs
+# cancellation and vice versa.
+CTRL_SIZE = 4096
+_COUNTER_OFF = 8  # u64: chunks started while a plan was armed
+_FIRED_OFF = 16  # u64: how often the plan has fired
+_PLAN_LEN_OFF = 24  # u32: length of the JSON plan (0 = disarmed)
+_PLAN_OFF = 32
+_PLAN_MAX = CTRL_SIZE - _PLAN_OFF
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault, armed via :meth:`PersistentPool.install_fault`.
+
+    ``candidate`` targets any chunk carrying that candidate index;
+    when ``None``, the plan fires on the ``after_chunks``-th chunk
+    execution (1-based, counted across workers).  ``times`` caps the
+    number of firings; the plan is inert afterwards, so retried chunks
+    run clean.
+    """
+
+    kind: str
+    candidate: int | None = None
+    after_chunks: int = 1
+    delay_s: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SearchError(
+                f"unknown fault kind {self.kind!r}; options: {_KINDS}"
+            )
+        if self.times < 1:
+            raise SearchError(f"fault times must be >= 1, got {self.times}")
+
+
+def _read_u64(buf, off: int) -> int:
+    return int.from_bytes(buf[off : off + 8], "little")
+
+
+def _write_u64(buf, off: int, value: int) -> None:
+    buf[off : off + 8] = value.to_bytes(8, "little")
+
+
+def install(buf, plan: FaultPlan) -> None:
+    """Arm ``plan`` in a control segment (parent side)."""
+    payload = json.dumps(
+        {
+            "kind": plan.kind,
+            "candidate": plan.candidate,
+            "after_chunks": plan.after_chunks,
+            "delay_s": plan.delay_s,
+            "times": plan.times,
+        }
+    ).encode()
+    if len(payload) > _PLAN_MAX:  # pragma: no cover - plans are tiny
+        raise SearchError("fault plan too large for the control segment")
+    _write_u64(buf, _COUNTER_OFF, 0)
+    _write_u64(buf, _FIRED_OFF, 0)
+    # Plan bytes land before the length field becomes non-zero, so a
+    # worker can never parse a half-written plan.
+    buf[_PLAN_OFF : _PLAN_OFF + len(payload)] = payload
+    buf[_PLAN_LEN_OFF : _PLAN_LEN_OFF + 4] = len(payload).to_bytes(4, "little")
+
+
+def clear(buf) -> None:
+    """Disarm any plan and reset the counters (parent side)."""
+    buf[_PLAN_LEN_OFF : _PLAN_LEN_OFF + 4] = (0).to_bytes(4, "little")
+    _write_u64(buf, _COUNTER_OFF, 0)
+    _write_u64(buf, _FIRED_OFF, 0)
+
+
+def read_plan(buf) -> FaultPlan | None:
+    """The armed plan, or ``None`` (worker side)."""
+    length = int.from_bytes(buf[_PLAN_LEN_OFF : _PLAN_LEN_OFF + 4], "little")
+    if length == 0:
+        return None
+    try:
+        data = json.loads(bytes(buf[_PLAN_OFF : _PLAN_OFF + length]))
+        return FaultPlan(
+            kind=data["kind"],
+            candidate=data["candidate"],
+            after_chunks=int(data["after_chunks"]),
+            delay_s=float(data["delay_s"]),
+            times=int(data["times"]),
+        )
+    except (ValueError, KeyError, SearchError):  # pragma: no cover
+        return None  # torn or foreign write: never fault spuriously
+
+
+def maybe_fire(buf, chunk: "JobChunk") -> str | None:
+    """Worker-side hook, called once per live chunk execution.
+
+    Returns the fired kind for faults the caller must act on (``delay``
+    already slept; ``corrupt-result`` asks the caller to ship garbage),
+    ``None`` when nothing fired.  A ``kill`` fault does not return.
+    """
+    plan = read_plan(buf)
+    if plan is None:
+        return None
+    count = _read_u64(buf, _COUNTER_OFF) + 1
+    _write_u64(buf, _COUNTER_OFF, count)
+    if plan.candidate is not None:
+        matched = any(
+            job.candidate_index == plan.candidate for job in chunk.jobs
+        )
+    else:
+        matched = count >= plan.after_chunks
+    if not matched:
+        return None
+    fired = _read_u64(buf, _FIRED_OFF)
+    if fired >= plan.times:
+        return None
+    _write_u64(buf, _FIRED_OFF, fired + 1)
+    if plan.kind == KILL:
+        # The real thing: an uncatchable SIGKILL mid-chunk, exactly what
+        # the OOM killer delivers.  The chunk's callbacks never fire.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if plan.kind == DELAY:
+        time.sleep(plan.delay_s)
+    return plan.kind
+
+
+def corrupt_shipment(nbytes: int = 64) -> "ShmResultHandle":
+    """A result handle whose segment holds garbage (worker side).
+
+    The parent's result inflation (`pool._receive_result`) attaches,
+    fails to unpickle, unlinks the segment and routes the error to the
+    search's error callback — the same path a worker crash mid-result
+    takes in production.
+    """
+    from .pool import ShmResultHandle, _create_named_segment
+
+    shm = _create_named_segment("flt", nbytes)
+    shm.buf[:nbytes] = (b"\xde\xad\xbe\xef" * (nbytes // 4 + 1))[:nbytes]
+    shm.close()
+    return ShmResultHandle(segment=shm.name, nbytes=nbytes)

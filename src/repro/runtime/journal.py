@@ -1,0 +1,158 @@
+"""Checkpoint/resume journal for grid searches.
+
+A multi-hour sweep that dies at candidate 47 of 60 — machine reboot,
+scheduler preemption, retry exhaustion with fallback disabled — should
+not restart from zero.  :class:`SearchJournal` appends every *committed*
+:class:`~repro.core.grid_search.CandidateResult` to a JSONL file, one
+record per line, flushed and fsynced at commit time so the journal is
+never behind the in-memory outcome by more than the record being
+written.
+
+Records are keyed by :func:`search_key`, a hash over everything that
+determines the result stream: the ranked candidate list, the threshold,
+the base seed, the counting convention and the result-affecting training
+settings.  Runs derive their RNG streams from ``(seed, candidate_index,
+run)``, so a candidate's journaled result is bit-identical to what a
+rerun would recompute — resuming skips completed candidates and the
+final :class:`~repro.core.grid_search.SearchOutcome` is indistinguishable
+from an uninterrupted run's.  A journal whose key does not match is
+simply ignored (and appended to under the new key), so one file can
+serve several configurations, and pointing a changed configuration at an
+old journal can never smuggle in stale results.
+
+Serialization reuses :mod:`repro.core.results` (the same schema the
+run-family cache persists), imported lazily to keep this runtime module
+free of a core-package import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.grid_search import CandidateResult, TrainingSettings
+    from ..core.search_space import ModelSpec
+    from ..flops.conventions import CountingConvention
+
+__all__ = ["SearchJournal", "search_key", "JOURNAL_VERSION"]
+
+JOURNAL_VERSION = 1
+
+logger = logging.getLogger("repro.runtime")
+
+
+def search_key(
+    ranked: Sequence["ModelSpec"],
+    threshold: float,
+    settings: "TrainingSettings",
+    convention: "CountingConvention",
+    seed: int,
+) -> str:
+    """Hash of everything that determines a search's result stream.
+
+    Only result-affecting settings participate: execution knobs
+    (workers, vectorization, stacking, retry policy) change wall time,
+    never results, so a journal written under one execution mode resumes
+    under any other.
+    """
+    from ..core.results import spec_to_dict
+
+    payload = {
+        "specs": [
+            {"class": type(spec).__name__, **spec_to_dict(spec)}
+            for spec in ranked
+        ],
+        "threshold": threshold,
+        "seed": seed,
+        "convention": convention.name,
+        "settings": {
+            "epochs": settings.epochs,
+            "batch_size": settings.batch_size,
+            "learning_rate": settings.learning_rate,
+            "runs": settings.runs,
+            "early_stop_threshold": settings.early_stop_threshold,
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SearchJournal:
+    """Append-only JSONL checkpoint of one search's committed candidates.
+
+    Each line is ``{"v": 1, "key": <search_key>, "index": <rank>,
+    "candidate": <candidate_to_dict payload>}``.  :meth:`load` returns
+    the longest contiguous prefix of committed candidates for this
+    journal's key — a gap means later records belong to a different
+    interleaved write and cannot be trusted as "everything before me
+    committed".  A torn final line (the writer died mid-append) is
+    ignored with a warning, never an error.
+    """
+
+    def __init__(self, path: "str | os.PathLike", key: str) -> None:
+        self.path = pathlib.Path(path)
+        self.key = key
+
+    def load(self) -> "list[CandidateResult]":
+        """Committed candidates 0..k-1 for this key (empty if none)."""
+        from ..core.results import candidate_from_dict
+
+        try:
+            lines = self.path.read_text().splitlines()
+        except FileNotFoundError:
+            return []
+        by_index: dict[int, "CandidateResult"] = {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A crash mid-append leaves at most one torn trailing
+                # line; everything before it is intact and usable.
+                logger.warning(
+                    "ignoring corrupt journal line in %s", self.path
+                )
+                continue
+            if not isinstance(record, dict) or record.get("key") != self.key:
+                continue
+            try:
+                by_index[int(record["index"])] = candidate_from_dict(
+                    record["candidate"]
+                )
+            except (KeyError, TypeError, ValueError):
+                logger.warning(
+                    "ignoring malformed journal record in %s", self.path
+                )
+        restored: "list[CandidateResult]" = []
+        while len(restored) in by_index:
+            restored.append(by_index[len(restored)])
+        if restored:
+            logger.info(
+                "journal %s: resuming past %d committed candidate(s)",
+                self.path,
+                len(restored),
+            )
+        return restored
+
+    def append(self, index: int, candidate: "CandidateResult") -> None:
+        """Durably record one committed candidate (called at commit)."""
+        from ..core.results import candidate_to_dict
+
+        record = {
+            "v": JOURNAL_VERSION,
+            "key": self.key,
+            "index": index,
+            "candidate": candidate_to_dict(candidate),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

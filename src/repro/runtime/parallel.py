@@ -35,6 +35,31 @@ embarrassingly parallel.  The scheduler exploits that gap:
   abort at the next epoch boundary — and the pool survives for the next
   search instead of being torn down.
 
+The scheduler is also the search's **supervisor**.  Chunks are
+deterministic — every run's RNG stream derives from ``(seed, candidate,
+run)`` — so a lost chunk can simply be executed again:
+
+* a worker death (OOM kill, segfault; ``multiprocessing.Pool`` silently
+  respawns the process and never fires the lost task's callbacks) is
+  detected by the pid watchdog; every outstanding chunk is resubmitted
+  under a fresh generation, bounded by ``settings.max_retries``;
+
+* each chunk carries a soft/hard **deadline** once the pool's
+  :class:`~repro.runtime.pool.ChunkCostModel` has a measured seconds
+  scale (or an absolute ``settings.chunk_timeout_s``): overdue chunks
+  emit a structured warning, chunks past the hard deadline are cancelled
+  via the generation mechanism and retried;
+
+* retry exhaustion degrades gracefully: with
+  ``settings.fallback_sequential`` (the default) the remaining
+  candidates are trained in-process by the exact sequential primitive,
+  so the sweep completes — identically — instead of dying;
+
+* every committed candidate can be appended to a
+  :class:`~repro.runtime.journal.SearchJournal` for checkpoint/resume,
+  and every supervision decision is surfaced as a :class:`SearchEvent`
+  through ``on_event`` (and the ``repro.runtime`` logger).
+
 Execution runs on a :class:`repro.runtime.pool.PersistentPool`.  Pass
 one in (``pool=``) to reuse warm workers and published shared-memory
 datasets across many searches — the protocol drivers do this — or let
@@ -42,19 +67,24 @@ datasets across many searches — the protocol drivers do this — or let
 
 The reported :class:`~repro.core.grid_search.SearchOutcome` — winner,
 evaluated list, per-run accuracies, progress-callback sequence — is
-identical to ``workers=1`` regardless of completion order, chunking, or
-packing.  Every worker runs :func:`repro.runtime.jobs.execute_job`, the
-same primitive the sequential path uses.
+identical to ``workers=1`` regardless of completion order, chunking,
+packing, retries, or a mid-search fallback.  Every worker runs
+:func:`repro.runtime.jobs.execute_job`, the same primitive the
+sequential path uses.
 """
 
 from __future__ import annotations
 
+import itertools
+import logging
 import os
+import time
+from dataclasses import dataclass, replace
 from queue import Empty, SimpleQueue
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..exceptions import SearchError
-from .jobs import RunResult
+from .jobs import RunResult, execute_runs
 from .pool import ChunkResult, JobChunk, PersistentPool, RunError, make_chunks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,8 +96,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.search_space import ModelSpec
     from ..data.splits import DataSplit
     from ..flops.conventions import CountingConvention
+    from .journal import SearchJournal
 
-__all__ = ["resolve_workers", "speculative_search", "SPECULATION_FACTOR"]
+__all__ = [
+    "resolve_workers",
+    "speculative_search",
+    "SearchEvent",
+    "SPECULATION_FACTOR",
+]
+
+logger = logging.getLogger("repro.runtime")
 
 #: In-flight chunks are capped at ``SPECULATION_FACTOR * workers``:
 #: enough look-ahead to keep every worker busy across uneven run times,
@@ -76,11 +114,62 @@ __all__ = ["resolve_workers", "speculative_search", "SPECULATION_FACTOR"]
 SPECULATION_FACTOR = 2
 
 #: How often (seconds) the scheduler wakes from waiting on completions
-#: to check worker liveness.  ``multiprocessing.Pool`` silently respawns
-#: a worker that dies mid-job (OOM kill, native segfault) and the job's
-#: callbacks never fire; without this watchdog the search would hang
-#: forever on such a loss.
+#: to check worker liveness and chunk deadlines.
+#: ``multiprocessing.Pool`` silently respawns a worker that dies mid-job
+#: (OOM kill, native segfault) and the job's callbacks never fire;
+#: without this watchdog the search would hang forever on such a loss.
+#: ``TrainingSettings.watchdog_interval_s`` overrides it per search.
 _WATCHDOG_INTERVAL_S = 10.0
+
+#: Hard deadline as a multiple of the soft deadline when deadlines are
+#: derived from the cost model (an absolute ``chunk_timeout_s`` sets
+#: both to the same value).
+_HARD_DEADLINE_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class SearchEvent:
+    """A structured supervision event, delivered to ``on_event``.
+
+    ``kind`` is one of ``"worker-lost"``, ``"retry"``,
+    ``"chunk-overdue"``, ``"chunk-timeout"``, ``"sequential-fallback"``.
+    ``candidates`` lists the affected candidate indices (rank order);
+    ``attempts`` is the highest submission count among the affected
+    chunks at the time of the event.  ``str(event)`` is the human
+    message, so string-based progress sinks can display events
+    directly.
+    """
+
+    kind: str
+    message: str
+    candidates: tuple[int, ...] = ()
+    attempts: int = 0
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class _RetryExhausted(Exception):
+    """Internal: a chunk ran out of attempts; carries the would-be error."""
+
+    def __init__(self, error: Exception, attempts: int) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.attempts = attempts
+
+
+@dataclass
+class _Flight:
+    """One outstanding chunk: identity, provenance, and retry state."""
+
+    chunk: JobChunk
+    anchor: int  # candidate index the chunk was queued under
+    first_run: int
+    attempts: int = 1  # submissions so far (1 = first try)
+    submitted_at: float = 0.0  # time.monotonic() of the last submission
+    soft_deadline_s: float | None = None
+    hard_deadline_s: float | None = None
+    warned: bool = False
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -102,6 +191,10 @@ def speculative_search(
     workers: int,
     progress: Callable[["CandidateResult"], None] | None = None,
     pool: PersistentPool | None = None,
+    journal: "SearchJournal | None" = None,
+    on_event: Callable[[SearchEvent], None] | None = None,
+    outcome: "SearchOutcome | None" = None,
+    start_index: int = 0,
 ) -> "SearchOutcome":
     """Parallel grid search over an already-FLOPs-ranked candidate list.
 
@@ -119,6 +212,13 @@ def speculative_search(
     worker count wins over ``workers``, the dataset is published to
     shared memory at most once per pool, and the search leaves the pool
     warm for the caller's next search.
+
+    ``journal``: a :class:`~repro.runtime.journal.SearchJournal` to
+    append each committed candidate to.  ``outcome``/``start_index``
+    carry a journal-restored prefix: ``outcome`` already holds the
+    replayed candidates and the scheduler starts committing at rank
+    ``start_index``.  ``on_event`` receives a :class:`SearchEvent` for
+    every supervision decision (retry, timeout, fallback).
     """
     from ..core.grid_search import (
         MAX_GROUP_CANDIDATES,
@@ -133,8 +233,17 @@ def speculative_search(
         pool = PersistentPool(workers)
     else:
         workers = pool.workers
-    outcome = SearchOutcome(threshold=threshold, winner=None)
+    if outcome is None:
+        outcome = SearchOutcome(threshold=threshold, winner=None)
+    if start_index >= len(ranked):
+        return outcome
     runs = settings.runs
+    max_retries = settings.max_retries
+    watchdog_s = (
+        settings.watchdog_interval_s
+        if settings.watchdog_interval_s is not None
+        else _WATCHDOG_INTERVAL_S
+    )
     window = max(SPECULATION_FACTOR * workers, workers + 1)
     # Cross-candidate stacking: vectorized chunks of same-structure
     # candidates still waiting for a worker slot are merged into one
@@ -187,11 +296,11 @@ def speculative_search(
     generation = pool.new_generation()
     handle = pool.acquire_split(split)
 
-    # per-candidate buffered results: run -> RunResult | Exception
-    pending_runs: dict[int, dict[int, RunResult | Exception]] = {}
-    ready: dict[int, "CandidateResult | Exception"] = {}
-    next_commit = 0
-    next_unqueued = 0  # next candidate not yet expanded into submittable
+    # per-candidate buffered results: run -> RunResult | RunError
+    pending_runs: dict[int, dict[int, RunResult | RunError]] = {}
+    ready: dict[int, "CandidateResult | RunError"] = {}
+    next_commit = start_index
+    next_unqueued = start_index  # next candidate not yet made submittable
     # Submittable chunks as (candidate_index, first_run, chunk).  The
     # most expensive one is picked at *submit* time — estimates must be
     # priced when the slot frees, not when the chunk was queued, or the
@@ -203,20 +312,34 @@ def speculative_search(
     # to (candidate, run) order, keeping submission deterministic for
     # any fixed cost-model state.
     submittable: list[tuple[int, int, JobChunk]] = []
-    in_flight = 0
+    # In-flight chunks by a stable chunk id.  The id survives retries
+    # (a resubmission replaces the flight's chunk but keeps its id), so
+    # duplicate completions — a superseded copy finishing after its
+    # replacement — are recognized and dropped: a chunk's entries are
+    # accepted exactly once no matter how many copies ever ran.
+    cid_counter = itertools.count()
+    outstanding: dict[int, _Flight] = {}
 
     # Completions cross from the pool's result-handler thread to this
-    # one through a thread-safe queue: (chunk, result, exception).
+    # one through a thread-safe queue: (cid, chunk, result, exception).
     completions: SimpleQueue = SimpleQueue()
 
-    def submit(job_chunk: JobChunk) -> None:
-        pool.submit(
-            job_chunk,
-            callback=lambda res, c=job_chunk: completions.put((c, res, None)),
-            error_callback=lambda exc, c=job_chunk: completions.put(
-                (c, None, exc)
-            ),
-        )
+    def emit(
+        kind: str,
+        message: str,
+        candidates: Sequence[int] = (),
+        attempts: int = 0,
+    ) -> None:
+        logger.warning("%s", message)
+        if on_event is not None:
+            on_event(
+                SearchEvent(
+                    kind=kind,
+                    message=message,
+                    candidates=tuple(candidates),
+                    attempts=attempts,
+                )
+            )
 
     def chunk_run_counts(job_chunk: JobChunk) -> dict[int, int]:
         """Runs per candidate inside a (possibly merged) chunk."""
@@ -225,11 +348,59 @@ def speculative_search(
             counts[job.candidate_index] = counts.get(job.candidate_index, 0) + 1
         return counts
 
+    def flight_candidates(flight: _Flight) -> list[int]:
+        return sorted(chunk_run_counts(flight.chunk))
+
     def chunk_estimate(job_chunk: JobChunk) -> float:
         """Expected chunk seconds: sum of its candidates' estimates."""
         return sum(
             cost_model.estimate(ranked[c].label, costs[c], n)
             for c, n in chunk_run_counts(job_chunk).items()
+        )
+
+    def chunk_deadlines(
+        job_chunk: JobChunk,
+    ) -> tuple[float | None, float | None]:
+        """(soft, hard) deadline seconds for a chunk, or (None, None).
+
+        An absolute ``chunk_timeout_s`` wins.  Otherwise deadlines are
+        ``chunk_deadline_factor`` x the cost model's measured seconds
+        estimate with a ``chunk_deadline_floor_s`` floor — and only
+        exist once the model has a real seconds scale (pre-calibration
+        "estimates" are raw FLOPs, meaningless as a time).  The clock
+        starts at submission, so deadlines include queue wait; the
+        generous factor and floor keep a busy-but-healthy pool from
+        tripping them.
+        """
+        if settings.chunk_timeout_s is not None:
+            return settings.chunk_timeout_s, settings.chunk_timeout_s
+        estimates = [
+            cost_model.seconds_estimate(ranked[c].label, costs[c], n)
+            for c, n in chunk_run_counts(job_chunk).items()
+        ]
+        if any(est is None for est in estimates):
+            return None, None
+        soft = max(
+            settings.chunk_deadline_factor * sum(estimates),
+            settings.chunk_deadline_floor_s,
+        )
+        return soft, _HARD_DEADLINE_FACTOR * soft
+
+    def dispatch(cid: int, flight: _Flight) -> None:
+        """(Re)submit a flight's chunk to the pool."""
+        flight.submitted_at = time.monotonic()
+        flight.warned = False
+        flight.soft_deadline_s, flight.hard_deadline_s = chunk_deadlines(
+            flight.chunk
+        )
+        pool.submit(
+            flight.chunk,
+            callback=lambda res, c=flight.chunk, i=cid: completions.put(
+                (i, c, res, None)
+            ),
+            error_callback=lambda exc, c=flight.chunk, i=cid: completions.put(
+                (i, c, None, exc)
+            ),
         )
 
     def try_merge(index: int, job_chunk: JobChunk) -> bool:
@@ -247,7 +418,7 @@ def speculative_search(
         (a fused sweep is ~2x cheaper, but starving N-1 workers costs
         ~Nx).  The excess beyond the window's supply merges.
         """
-        if len(submittable) + in_flight < window:
+        if len(submittable) + len(outstanding) < window:
             return False
         key = group_keys[index]
         if key is None:
@@ -275,7 +446,7 @@ def speculative_search(
         return False
 
     def top_up() -> None:
-        nonlocal next_unqueued, in_flight
+        nonlocal next_unqueued
         limit = min(len(ranked), next_commit + lookahead)
         while next_unqueued < limit:
             index = next_unqueued
@@ -296,7 +467,7 @@ def speculative_search(
             for job_chunk in chunks:
                 submittable.append((index, job_chunk.jobs[0].run, job_chunk))
             next_unqueued += 1
-        while submittable and in_flight < window:
+        while submittable and len(outstanding) < window:
             best = max(
                 range(len(submittable)),
                 key=lambda i: (
@@ -305,98 +476,354 @@ def speculative_search(
                     -submittable[i][1],
                 ),
             )
-            _, _, job_chunk = submittable.pop(best)
-            submit(job_chunk)
-            in_flight += 1
+            anchor, first_run, job_chunk = submittable.pop(best)
+            cid = next(cid_counter)
+            flight = _Flight(
+                chunk=job_chunk, anchor=anchor, first_run=first_run
+            )
+            outstanding[cid] = flight
+            dispatch(cid, flight)
 
-    try:
-        top_up()
-        # Worker pids once work is submitted (workers start lazily on
-        # the first chunk): a changed set later means a worker died and
-        # was respawned — its in-flight chunk is lost (Pool fires no
-        # callback for it), so fail loudly instead of waiting forever.
+    # -- supervision -------------------------------------------------------
+
+    def bump_attempts(flights: Sequence[_Flight], cause: str) -> None:
+        """Count one lost execution per flight; raise on exhaustion."""
+        for flight in flights:
+            flight.attempts += 1
+            if flight.attempts > max_retries + 1:
+                error = SearchError(
+                    f"{cause}; the chunk for candidate(s) "
+                    f"{flight_candidates(flight)} was lost "
+                    f"{flight.attempts - 1} time(s) "
+                    f"(max_retries={max_retries})"
+                )
+                error.attempts = flight.attempts - 1
+                raise _RetryExhausted(error, flight.attempts - 1)
+
+    def resubmit_outstanding() -> None:
+        """Move the whole search to a fresh generation and resubmit.
+
+        Cancellation is generation-wide — there is no per-chunk cancel —
+        so retrying *any* chunk via the generation mechanism requires
+        resubmitting *every* outstanding chunk under the new generation.
+        That is cheap in the common case: innocent chunks that complete
+        under the old generation before noticing the cancel still count
+        (their results are accepted by chunk id), and ones that do abort
+        re-run deterministically.
+        """
+        nonlocal generation
+        generation = pool.advance_generation()
+        for slot, (anchor, first_run, job_chunk) in enumerate(submittable):
+            # Still-queued chunks must ride the new generation too, or
+            # they would no-op the moment a worker picked them up.
+            submittable[slot] = (
+                anchor,
+                first_run,
+                replace(job_chunk, generation=generation),
+            )
+        for cid, flight in outstanding.items():
+            flight.chunk = replace(flight.chunk, generation=generation)
+            pool.chunk_retries += 1
+            dispatch(cid, flight)
+
+    def handle_worker_loss() -> None:
+        nonlocal worker_pids
         worker_pids = pool.worker_pids()
-        while in_flight:
+        lost = sorted(
+            {c for f in outstanding.values() for c in flight_candidates(f)}
+        )
+        emit(
+            "worker-lost",
+            "a grid-search worker process died unexpectedly (killed or "
+            f"out of memory?); {len(outstanding)} in-flight chunk(s) for "
+            f"candidate(s) {lost} may be lost",
+            candidates=lost,
+        )
+        bump_attempts(list(outstanding.values()), cause=(
+            "a grid-search worker process died unexpectedly "
+            "(killed or out of memory?)"
+        ))
+        resubmit_outstanding()
+        emit(
+            "retry",
+            f"resubmitted {len(outstanding)} chunk(s) under a new "
+            "generation after a worker loss",
+            candidates=lost,
+            attempts=max(f.attempts for f in outstanding.values()),
+        )
+
+    def check_deadlines() -> None:
+        now = time.monotonic()
+        timed_out: list[_Flight] = []
+        for flight in outstanding.values():
+            elapsed = now - flight.submitted_at
+            if (
+                not flight.warned
+                and flight.soft_deadline_s is not None
+                and elapsed > flight.soft_deadline_s
+            ):
+                flight.warned = True
+                emit(
+                    "chunk-overdue",
+                    f"chunk for candidate(s) {flight_candidates(flight)} "
+                    f"is overdue: {elapsed:.1f}s elapsed vs "
+                    f"{flight.soft_deadline_s:.1f}s soft deadline "
+                    f"(attempt {flight.attempts})",
+                    candidates=flight_candidates(flight),
+                    attempts=flight.attempts,
+                )
+            if (
+                flight.hard_deadline_s is not None
+                and elapsed > flight.hard_deadline_s
+            ):
+                timed_out.append(flight)
+        if not timed_out:
+            return
+        cands = sorted(
+            {c for f in timed_out for c in flight_candidates(f)}
+        )
+        pool.chunk_timeouts += len(timed_out)
+        emit(
+            "chunk-timeout",
+            f"cancelling {len(timed_out)} chunk(s) past their hard "
+            f"deadline [candidate(s) {cands}] and retrying",
+            candidates=cands,
+            attempts=max(f.attempts for f in timed_out),
+        )
+        bump_attempts(timed_out, cause="a chunk exceeded its hard deadline")
+        resubmit_outstanding()
+
+    def handle_runtime_error(
+        cid: int, flight: _Flight, error: Exception
+    ) -> None:
+        """An infrastructure failure for one chunk (the chunk runner
+        died, or its result segment was corrupt/unpicklable) — per-run
+        *training* errors are captured as RunError entries instead.
+        Retried alone: the failed submission is dead, so resubmitting
+        just this chunk cannot double-deliver."""
+        flight.attempts += 1
+        cands = flight_candidates(flight)
+        if flight.attempts > max_retries + 1:
             try:
-                job_chunk, result, error = completions.get(
-                    timeout=_WATCHDOG_INTERVAL_S
-                )
-            except Empty:
-                current = pool.worker_pids()
-                if worker_pids and current != worker_pids:
-                    raise SearchError(
-                        "a grid-search worker process died unexpectedly "
-                        "(killed or out of memory?); its training job was "
-                        "lost, aborting the parallel search"
-                    )
-                continue
-            in_flight -= 1
-            if error is not None:
-                # Infrastructure failure (the chunk runner itself died,
-                # or its result could not be pickled) — per-run training
-                # errors are captured as RunError entries instead.
-                raise error
-            assert isinstance(result, ChunkResult)
-            if result.cancelled:
-                raise SearchError(
-                    "a worker cancelled a chunk of a live search; was the "
-                    "pool closed concurrently?"
-                )
-            # Feed the measured chunk time back into the packer: later
-            # windows (and later searches on this pool) order by
-            # observed cost instead of the static FLOPs estimate.  A
-            # merged multi-candidate chunk splits its wall time across
-            # its candidates by run share.
-            counted = chunk_run_counts(job_chunk)
-            for chunk_index, n_chunk_runs in counted.items():
-                cost_model.observe(
-                    ranked[chunk_index].label,
-                    costs[chunk_index],
-                    result.wall_time_s * n_chunk_runs / len(job_chunk.jobs),
-                    n_chunk_runs,
-                )
-            for entry in result.entries:
-                per_run = pending_runs.setdefault(entry.candidate_index, {})
-                if isinstance(entry, RunError):
-                    per_run[entry.run] = entry.error
-                else:
-                    per_run[entry.run] = entry
-                if len(per_run) < runs:
-                    continue
-                index = entry.candidate_index
-                del pending_runs[index]
-                # Surface the lowest-run error (the one the sequential
-                # loop would hit first), else aggregate normally.
-                verdict: "CandidateResult | Exception"
-                failed = [
-                    r for r in range(runs) if isinstance(per_run[r], Exception)
-                ]
-                if failed:
-                    verdict = per_run[failed[0]]
-                else:
+                error.attempts = flight.attempts - 1
+            except Exception:  # pragma: no cover - exotic exception type
+                pass
+            raise _RetryExhausted(error, flight.attempts - 1)
+        pool.chunk_retries += 1
+        emit(
+            "retry",
+            f"chunk for candidate(s) {cands} failed in the runtime "
+            f"({error!r}); retrying "
+            f"(attempt {flight.attempts} of {max_retries + 1})",
+            candidates=cands,
+            attempts=flight.attempts,
+        )
+        dispatch(cid, flight)
+
+    def wait_timeout() -> float:
+        """Sleep until the watchdog tick or the nearest deadline."""
+        nearest = watchdog_s
+        now = time.monotonic()
+        for flight in outstanding.values():
+            elapsed = now - flight.submitted_at
+            if flight.soft_deadline_s is not None and not flight.warned:
+                nearest = min(nearest, flight.soft_deadline_s - elapsed)
+            if flight.hard_deadline_s is not None:
+                nearest = min(nearest, flight.hard_deadline_s - elapsed)
+        return max(0.05, nearest)
+
+    def sequential_finish() -> "SearchOutcome":
+        """Finish the sweep in-process after retry exhaustion.
+
+        Runs the exact sequential primitive (``execute_runs``) from the
+        commit frontier, reusing verdicts already buffered in ``ready``;
+        results are bit-identical to what the pool would have produced.
+        The same compiled-tape cache dance as the sequential path in
+        :func:`repro.core.grid_search.grid_search`.
+        """
+        from ..quantum.engine import (
+            compile_cache_info,
+            disable_compile_cache,
+            enable_compile_cache,
+        )
+
+        had_cache = compile_cache_info()["enabled"]
+        if not had_cache:
+            enable_compile_cache()
+        try:
+            index = next_commit
+            while index < len(ranked):
+                verdict = ready.get(index)
+                if verdict is None:
                     verdict = aggregate_runs(
                         ranked[index],
                         convention,
-                        [per_run[r] for r in range(runs)],
+                        execute_runs(
+                            ranked[index],
+                            seed,
+                            index,
+                            range(runs),
+                            split,
+                            settings,
+                            vectorized=settings.vectorized_runs,
+                        ),
                     )
-                ready[index] = verdict
-            # Commit strictly in FLOPs order; verdicts (and errors) of
-            # speculative higher-FLOPs candidates wait until their turn
-            # and are discarded wholesale if a cheaper candidate passes
-            # first.
-            while next_commit in ready:
-                committed = ready.pop(next_commit)
-                if isinstance(committed, Exception):
-                    raise committed
-                outcome.evaluated.append(committed)
-                next_commit += 1
+                if isinstance(verdict, RunError):
+                    run_error = verdict.error
+                    try:
+                        run_error.attempts = verdict.attempts
+                    except Exception:  # pragma: no cover
+                        pass
+                    raise run_error
+                outcome.evaluated.append(verdict)
+                if journal is not None:
+                    journal.append(index, verdict)
                 if progress is not None:
-                    progress(committed)
-                if committed.passes(threshold):
-                    outcome.winner = committed
+                    progress(verdict)
+                if verdict.passes(threshold):
+                    outcome.winner = verdict
                     return outcome
+                index += 1
+            return outcome
+        finally:
+            if not had_cache:
+                disable_compile_cache()
+
+    try:
+        try:
             top_up()
-        return outcome
+            # Worker pids once work is submitted (workers start lazily
+            # on the first chunk): a changed set later means a worker
+            # died and was respawned — its in-flight chunk is lost (Pool
+            # fires no callback for it) and must be resubmitted.
+            worker_pids = pool.worker_pids()
+            while outstanding:
+                try:
+                    cid, job_chunk, result, error = completions.get(
+                        timeout=wait_timeout()
+                    )
+                except Empty:
+                    current = pool.worker_pids()
+                    if not worker_pids:
+                        # Workers start lazily: a baseline sampled
+                        # before the pool populated its process list
+                        # would otherwise disable death detection for
+                        # the whole search.  Adopt the first real set.
+                        worker_pids = current
+                    elif current != worker_pids:
+                        handle_worker_loss()
+                    check_deadlines()
+                    continue
+                flight = outstanding.get(cid)
+                if flight is None:
+                    # A superseded copy of an already-accepted chunk
+                    # (chunks are deterministic: its entries are the
+                    # ones we already have).
+                    continue
+                if error is not None:
+                    if job_chunk.generation < generation:
+                        # A superseded copy's failure; the live copy of
+                        # this chunk is still in flight.
+                        continue
+                    handle_runtime_error(cid, flight, error)
+                    continue
+                assert isinstance(result, ChunkResult)
+                if result.cancelled:
+                    if job_chunk.generation < generation:
+                        # Expected: the copy this retry superseded
+                        # noticed the cancelled generation and bailed.
+                        continue
+                    raise SearchError(
+                        "a worker cancelled a chunk of a live search; "
+                        "was the pool closed concurrently?"
+                    )
+                del outstanding[cid]
+                # Feed the measured chunk time back into the packer:
+                # later windows (and later searches on this pool) order
+                # by observed cost instead of the static FLOPs estimate.
+                # A merged multi-candidate chunk splits its wall time
+                # across its candidates by run share.
+                counted = chunk_run_counts(job_chunk)
+                for chunk_index, n_chunk_runs in counted.items():
+                    cost_model.observe(
+                        ranked[chunk_index].label,
+                        costs[chunk_index],
+                        result.wall_time_s
+                        * n_chunk_runs
+                        / len(job_chunk.jobs),
+                        n_chunk_runs,
+                    )
+                for entry in result.entries:
+                    per_run = pending_runs.setdefault(
+                        entry.candidate_index, {}
+                    )
+                    if (
+                        isinstance(entry, RunError)
+                        and entry.attempts != flight.attempts
+                    ):
+                        entry = replace(entry, attempts=flight.attempts)
+                    per_run[entry.run] = entry
+                    if len(per_run) < runs:
+                        continue
+                    index = entry.candidate_index
+                    del pending_runs[index]
+                    # Surface the lowest-run error (the one the
+                    # sequential loop would hit first), else aggregate
+                    # normally.
+                    verdict: "CandidateResult | RunError"
+                    failed = [
+                        r
+                        for r in range(runs)
+                        if isinstance(per_run[r], RunError)
+                    ]
+                    if failed:
+                        verdict = per_run[failed[0]]
+                    else:
+                        verdict = aggregate_runs(
+                            ranked[index],
+                            convention,
+                            [per_run[r] for r in range(runs)],
+                        )
+                    ready[index] = verdict
+                # Commit strictly in FLOPs order; verdicts (and errors)
+                # of speculative higher-FLOPs candidates wait until
+                # their turn and are discarded wholesale if a cheaper
+                # candidate passes first.
+                while next_commit in ready:
+                    committed = ready.pop(next_commit)
+                    if isinstance(committed, RunError):
+                        run_error = committed.error
+                        try:
+                            run_error.attempts = committed.attempts
+                        except Exception:  # pragma: no cover
+                            pass
+                        raise run_error
+                    outcome.evaluated.append(committed)
+                    if journal is not None:
+                        journal.append(next_commit, committed)
+                    next_commit += 1
+                    if progress is not None:
+                        progress(committed)
+                    if committed.passes(threshold):
+                        outcome.winner = committed
+                        return outcome
+                top_up()
+            return outcome
+        except _RetryExhausted as exhausted:
+            if not settings.fallback_sequential:
+                raise exhausted.error from None
+            pool.sequential_fallbacks += 1
+            emit(
+                "sequential-fallback",
+                f"retries exhausted ({exhausted.error}); finishing the "
+                f"remaining {len(ranked) - next_commit} candidate(s) "
+                "in-process sequentially",
+                attempts=exhausted.attempts,
+            )
+            # Stop burning workers on doomed chunks before training
+            # in-process.
+            pool.cancel(generation)
+            return sequential_finish()
     finally:
         # End this search's generation: still-queued speculative chunks
         # no-op, running trainings abort at the next epoch boundary.

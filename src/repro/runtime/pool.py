@@ -42,9 +42,12 @@ from __future__ import annotations
 
 import gc
 import json
+import logging
 import multiprocessing
+import os
 import pathlib
 import pickle
+import secrets
 import time
 import weakref
 from dataclasses import dataclass
@@ -53,6 +56,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..exceptions import SearchError, TrainingCancelled
+from . import faults
 from .jobs import (
     RunResult,
     TrainingJob,
@@ -78,7 +82,86 @@ __all__ = [
     "ChunkCostModel",
     "ShmResultHandle",
     "RESULT_SHM_THRESHOLD",
+    "sweep_stale_segments",
 ]
+
+logger = logging.getLogger("repro.runtime")
+
+#: Every segment this runtime creates is named
+#: ``repro_<creator pid>_<tag><hex>`` (short enough for macOS's
+#: PSHMNAMLEN).  The embedded pid makes crashed-run leftovers
+#: *sweepable*: a segment whose creator is gone is garbage by
+#: construction (the creator owns the unlink), so a fresh run can
+#: reclaim it — see :func:`sweep_stale_segments`.
+_SHM_PREFIX = "repro"
+
+
+def _create_named_segment(tag: str, size: int) -> "SharedMemory":
+    """A fresh shared-memory segment with a sweepable name."""
+    from multiprocessing.shared_memory import SharedMemory
+
+    while True:
+        name = f"{_SHM_PREFIX}_{os.getpid()}_{tag}{secrets.token_hex(4)}"
+        try:
+            return SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - token collision
+            continue
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's process
+        return True
+    return True
+
+
+def sweep_stale_segments(directory: str = "/dev/shm") -> list[str]:
+    """Unlink ``repro``-prefixed segments whose creator process is gone.
+
+    A ``kill -9``-ed or OOM-killed *parent* never reaches its
+    deterministic unlinks, and its resource tracker can be killed with
+    it, so orphaned dataset/ctrl segments would otherwise sit in tmpfs
+    (consuming RAM) until reboot.  Every :class:`PersistentPool` calls
+    this at startup; returns the reclaimed names (also logged).  Files
+    are unlinked directly rather than attached first, so sweeping never
+    registers foreign segments with this process's resource tracker.
+
+    Only POSIX-shm-as-tmpfs platforms (Linux) expose segments as files;
+    elsewhere this is a silent no-op.
+    """
+    reclaimed: list[str] = []
+    prefix = _SHM_PREFIX + "_"
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return reclaimed
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        try:
+            pid = int(name.split("_")[1])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:  # pragma: no cover - raced another sweeper
+            continue
+        reclaimed.append(name)
+    if reclaimed:
+        logger.warning(
+            "reclaimed %d orphaned shared-memory segment(s) left by "
+            "crashed runs: %s",
+            len(reclaimed),
+            ", ".join(sorted(reclaimed)),
+        )
+    return reclaimed
 
 #: Byte alignment for each array inside a published segment (cache-line
 #: sized, and a multiple of every dtype itemsize we ship).
@@ -133,8 +216,6 @@ def publish_split(split: "DataSplit") -> tuple["SharedMemory", SharedSplitHandle
     Returns the owning :class:`SharedMemory` (caller must ``unlink`` it
     eventually) and the handle workers attach with.
     """
-    from multiprocessing.shared_memory import SharedMemory
-
     arrays = {
         name: np.ascontiguousarray(getattr(split, name))
         for name in _SPLIT_FIELDS
@@ -146,7 +227,7 @@ def publish_split(split: "DataSplit") -> tuple["SharedMemory", SharedSplitHandle
             (name, _ArrayLayout(offset, arr.shape, arr.dtype.str))
         )
         offset = _aligned(offset + arr.nbytes)
-    shm = SharedMemory(create=True, size=max(offset, 1))
+    shm = _create_named_segment("ds", max(offset, 1))
     for (name, spec) in layout:
         arr = arrays[name]
         dst = np.ndarray(
@@ -281,11 +362,19 @@ class JobChunk:
 
 @dataclass(frozen=True)
 class RunError:
-    """A picklable per-run failure, surfaced at the candidate's commit turn."""
+    """A picklable per-run failure, surfaced at the candidate's commit turn.
+
+    ``attempts`` is how many times the run's chunk was executed before
+    this entry was accepted (> 1 when the scheduler retried the chunk
+    after a worker loss or timeout); the scheduler stamps it so error
+    reports distinguish a first-try failure from one that survived
+    retries.
+    """
 
     candidate_index: int
     run: int
     error: Exception
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -421,6 +510,16 @@ def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
     generation = chunk.generation
     if _cancel_floor() > generation:
         return _CANCELLED_CHUNK
+    # Fault-injection hook (tests only; a 4-byte read when disarmed).
+    # Checked *after* the floor so cancelled no-op chunks never consume
+    # a fault firing, and only for live chunks of a pool worker.  A
+    # "kill" fault does not return; a "delay" fault has already slept,
+    # so recheck the floor — the parent may have timed this chunk out.
+    fired = None
+    if _CTRL is not None:
+        fired = faults.maybe_fire(_CTRL.buf, chunk)
+        if fired == faults.DELAY and _cancel_floor() > generation:
+            return _CANCELLED_CHUNK
     try:
         split = _attached_split(chunk.handle)
     except FileNotFoundError:
@@ -436,6 +535,8 @@ def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
         entries, fallback = _chunk_entries(chunk, split, cancelled)
     except TrainingCancelled:
         return _CANCELLED_CHUNK
+    if fired == faults.CORRUPT_RESULT:
+        return faults.corrupt_shipment()
     return _ship_result(
         ChunkResult(
             cancelled=False,
@@ -476,9 +577,7 @@ def _ship_result(result: ChunkResult) -> "ChunkResult | ShmResultHandle":
     payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) < RESULT_SHM_THRESHOLD:
         return result
-    from multiprocessing.shared_memory import SharedMemory
-
-    shm = SharedMemory(create=True, size=len(payload))
+    shm = _create_named_segment("res", len(payload))
     shm.buf[: len(payload)] = payload
     shm.close()
     return ShmResultHandle(segment=shm.name, nbytes=len(payload))
@@ -579,6 +678,24 @@ class ChunkCostModel:
                 # No measurements yet anywhere: fall back to the static
                 # FLOPs ranking (any monotone scale packs identically).
                 return float(flops) * n_runs
+            per_run = float(flops) * self._rate
+        return per_run * n_runs
+
+    def seconds_estimate(
+        self, label: str, flops: int, n_runs: int = 1
+    ) -> float | None:
+        """Expected chunk cost in *wall-clock seconds*, or ``None``.
+
+        Unlike :meth:`estimate` — whose pre-calibration fallback is the
+        raw FLOPs count, fine for *ranking* but meaningless as a time —
+        this only answers once a measured seconds scale exists.  The
+        deadline watchdog uses it: no calibration, no deadline, never a
+        spurious timeout from comparing seconds against FLOPs.
+        """
+        per_run = self._per_label.get(label)
+        if per_run is None:
+            if self._rate is None:
+                return None
             per_run = float(flops) * self._rate
         return per_run * n_runs
 
@@ -721,12 +838,16 @@ class PersistentPool:
     def __init__(self, workers: int):
         if workers < 1:
             raise SearchError(f"pool needs workers >= 1, got {workers}")
-        from multiprocessing.shared_memory import SharedMemory
-
         self.workers = workers
         self._generation = 0
-        self._ctrl = SharedMemory(create=True, size=8)
-        self._ctrl.buf[:8] = (0).to_bytes(8, "little")
+        #: Segments reclaimed from previously *crashed* runs at startup
+        #: (a parent killed before its unlinks leaves tmpfs garbage; a
+        #: new pool is the natural sweep point).
+        self.swept_segments = sweep_stale_segments()
+        # The control segment carries the 8-byte cancellation floor plus
+        # the fault-injection plan region (see repro.runtime.faults).
+        self._ctrl = _create_named_segment("ctrl", faults.CTRL_SIZE)
+        self._ctrl.buf[: faults.CTRL_SIZE] = bytes(faults.CTRL_SIZE)
         self._segments: dict[str, _PublishedSplit] = {}
         self._by_id: dict[int, str] = {}
         self._initargs = (self._ctrl.name,)
@@ -747,6 +868,13 @@ class PersistentPool:
         #: counter means some candidate's vectorized path is broken —
         #: results stay correct, wall time silently doubles.
         self.vectorized_fallbacks = 0
+        #: Fault-tolerance instrumentation, incremented by the scheduler:
+        #: chunks resubmitted after a worker loss / runtime error, chunks
+        #: cancelled past their hard deadline, and searches that finished
+        #: in-process after retry exhaustion.
+        self.chunk_retries = 0
+        self.chunk_timeouts = 0
+        self.sequential_fallbacks = 0
         # Worker processes start lazily on the first submitted chunk, so
         # a pool created "just in case" (a CLI run whose experiments all
         # hit the results cache, or one that never searches) costs one
@@ -861,6 +989,20 @@ class PersistentPool:
         self.searches_started += 1
         return self._generation
 
+    def advance_generation(self) -> int:
+        """Supersede the current generation *within* a live search.
+
+        The scheduler's retry primitive: cancelling the current
+        generation makes every in-flight chunk of the search no-op (or
+        abort at the next epoch boundary), after which the scheduler
+        resubmits its outstanding chunks under the returned generation.
+        Unlike :meth:`new_generation` this does not count a search.
+        """
+        self._ensure_open()
+        self.cancel(self._generation)
+        self._generation += 1
+        return self._generation
+
     def cancel(self, generation: int) -> None:
         """End a search: its queued chunks no-op, running ones abort at
         the next epoch boundary.  Monotonic, so late calls are safe."""
@@ -868,6 +1010,18 @@ class PersistentPool:
             floor = generation + 1
             if floor > int.from_bytes(self._ctrl.buf[:8], "little"):
                 self._ctrl.buf[:8] = floor.to_bytes(8, "little")
+
+    # -- fault injection (tests) -------------------------------------------
+
+    def install_fault(self, plan: "faults.FaultPlan") -> None:
+        """Arm a deterministic fault in every worker via the ctrl segment."""
+        self._ensure_open()
+        faults.install(self._ctrl.buf, plan)
+
+    def clear_fault(self) -> None:
+        """Disarm any installed fault plan (idempotent; safe when closed)."""
+        if self._finalizer.alive:
+            faults.clear(self._ctrl.buf)
 
     def submit(self, chunk: JobChunk, callback, error_callback) -> None:
         self._ensure_open()

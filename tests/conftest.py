@@ -9,6 +9,19 @@ from repro.data import make_spiral, stratified_split
 from repro.experiments.runner import RunProfile
 
 
+def pytest_configure(config):
+    # The fault-tolerance tests mark themselves with per-test timeouts
+    # so a supervision regression that reintroduces a hang fails fast
+    # in CI (where pytest-timeout is installed).  Register the marker
+    # so runs without the plugin stay warning-free; without the plugin
+    # the marks are inert.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout, enforced when pytest-timeout "
+        "is installed",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""

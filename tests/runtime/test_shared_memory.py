@@ -223,8 +223,12 @@ class TestSegmentLifecycle:
         result = run_protocol("classical", cfg)
         assert len(result.levels) == 2
         if os.path.isdir("/dev/shm"):
+            # Segments are repro_<pid>_-prefixed now; only this
+            # process's are ours to assert about (parallel test runs or
+            # other users may own live repro_ segments).
+            ours = f"repro_{os.getpid()}_"
             assert not [
-                p for p in os.listdir("/dev/shm") if p.startswith("psm_")
+                p for p in os.listdir("/dev/shm") if p.startswith(ours)
             ]
 
 
@@ -235,7 +239,18 @@ class TestWorkerCrash:
         import repro.runtime.parallel as parallel_mod
 
         monkeypatch.setattr(parallel_mod, "_WATCHDOG_INTERVAL_S", 0.3)
-        settings = TrainingSettings(epochs=1, batch_size=64, runs=1)
+        # Retries off *and* the sequential fallback off: CrashingSpec
+        # kills whatever process builds it, so an in-process fallback
+        # would take pytest down with it.  (Retry/fallback behaviour is
+        # covered by tests/runtime/test_fault_tolerance.py with faults
+        # that disarm after firing.)
+        settings = TrainingSettings(
+            epochs=1,
+            batch_size=64,
+            runs=1,
+            max_retries=0,
+            fallback_sequential=False,
+        )
         pool = PersistentPool(2)
         try:
             with pytest.raises(SearchError, match="died unexpectedly"):
