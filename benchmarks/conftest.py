@@ -13,7 +13,25 @@ import os
 
 import pytest
 
+from repro.backends import active_backend
 from repro.experiments.runner import get_profile, run_family_cached
+
+
+@pytest.fixture(autouse=True)
+def _record_backend(request):
+    """Stamp every benchmark entry with the array backend that ran it.
+
+    ``run_benchmarks.condense`` copies ``extra_info["backend"]`` into
+    the committed ``BENCH_<rev>.json`` snapshot so the regression check
+    never mistakes a backend switch for a same-backend perf delta.
+    Benchmarks that select a backend explicitly (``test_backend_sweep``)
+    overwrite this default with their parametrized name.
+    """
+    if "benchmark" in request.fixturenames:
+        request.getfixturevalue("benchmark").extra_info.setdefault(
+            "backend", active_backend().name
+        )
+    yield
 
 
 def bench_profile_name() -> str:

@@ -142,6 +142,18 @@ def compare(old: dict, new: dict, threshold: float) -> tuple[list[str], list[str
         if name not in old_benches:
             notes.append(f"new: {name}")
             continue
+        # A backend switch (e.g. a torch-timed entry replacing a numpy
+        # one under the same id) is an environment change, not a perf
+        # delta: report it, never fail on it.  Entries predating the
+        # field compare as "numpy".
+        old_backend = old_benches[name].get("backend", "numpy")
+        new_backend = new_benches[name].get("backend", "numpy")
+        if old_backend != new_backend:
+            notes.append(
+                f"backend changed: {name} ({old_backend} -> {new_backend}; "
+                "not comparable)"
+            )
+            continue
         before = old_benches[name]["mean_s"]
         after = new_benches[name]["mean_s"]
         if before <= 0:

@@ -1,0 +1,348 @@
+"""Pluggable array backends for the fused stacked sweeps.
+
+The compiled engine (:class:`repro.quantum.engine.CompiledTape`) and the
+stacked training path (:mod:`repro.nn.stacked`,
+:class:`repro.nn.optimizers.StackedAdam`) route every hot array
+operation through a small *array-backend protocol* — an ``xp`` namespace
+object exposing the ~10 primitives those kernels actually use — so the
+``(C*R*B, 2**n)`` cross-candidate sweeps can execute on NumPy (the
+default), torch (CPU today, CUDA when available) or CuPy without the
+kernels knowing which.
+
+Design rules (see ``docs/backends.md`` for the full contract):
+
+* :class:`NumpyBackend` methods are the **verbatim** NumPy calls the
+  pre-backend code performed — same functions, same argument spelling —
+  so routing through the protocol preserves bit-identity.  All strict
+  differential guarantees (run-stacked == per-run, candidate-stacked ==
+  per-candidate, parallel == sequential) are scoped to this backend.
+* Device backends (:class:`~repro.backends.torch_backend.TorchBackend`,
+  CuPy) keep the big state buffers, gate-matrix stacks and parameter
+  stacks resident on-device across a whole fused sweep; only small
+  per-epoch quantities (losses, accuracies, synced-back parameters)
+  transfer to host.  They are held to *tolerance* differentials, not
+  bit-identity.
+* Backend selection is data, not global state mutation:
+  :func:`resolve_backend` maps an optional name (explicit setting >
+  ``REPRO_BACKEND`` env > per-process default > numpy) to a backend with
+  a clean fallback-to-numpy when the requested one is unimportable, and
+  :func:`use_backend` scopes the active backend around one training
+  job.  :func:`active_backend` is what stacked layers capture at
+  construction.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..exceptions import BackendUnavailable, ConfigurationError
+
+__all__ = [
+    "COMPLEX_DTYPE",
+    "REAL_DTYPE",
+    "ArrayBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "active_backend",
+    "use_backend",
+    "set_default_backend",
+]
+
+#: Canonical complex/real dtypes of the whole simulation substrate.  Every
+#: kernel, gate builder and buffer allocation uses these two constants (a
+#: backend exposes its native equivalents as ``complex_dtype`` /
+#: ``real_dtype``), so no kernel silently upcasts or downcasts when the
+#: arrays are torch tensors instead of ndarrays.
+COMPLEX_DTYPE = np.complex128
+REAL_DTYPE = np.float64
+
+#: Environment variable consulted when no explicit backend is configured.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class ArrayBackend:
+    """The ``xp`` protocol: the primitives the hot kernels are written in.
+
+    Subclasses provide a *namespace object*, not a module: engine and
+    stacked-layer code holds one instance and calls these methods on
+    every hot operation.  The contract per method is the matching NumPy
+    call's (shapes, dtypes, ``out=`` semantics); ``asarray``/``to_numpy``
+    define the host/device transfer boundary and are identities for
+    :class:`NumpyBackend`.
+    """
+
+    #: Registry name ("numpy", "torch", "cupy").
+    name: str = "abstract"
+    #: True only for :class:`NumpyBackend`; kernels use it to skip
+    #: device-upload caches and host round-trips entirely.
+    is_numpy: bool = False
+
+    # -- dtypes ----------------------------------------------------------
+    complex_dtype = COMPLEX_DTYPE
+    real_dtype = REAL_DTYPE
+
+    # -- construction / transfer ----------------------------------------
+    def asarray(self, a, dtype=None):
+        raise NotImplementedError
+
+    def as_real(self, a):
+        """``a`` as a backend array of the canonical real dtype."""
+        raise NotImplementedError
+
+    def to_numpy(self, a) -> np.ndarray:
+        """Download to host; identity for host arrays."""
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def zeros_like(self, a):
+        raise NotImplementedError
+
+    def ascontiguousarray(self, a):
+        raise NotImplementedError
+
+    # -- kernels ---------------------------------------------------------
+    def einsum(self, spec, *operands, out=None):
+        raise NotImplementedError
+
+    def matmul(self, a, b, out=None):
+        raise NotImplementedError
+
+    def take(self, a, indices, out):
+        """Axis-1 gather: ``out[:, k] = a[:, indices[k]]``."""
+        raise NotImplementedError
+
+    def multiply(self, a, b, out):
+        raise NotImplementedError
+
+    def conj_transpose(self, m):
+        """Dagger the trailing two axes: ``conj(swapaxes(m, -1, -2))``."""
+        raise NotImplementedError
+
+    def abs2(self, z):
+        """``|z|^2`` elementwise, matching :func:`repro.quantum.state.abs2`."""
+        raise NotImplementedError
+
+    def sqrt(self, a):
+        raise NotImplementedError
+
+    def square(self, a):
+        raise NotImplementedError
+
+    def fill(self, a, value):
+        """In-place constant fill."""
+        raise NotImplementedError
+
+    def index_const(self, indices):
+        """An integer index array in the backend's native form.
+
+        Used for the compiled permutation tables and sign-flip index
+        sets; host identity for NumPy, an ``int64`` device upload for
+        device backends.
+        """
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Block until queued device work finishes (no-op on host)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: the pre-backend NumPy code path, verbatim.
+
+    Every method body is exactly the NumPy call the engine and stacked
+    layers performed before the backend refactor, so executing through
+    this object is bit-identical to the historical behaviour — which is
+    what keeps all strict differential tests meaningful.
+    """
+
+    name = "numpy"
+    is_numpy = True
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype)
+
+    def as_real(self, a):
+        return np.asarray(a, dtype=REAL_DTYPE)
+
+    def to_numpy(self, a) -> np.ndarray:
+        return a if isinstance(a, np.ndarray) else np.asarray(a)
+
+    def empty(self, shape, dtype=None):
+        return np.empty(shape, dtype=dtype or REAL_DTYPE)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=dtype or REAL_DTYPE)
+
+    def zeros_like(self, a):
+        return np.zeros_like(a)
+
+    def ascontiguousarray(self, a):
+        return np.ascontiguousarray(a)
+
+    def einsum(self, spec, *operands, out=None):
+        return np.einsum(spec, *operands, out=out)
+
+    def matmul(self, a, b, out=None):
+        return np.matmul(a, b, out=out)
+
+    def take(self, a, indices, out):
+        return np.take(a, indices, axis=1, out=out)
+
+    def multiply(self, a, b, out):
+        return np.multiply(a, b, out=out)
+
+    def conj_transpose(self, m):
+        return np.conj(np.swapaxes(m, -1, -2))
+
+    def abs2(self, z):
+        # Must match repro.quantum.state.abs2 exactly (same expression).
+        return z.real**2 + z.imag**2
+
+    def sqrt(self, a):
+        return np.sqrt(a)
+
+    def square(self, a):
+        return np.square(a)
+
+    def fill(self, a, value):
+        a.fill(value)
+
+    def index_const(self, indices):
+        return indices
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names :func:`get_backend` understands (importable or not)."""
+    return ("numpy", "torch", "cupy")
+
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Look a backend up by name.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for an unknown
+    name and :class:`~repro.exceptions.BackendUnavailable` when the
+    backend exists but its library cannot be imported.  Successful
+    constructions are cached per process (backends are stateless
+    namespaces, so sharing one instance is safe).
+    """
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    if name == "numpy":
+        backend: ArrayBackend = NumpyBackend()
+    elif name == "torch":
+        from .torch_backend import TorchBackend
+
+        backend = TorchBackend()
+    elif name == "cupy":
+        from .cupy_backend import CupyBackend
+
+        backend = CupyBackend()
+    else:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; options: "
+            f"{available_backends()}"
+        )
+    _INSTANCES[name] = backend
+    return backend
+
+
+def _clear_backend_cache() -> None:
+    """Drop cached backend instances (test helper)."""
+    _INSTANCES.clear()
+
+
+#: Context-scoped active backend (set by :func:`use_backend`).
+_ACTIVE: ArrayBackend | None = None
+#: Per-process default (set once by pool-worker init / embedding code).
+_DEFAULT: ArrayBackend | None = None
+
+
+def active_backend() -> ArrayBackend:
+    """The backend hot-path code should execute on *right now*.
+
+    Inside a :func:`use_backend` scope that scope's backend; otherwise
+    the process default (:func:`set_default_backend`), otherwise NumPy.
+    Stacked layers and engines capture this at construction, so a whole
+    fused sweep runs on one backend end to end.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if _DEFAULT is not None:
+        return _DEFAULT
+    return get_backend("numpy")
+
+
+def set_default_backend(backend: "ArrayBackend | str | None") -> None:
+    """Set the process-default backend (``None`` resets to NumPy).
+
+    The persistent pool's worker initializer calls this so every job a
+    worker executes inherits the pool's backend even when a chunk's
+    settings carry none.
+    """
+    global _DEFAULT
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    _DEFAULT = backend
+
+
+@contextmanager
+def use_backend(backend: "ArrayBackend | str"):
+    """Scope the active backend around one training job.
+
+    Nested scopes restore the previous backend on exit, so a sequential
+    grid search driving torch jobs can still build numpy-backed scalar
+    models in between.
+    """
+    global _ACTIVE
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    previous = _ACTIVE
+    _ACTIVE = backend
+    try:
+        yield backend
+    finally:
+        _ACTIVE = previous
+
+
+def resolve_backend(
+    name: "str | None" = None,
+) -> tuple[ArrayBackend, "str | None"]:
+    """Resolve a requested backend name with clean numpy fallback.
+
+    Precedence: explicit ``name`` > the :data:`BACKEND_ENV_VAR`
+    environment variable > the process default > ``"numpy"``.  Returns
+    ``(backend, fallback_reason)``: ``fallback_reason`` is ``None`` when
+    the request was honoured, or a human-readable message when the
+    requested backend was unimportable and NumPy was substituted (the
+    grid search turns that into a structured ``backend-fallback``
+    :class:`~repro.runtime.parallel.SearchEvent`).  Unknown names raise
+    :class:`~repro.exceptions.ConfigurationError` — a typo is a
+    configuration bug, not a missing library.
+    """
+    requested = name or os.environ.get(BACKEND_ENV_VAR) or None
+    if requested is None:
+        return (_DEFAULT or get_backend("numpy")), None
+    try:
+        return get_backend(requested), None
+    except BackendUnavailable as exc:
+        return (
+            get_backend("numpy"),
+            f"backend {requested!r} unavailable, falling back to numpy: "
+            f"{exc}",
+        )

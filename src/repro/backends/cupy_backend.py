@@ -1,0 +1,112 @@
+"""CuPy execution of the fused stacked sweeps (optional, CUDA only).
+
+CuPy mirrors the NumPy API closely enough that the adapter is nearly
+mechanical: ``cupy.einsum``/``cupy.matmul`` accept ``out=``, ``take``
+supports ``axis=``, and dtypes are the NumPy dtype objects.  The only
+real differences are the transfer boundary (``cupy.asarray`` /
+``cupy.asnumpy``) and that every array lives on the current CUDA
+device.
+
+Like torch, CuPy is optional: constructing the backend raises
+:class:`~repro.exceptions.BackendUnavailable` when ``cupy`` is missing
+or no CUDA device is usable, and callers fall back to NumPy.  Numerics
+are tolerance-grade (cuBLAS reductions round differently from host
+BLAS); the strict bitwise suites remain scoped to NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import BackendUnavailable
+from . import ArrayBackend, REAL_DTYPE
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+    """:class:`~repro.backends.ArrayBackend` over CuPy device arrays."""
+
+    name = "cupy"
+    is_numpy = False
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise BackendUnavailable(
+                "the 'cupy' backend requires CuPy, which is not "
+                "installed in this environment"
+            ) from exc
+        try:  # pragma: no cover - needs a CUDA device
+            cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # pragma: no cover - needs a CUDA device
+            raise BackendUnavailable(
+                f"the 'cupy' backend found no usable CUDA device: {exc}"
+            ) from exc
+        self._cp = cupy
+
+    # -- construction / transfer ----------------------------------------
+
+    def asarray(self, a, dtype=None):
+        return self._cp.asarray(a, dtype=dtype)
+
+    def as_real(self, a):
+        return self._cp.asarray(a, dtype=REAL_DTYPE)
+
+    def to_numpy(self, a) -> np.ndarray:
+        if isinstance(a, self._cp.ndarray):
+            return self._cp.asnumpy(a)
+        return np.asarray(a)
+
+    def empty(self, shape, dtype=None):
+        return self._cp.empty(shape, dtype=dtype or REAL_DTYPE)
+
+    def zeros(self, shape, dtype=None):
+        return self._cp.zeros(shape, dtype=dtype or REAL_DTYPE)
+
+    def zeros_like(self, a):
+        return self._cp.zeros_like(a)
+
+    def ascontiguousarray(self, a):
+        return self._cp.ascontiguousarray(a)
+
+    # -- kernels ---------------------------------------------------------
+
+    def einsum(self, spec, *operands, out=None):
+        result = self._cp.einsum(spec, *operands)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def matmul(self, a, b, out=None):
+        return self._cp.matmul(a, b, out=out)
+
+    def take(self, a, indices, out):
+        return self._cp.take(a, indices, axis=1, out=out)
+
+    def multiply(self, a, b, out):
+        out[...] = a * b
+        return out
+
+    def conj_transpose(self, m):
+        return self._cp.conj(self._cp.swapaxes(m, -1, -2))
+
+    def abs2(self, z):
+        return z.real**2 + z.imag**2
+
+    def sqrt(self, a):
+        return self._cp.sqrt(a)
+
+    def square(self, a):
+        return self._cp.square(a)
+
+    def fill(self, a, value):
+        a.fill(value)
+
+    def index_const(self, indices):
+        return self._cp.asarray(np.asarray(indices, dtype=np.int64))
+
+    def synchronize(self) -> None:  # pragma: no cover - needs a GPU
+        self._cp.cuda.runtime.deviceSynchronize()

@@ -1,0 +1,144 @@
+"""Torch execution of the fused stacked sweeps (CPU, or CUDA when available).
+
+The engine's hot shapes — a handful of huge contractions over a
+``(C*R*B, 2**n)`` run-major state buffer — are exactly what an
+accelerator wants, so this backend maps the :class:`~repro.backends.ArrayBackend`
+protocol onto ``torch`` tensors resident on one device for the whole
+sweep.  Differences from NumPy that this adapter papers over:
+
+* ``torch.einsum`` has no ``out=`` parameter: the contraction runs
+  out-of-place and the result is copied into ``out`` (still on device);
+* the axis-1 gather is ``torch.index_select`` with a cached ``int64``
+  index tensor instead of ``np.take``;
+* ``numpy()``/``from_numpy`` round-trips define the transfer boundary —
+  the engine only crosses it for small host-side work (parameter
+  binding, gate-matrix construction, per-epoch losses/accuracies).
+
+Torch is an *optional* dependency: importing this module is cheap, and
+constructing the backend raises
+:class:`~repro.exceptions.BackendUnavailable` when torch is missing, so
+callers fall back to NumPy cleanly (see
+:func:`repro.backends.resolve_backend`).
+
+Numerics are tolerance-grade, not bit-identical: torch's einsum/gemm
+kernels round differently from NumPy's, so this backend is covered by
+differential tests at 1e-10 (engine) and end-to-end winner-agreement
+tests, never by the strict bitwise suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import BackendUnavailable
+from . import ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    """:class:`~repro.backends.ArrayBackend` over torch tensors."""
+
+    name = "torch"
+    is_numpy = False
+
+    def __init__(self, device: "str | None" = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise BackendUnavailable(
+                "the 'torch' backend requires PyTorch, which is not "
+                "installed in this environment"
+            ) from exc
+        self._torch = torch
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = torch.device(device)
+        self.complex_dtype = torch.complex128
+        self.real_dtype = torch.float64
+
+    # -- construction / transfer ----------------------------------------
+
+    def _is_tensor(self, a) -> bool:
+        return isinstance(a, self._torch.Tensor)
+
+    def asarray(self, a, dtype=None):
+        torch = self._torch
+        if self._is_tensor(a):
+            return a if dtype is None else a.to(dtype)
+        # torch rejects negative-stride ndarrays; normalise first.
+        host = np.ascontiguousarray(a)
+        return torch.as_tensor(host, dtype=dtype, device=self.device)
+
+    def as_real(self, a):
+        return self.asarray(a, dtype=self.real_dtype)
+
+    def to_numpy(self, a) -> np.ndarray:
+        if self._is_tensor(a):
+            return a.detach().cpu().numpy()
+        return np.asarray(a)
+
+    def empty(self, shape, dtype=None):
+        return self._torch.empty(
+            shape, dtype=dtype or self.real_dtype, device=self.device
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(
+            shape, dtype=dtype or self.real_dtype, device=self.device
+        )
+
+    def zeros_like(self, a):
+        return self._torch.zeros_like(a)
+
+    def ascontiguousarray(self, a):
+        return a.contiguous() if self._is_tensor(a) else self.asarray(a)
+
+    # -- kernels ---------------------------------------------------------
+
+    def einsum(self, spec, *operands, out=None):
+        result = self._torch.einsum(spec, *operands)
+        if out is None:
+            return result
+        out.copy_(result)
+        return out
+
+    def matmul(self, a, b, out=None):
+        if out is None:
+            return self._torch.matmul(a, b)
+        # out= matmul rejects some broadcast/view layouts; stay general.
+        out.copy_(self._torch.matmul(a, b))
+        return out
+
+    def take(self, a, indices, out):
+        return self._torch.index_select(a, 1, indices, out=out)
+
+    def multiply(self, a, b, out):
+        # Mixed real*complex out= ufuncs are stricter in torch; compute
+        # then copy keeps the promotion semantics of np.multiply.
+        out.copy_(a * b)
+        return out
+
+    def conj_transpose(self, m):
+        return m.swapaxes(-1, -2).conj()
+
+    def abs2(self, z):
+        return z.real**2 + z.imag**2
+
+    def sqrt(self, a):
+        return self._torch.sqrt(a)
+
+    def square(self, a):
+        return self._torch.square(a)
+
+    def fill(self, a, value):
+        a.fill_(value)
+
+    def index_const(self, indices):
+        torch = self._torch
+        host = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+        return torch.as_tensor(host, dtype=torch.int64, device=self.device)
+
+    def synchronize(self) -> None:
+        if self.device.type == "cuda":  # pragma: no cover - needs GPU
+            self._torch.cuda.synchronize()

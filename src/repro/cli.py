@@ -121,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
         "results",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "torch", "cupy"),
+        help="array backend for the stacked training sweeps (default: "
+        "REPRO_BACKEND env var, then numpy); numpy is the bit-exact "
+        "reference, torch/cupy keep the fused sweeps device-resident "
+        "and fall back to numpy with a warning when unimportable",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -211,6 +220,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["journal"] = args.journal
     if args.max_retries is not None:
         overrides["max_retries"] = args.max_retries
+    if args.backend is not None:
+        overrides["backend"] = args.backend
 
     from .runtime.parallel import resolve_workers
 
@@ -218,7 +229,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if resolve_workers(args.workers) > 1:
         from .runtime.pool import PersistentPool
 
-        pool = PersistentPool(resolve_workers(args.workers))
+        pool = PersistentPool(resolve_workers(args.workers), backend=args.backend)
     # Warm the adaptive packer from a previous invocation's measured
     # chunk costs; written back below so reruns keep learning.  Cost
     # estimates shape submission order only, never results.

@@ -84,6 +84,11 @@ class ProtocolConfig:
     #: file), and an interrupted protocol rerun skips everything
     #: already committed.
     journal: str | None = None
+    #: Array backend for the stacked training sweeps ("numpy", "torch",
+    #: "cupy"; None = REPRO_BACKEND env, then NumPy).  NumPy is the
+    #: bit-exact reference; device backends are tolerance-grade (see
+    #: docs/backends.md) and fall back to NumPy when unimportable.
+    backend: str | None = None
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -95,6 +100,7 @@ class ProtocolConfig:
             vectorized_runs=self.vectorized_runs,
             stacked_candidates=self.stacked_candidates,
             max_retries=self.max_retries,
+            backend=self.backend,
         )
 
     def with_(self, **overrides) -> "ProtocolConfig":
@@ -241,7 +247,7 @@ def run_protocol(
     if pool is None and resolve_workers(cfg.workers) > 1:
         from ..runtime.pool import PersistentPool
 
-        pool = PersistentPool(resolve_workers(cfg.workers))
+        pool = PersistentPool(resolve_workers(cfg.workers), backend=cfg.backend)
         owns_pool = True
     try:
         for feature_size in cfg.feature_sizes:

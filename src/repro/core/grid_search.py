@@ -100,6 +100,14 @@ class TrainingSettings:
     - ``watchdog_interval_s``: how often the scheduler checks worker
       liveness and deadlines while idle (``None`` = runtime default,
       10s).
+
+    ``backend`` selects the array backend the stacked sweeps execute on
+    (``"numpy"``, ``"torch"``, ``"cupy"``; ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable, then the process default,
+    then NumPy).  Only the NumPy backend is bit-exact; device backends
+    are tolerance-grade (see ``docs/backends.md``).  A requested
+    backend whose library is unimportable falls back to NumPy with a
+    ``backend-fallback`` :class:`~repro.runtime.parallel.SearchEvent`.
     """
 
     epochs: int = 100
@@ -117,6 +125,7 @@ class TrainingSettings:
     chunk_deadline_factor: float = 8.0
     chunk_deadline_floor_s: float = 30.0
     watchdog_interval_s: float | None = None
+    backend: str | None = None
 
 
 @dataclass
@@ -399,6 +408,19 @@ def grid_search(
     settings = settings or TrainingSettings()
     if settings.runs < 1:
         raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
+    # Resolve the array backend once up front: an unknown name raises
+    # here (typo = configuration bug), and an unimportable backend
+    # emits a single structured fallback event — the per-job resolution
+    # in the runtime then falls back silently and consistently.
+    from ..backends import resolve_backend
+
+    _, backend_fallback = resolve_backend(settings.backend)
+    if backend_fallback is not None and on_event is not None:
+        from ..runtime.parallel import SearchEvent
+
+        on_event(
+            SearchEvent(kind="backend-fallback", message=backend_fallback)
+        )
     conv = get_convention(convention)
     ranked = rank_by_flops(specs, conv)
     if max_candidates is not None:

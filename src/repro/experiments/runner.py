@@ -188,7 +188,10 @@ def run_family_cached(
     results, so any may serve another's cache.  Every other config
     override *does* change results, so it is appended to the key —
     ``repro fig8 --runs 3`` will never be served a default-runs cache
-    entry (nor poison it).
+    entry (nor poison it).  ``backend`` is deliberately in the second
+    camp: device backends are tolerance-grade, not bit-identical, so
+    ``backend="torch"`` results live under their own ``_backend-torch``
+    cache files and never serve (or poison) the NumPy reference cache.
     """
     prof = get_profile(profile)
     if cache_dir is None:

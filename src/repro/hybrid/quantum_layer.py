@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import active_backend
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn.layers import Layer
 from ..nn.stacked import StackedLayer, register_group_pivot, register_stacker
@@ -302,16 +303,25 @@ class StackedQuantumLayer(StackedLayer):
     def __init__(self, runs: int, layers: "list[QuantumLayer]") -> None:
         first = layers[0]
         super().__init__(runs, name=f"stacked_{first.name}")
+        # The stacked path is the explicit opt-in point for device
+        # execution: the engine compiles against whatever backend is
+        # active when the stack is built (scalar QuantumLayer always
+        # stays on the bit-exact NumPy path).
+        self._xp = active_backend()
         self.n_qubits = first.n_qubits
         self.n_weights = first.n_weights
-        self.weights = np.stack([lay.weights for lay in layers])
+        self.weights = self._xp.asarray(
+            np.stack([lay.weights for lay in layers])
+        )
         self.params = [self.weights]
-        self.grads = [np.zeros_like(self.weights)]
+        self.grads = [self._xp.zeros_like(self.weights)]
         self._engine: CompiledTape = compiled_tape(
-            first.representative_tape(), first.n_qubits
+            first.representative_tape(), first.n_qubits, backend=self._xp
         )
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not self._xp.is_numpy:
+            x = self._xp.to_numpy(x)
         x = np.asarray(x, dtype=np.float64)
         if (
             x.ndim != 2
@@ -343,7 +353,7 @@ class StackedQuantumLayer(StackedLayer):
 
     def sync_to_layers(self, layers) -> None:
         for r, lay in enumerate(layers):
-            lay.weights[...] = self.weights[r]
+            lay.weights[...] = self._xp.to_numpy(self.weights[r])
 
     def compact(self, keep) -> None:
         """Drop frozen runs' weight rows; the compiled engine adapts to

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import active_backend
 from ..exceptions import ConfigurationError
 
 __all__ = ["Optimizer", "SGD", "Adam", "StackedAdam"]
@@ -121,7 +122,24 @@ class StackedAdam(Adam):
     ``compact`` mirrors the stacks' frozen-row compaction: moment
     buffers gather the surviving rows (bit-identical values), and a
     parameter stack whose rows all froze drops its state entirely.
+
+    The parameter stacks may live on any array backend (the stacked
+    layers put them wherever :func:`repro.backends.active_backend`
+    said at construction); the update routes its elementwise primitives
+    through the same backend so moments stay device-resident.  On the
+    NumPy backend every call is the verbatim pre-backend sequence.
     """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+        backend=None,
+    ) -> None:
+        super().__init__(learning_rate, beta_1, beta_2, epsilon)
+        self._xp = backend if backend is not None else active_backend()
 
     def step(
         self,
@@ -130,17 +148,25 @@ class StackedAdam(Adam):
         active: np.ndarray | None = None,
         row_maps: "list[np.ndarray | None] | None" = None,
     ) -> None:
-        if active is None or bool(np.all(active)):
-            super().step(params, grads)
-            return
+        xp = self._xp
         self._check(params, grads)
         if self._m is None:
-            self._m = [np.zeros_like(p) for p in params]
-            self._v = [np.zeros_like(p) for p in params]
+            self._m = [xp.zeros_like(p) for p in params]
+            self._v = [xp.zeros_like(p) for p in params]
         self._t += 1
         lr_t = self.learning_rate * (
             np.sqrt(1.0 - self.beta_2**self._t) / (1.0 - self.beta_1**self._t)
         )
+        if active is None or bool(np.all(active)):
+            # Unmasked update: same elementwise sequence as Adam.step,
+            # with the array primitives routed through the backend.
+            for p, g, m, v in zip(params, grads, self._m, self._v):
+                m *= self.beta_1
+                m += (1.0 - self.beta_1) * g
+                v *= self.beta_2
+                v += (1.0 - self.beta_2) * xp.square(g)
+                p -= lr_t * m / (xp.sqrt(v) + self.epsilon)
+            return
         idx = np.flatnonzero(active)
         for i, (p, g, m, v) in enumerate(zip(params, grads, self._m, self._v)):
             rows = row_maps[i] if row_maps is not None else None
@@ -154,10 +180,10 @@ class StackedAdam(Adam):
             ms *= self.beta_1
             ms += (1.0 - self.beta_1) * gs
             vs *= self.beta_2
-            vs += (1.0 - self.beta_2) * np.square(gs)
+            vs += (1.0 - self.beta_2) * xp.square(gs)
             m[local] = ms
             v[local] = vs
-            p[local] = p[local] - lr_t * ms / (np.sqrt(vs) + self.epsilon)
+            p[local] = p[local] - lr_t * ms / (xp.sqrt(vs) + self.epsilon)
 
     def compact(self, row_keeps: "list[np.ndarray]") -> None:
         """Gather each parameter's surviving moment rows.

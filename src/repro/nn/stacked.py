@@ -59,6 +59,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backends import active_backend
 from ..exceptions import ShapeError
 from .layers import Dense, Flatten, Layer, ReLU, Sigmoid, Softmax, Tanh
 from .model import Sequential
@@ -124,11 +125,18 @@ class _StackedPassthrough(StackedLayer):
     def __init__(self, runs: int, layer: Layer) -> None:
         super().__init__(runs, name=f"stacked_{layer.name}")
         self._layer = layer
+        self._xp = active_backend()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Scalar layer implementations are NumPy; on a device backend
+        # the activation round-trips through host here.
+        if not self._xp.is_numpy:
+            x = self._xp.to_numpy(x)
         return self._layer.forward(x, training=training)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._xp.is_numpy:
+            grad = self._xp.to_numpy(grad)
         return self._layer.backward(grad)
 
 
@@ -144,16 +152,25 @@ class StackedDense(StackedLayer):
 
     def __init__(self, runs: int, layers: Sequence[Dense]) -> None:
         super().__init__(runs, name=f"stacked_{layers[0].name}")
+        self._xp = active_backend()
         self.in_features = layers[0].in_features
         self.out_features = layers[0].out_features
-        self.weight = np.stack([lay.weight for lay in layers])
-        self.bias = np.stack([lay.bias for lay in layers])
+        # asarray is a no-copy identity on the NumPy backend and a
+        # one-time device upload elsewhere; the stacks then stay
+        # device-resident for the whole training loop.
+        self.weight = self._xp.asarray(
+            np.stack([lay.weight for lay in layers])
+        )
+        self.bias = self._xp.asarray(np.stack([lay.bias for lay in layers]))
         self.params = [self.weight, self.bias]
-        self.grads = [np.zeros_like(self.weight), np.zeros_like(self.bias)]
+        self.grads = [
+            self._xp.zeros_like(self.weight),
+            self._xp.zeros_like(self.bias),
+        ]
         self._cache_x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._xp.as_real(x)
         if (
             x.ndim != 2
             or x.shape[1] != self.in_features
@@ -161,12 +178,14 @@ class StackedDense(StackedLayer):
         ):
             raise ShapeError(
                 f"{self.name} expected (runs*batch, {self.in_features}), "
-                f"got {x.shape} for runs={self.runs}"
+                f"got {tuple(x.shape)} for runs={self.runs}"
             )
         if training:
             self._cache_x = x
         per = x.shape[0] // self.runs
-        out = np.empty((x.shape[0], self.out_features))
+        out = self._xp.empty(
+            (x.shape[0], self.out_features), dtype=self._xp.real_dtype
+        )
         for r in range(self.runs):
             sl = slice(r * per, (r + 1) * per)
             out[sl] = x[sl] @ self.weight[r] + self.bias[r]
@@ -177,9 +196,12 @@ class StackedDense(StackedLayer):
             raise ShapeError(
                 f"{self.name}.backward called without a training forward"
             )
+        grad = self._xp.as_real(grad)
         x = self._cache_x
         per = x.shape[0] // self.runs
-        out = np.empty((x.shape[0], self.in_features))
+        out = self._xp.empty(
+            (x.shape[0], self.in_features), dtype=self._xp.real_dtype
+        )
         for r in range(self.runs):
             sl = slice(r * per, (r + 1) * per)
             self.grads[0][r] += x[sl].T @ grad[sl]
@@ -189,8 +211,8 @@ class StackedDense(StackedLayer):
 
     def sync_to_layers(self, layers: Sequence[Layer]) -> None:
         for r, lay in enumerate(layers):
-            lay.weight[...] = self.weight[r]
-            lay.bias[...] = self.bias[r]
+            lay.weight[...] = self._xp.to_numpy(self.weight[r])
+            lay.bias[...] = self._xp.to_numpy(self.bias[r])
 
     def compact(self, keep: np.ndarray) -> None:
         super().compact(keep)
@@ -407,13 +429,19 @@ class GroupedStack:
         self.members = members
         self.shared = shared
         self.runs = sum(m.size for m in members)
+        self._xp = active_backend()
 
     @property
     def _segmented(self) -> bool:
         return any(m.prefix is not None for m in self.members)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        # Segmentation bookkeeping is host-side: per-candidate blocks are
+        # sliced out of a host array and re-gathered into one.  Device
+        # backends hand each block to the prefix stack (which uploads
+        # it) and download its output; the shared pivot re-binds its
+        # inputs host-side anyway, so no transfer is wasted.
+        x = np.asarray(self._xp.to_numpy(x), dtype=np.float64)
         if x.ndim != 2 or x.shape[0] % self.runs:
             raise ShapeError(
                 f"grouped stack expected (slices*batch, features), got "
@@ -428,7 +456,9 @@ class GroupedStack:
                 rows = member.size * per
                 block = x[offset : offset + rows]
                 if member.prefix is not None:
-                    block = member.prefix.forward(block, training=training)
+                    block = self._xp.to_numpy(
+                        member.prefix.forward(block, training=training)
+                    )
                 if mid is None:
                     mid = np.empty(
                         (x.shape[0], block.shape[1]), dtype=np.float64
@@ -445,6 +475,7 @@ class GroupedStack:
             grad = layer.backward(grad)
         if not self._segmented:
             return grad
+        grad = np.asarray(self._xp.to_numpy(grad), dtype=np.float64)
         per = grad.shape[0] // self.runs
         out: np.ndarray | None = None
         offset = 0
@@ -452,7 +483,7 @@ class GroupedStack:
             rows = member.size * per
             block = grad[offset : offset + rows]
             if member.prefix is not None:
-                block = member.prefix.backward(block)
+                block = self._xp.to_numpy(member.prefix.backward(block))
             if out is None:
                 out = np.empty(
                     (grad.shape[0], block.shape[1]), dtype=np.float64

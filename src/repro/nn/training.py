@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backends import active_backend
 from ..exceptions import ConfigurationError, ShapeError, TrainingCancelled
 from .losses import CrossEntropy, Loss
 from .metrics import accuracy
@@ -209,6 +210,11 @@ def train_stack(
             f"need one rng per run: {total} runs, {len(rngs)} rngs"
         )
 
+    # Losses, accuracies and the epoch bookkeeping below are host-side
+    # NumPy; stack outputs are downloaded once per forward (identity on
+    # the NumPy backend).  The optimizer shares the stack's backend so
+    # the parameter/moment updates stay device-resident.
+    xp = active_backend()
     optimizer = StackedAdam(learning_rate=learning_rate)
     histories = [History() for _ in range(total)]
     # Row maps only change when the stack compacts; cache them instead
@@ -258,7 +264,7 @@ def train_stack(
             np.take(x_train, rows, axis=0, out=xb)
             np.take(y_train, rows, axis=0, out=yb)
             stack.zero_grads()
-            out = stack.forward(xb, training=True)
+            out = xp.to_numpy(stack.forward(xb, training=True))
             # Loss values and gradients per slice: the scalar loss
             # divides by the *slice's* batch, not the fused one.
             grad = np.empty_like(out)
@@ -275,8 +281,8 @@ def train_stack(
                 row_maps=maps,
             )
 
-        train_out = stack.predict(x_train_tiled)
-        val_out = stack.predict(x_val_tiled)
+        train_out = xp.to_numpy(stack.predict(x_train_tiled))
+        val_out = xp.to_numpy(stack.predict(x_val_tiled))
         frozen_now = False
         for r in range(slices):
             if not active[r]:

@@ -91,9 +91,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..backends import REAL_DTYPE, ArrayBackend, get_backend
 from ..exceptions import ConfigurationError, GateError, ShapeError
 from .circuit import GATE_SET, Operation
-from .state import abs2, apply_two_qubit
+from .state import apply_two_qubit
 
 __all__ = [
     "CompiledTape",
@@ -157,11 +158,31 @@ class CompiledTape:
         exactly).
     n_qubits:
         Register width.
+    backend:
+        Optional :class:`~repro.backends.ArrayBackend` the hot kernels
+        execute on (default: the NumPy backend — the bit-exact
+        reference path).  Compilation is always host-side NumPy;
+        execution state (ping-pong buffers, bound gate-matrix stacks)
+        lives on the backend's device, and compile-time constants
+        (fused permutations, sign tables, static matrices) are uploaded
+        lazily once per engine.  See ``docs/backends.md``.
     """
 
-    def __init__(self, ops: Sequence[Operation], n_qubits: int) -> None:
+    def __init__(
+        self,
+        ops: Sequence[Operation],
+        n_qubits: int,
+        backend: "ArrayBackend | None" = None,
+    ) -> None:
         if n_qubits < 1:
             raise ShapeError(f"need at least one qubit, got {n_qubits}")
+        self._xp = backend if backend is not None else get_backend("numpy")
+        #: Device copies of compile-time constants, keyed by id() of the
+        #: host array.  Only arrays owned by the (immutable, shared)
+        #: compiled program are cached here, so keys can never be
+        #: recycled while the engine lives; clones share the cache, so a
+        #: constant uploads once per compilation, not once per layer.
+        self._dev_cache: dict[int, object] = {}
         self.n_qubits = n_qubits
         self.dim = 2**n_qubits
         self._specs = [_OpSpec(op) for op in ops]
@@ -178,7 +199,7 @@ class CompiledTape:
         # matmul against probabilities/amplitudes.
         ks = np.arange(self.dim)
         bits = (ks[None, :] >> (n_qubits - 1 - np.arange(n_qubits)[:, None])) & 1
-        self._z_signs = (1.0 - 2.0 * bits).astype(np.float64)
+        self._z_signs = (1.0 - 2.0 * bits).astype(REAL_DTYPE)
 
         self._static_mats: dict[int, np.ndarray] = {}
         self._dynamic: list[int] = []
@@ -389,6 +410,65 @@ class CompiledTape:
         twin._last = None
         return twin
 
+    # -- backend plumbing --------------------------------------------------
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend this engine's hot kernels execute on."""
+        return self._xp
+
+    def _dev(self, arr):
+        """Device copy of a *compile-time constant* array (cached).
+
+        Identity on the NumPy backend.  Callers must only pass arrays
+        owned by the compiled program (static/fused matrices, sign
+        tables): the cache is keyed by ``id()``, which is only stable
+        for arrays that live as long as the engine.
+        """
+        if self._xp.is_numpy:
+            return arr
+        key = id(arr)
+        dev = self._dev_cache.get(key)
+        if dev is None:
+            dev = self._dev_cache[key] = self._xp.asarray(arr)
+        return dev
+
+    def _dev_idx(self, arr):
+        """Like :meth:`_dev` but for integer index tables (permutations,
+        sign-flip index sets)."""
+        if self._xp.is_numpy:
+            return arr
+        key = id(arr)
+        dev = self._dev_cache.get(key)
+        if dev is None:
+            dev = self._dev_cache[key] = self._xp.index_const(arr)
+        return dev
+
+    def _upload_mats(self, mats: dict) -> dict:
+        """Move freshly bound single-qubit matrix stacks on-device.
+
+        No-op on the NumPy backend.  Two-qubit (``k == 4``) matrices
+        stay host-side: the general two-qubit kernel round-trips through
+        the reference NumPy implementation (see :meth:`_apply_2q`), so
+        uploading them would only add transfers.
+        """
+        if self._xp.is_numpy:
+            return mats
+        out = {}
+        for g, entry in mats.items():
+            if isinstance(entry, tuple):
+                out[g] = tuple(
+                    self._xp.asarray(m) if m.shape[-1] == 2 else m
+                    for m in entry
+                )
+            else:
+                out[g] = (
+                    self._xp.asarray(entry)
+                    if entry.shape[-1] == 2
+                    else entry
+                )
+        return out
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -572,7 +652,7 @@ class CompiledTape:
                             a[i] = v
                         args.append(a.reshape(-1))
                 else:
-                    args = [np.array(col, dtype=np.float64) for col in cols]
+                    args = [np.array(col, dtype=REAL_DTYPE) for col in cols]
                 result = fn(*args)
                 if not isinstance(result, tuple):
                     result = (result,)
@@ -601,7 +681,12 @@ class CompiledTape:
         entry = mats.get(g)
         if entry is not None:
             return entry[0]
-        return self._static_mats[g]
+        mat = self._static_mats[g]
+        # Single-qubit static matrices feed the device kernels; the
+        # general two-qubit kernel stays host-side (see _apply_2q).
+        if mat.shape[-1] == 2:
+            return self._dev(mat)
+        return mat
 
     # -- buffers -----------------------------------------------------------
 
@@ -618,7 +703,7 @@ class CompiledTape:
         bufs = pool.get(kind)
         if bufs is None:
             bufs = [
-                np.empty((batch, self.dim), dtype=np.complex128)
+                self._xp.empty((batch, self.dim), dtype=self._xp.complex_dtype)
                 for _ in range(count)
             ]
             pool[kind] = bufs
@@ -631,7 +716,7 @@ class CompiledTape:
         if mat.ndim == 2:
             s = src.reshape(batch, left, 2, right)
             d = dst.reshape(batch, left, 2, right)
-            np.einsum("ij,bljr->blir", mat, s, out=d)
+            self._xp.einsum("ij,bljr->blir", mat, s, out=d)
         elif mat.ndim == 4:
             # Run-stacked (R, 1, 2, 2)-tagged matrices over a run-major
             # (R*B, dim) buffer: one matrix per run, shared by that
@@ -644,12 +729,12 @@ class CompiledTape:
             # vectorized_runs searches depend on this.
             s = src.reshape(runs, -1, 2, right)
             d = dst.reshape(runs, -1, 2, right)
-            np.einsum("rij,rmjs->rmis", mat[:, 0], s, out=d)
+            self._xp.einsum("rij,rmjs->rmis", mat[:, 0], s, out=d)
         elif right == 1:
             # Batched matrices contracting the trailing axis: einsum's
             # slow path; broadcast matmul is ~2x faster (see the kernel
             # note at the top of this module).
-            np.matmul(
+            self._xp.matmul(
                 mat[:, None],
                 src.reshape(batch, left, 2, 1),
                 out=dst.reshape(batch, left, 2, 1),
@@ -657,25 +742,38 @@ class CompiledTape:
         else:
             s = src.reshape(batch, left, 2, right)
             d = dst.reshape(batch, left, 2, right)
-            np.einsum("bij,bljr->blir", mat, s, out=d)
+            self._xp.einsum("bij,bljr->blir", mat, s, out=d)
 
     def _apply_1q_inv(self, mat, wire, src, dst, batch, runs=None) -> None:
         if mat.ndim == 2:
             left, right = self._lr[wire]
             s = src.reshape(batch, left, 2, right)
             d = dst.reshape(batch, left, 2, right)
-            np.einsum("ji,bljr->blir", mat.conj(), s, out=d)
+            self._xp.einsum("ji,bljr->blir", mat.conj(), s, out=d)
         else:
             # Daggered batched matrices reuse the forward kernel (and its
             # trailing-axis matmul and run-stacked specializations).
             self._apply_1q(
-                np.conj(np.swapaxes(mat, -1, -2)), wire, src, dst, batch, runs
+                self._xp.conj_transpose(mat), wire, src, dst, batch, runs
             )
 
     def _apply_2q(self, mat, wire_a, wire_b, src, dst, batch) -> None:
-        tensor = src.reshape((batch,) + (2,) * self.n_qubits)
-        out = apply_two_qubit(tensor, mat, wire_a, wire_b)
-        dst[:] = out.reshape(batch, self.dim)
+        # The general two-qubit gate keeps the reference NumPy kernel;
+        # device backends round-trip through host here (non-diagonal,
+        # non-permutation two-qubit gates are rare in the paper's
+        # circuits, so the transfer is off the hot path).
+        if self._xp.is_numpy:
+            tensor = src.reshape((batch,) + (2,) * self.n_qubits)
+            out = apply_two_qubit(tensor, mat, wire_a, wire_b)
+            dst[:] = out.reshape(batch, self.dim)
+            return
+        host = self._xp.to_numpy(src).reshape((batch,) + (2,) * self.n_qubits)
+        hmat = np.asarray(self._xp.to_numpy(mat))
+        out = apply_two_qubit(host, hmat, wire_a, wire_b)
+        dst[...] = self._xp.asarray(
+            np.ascontiguousarray(out.reshape(batch, self.dim)),
+            dtype=self._xp.complex_dtype,
+        )
 
     def _combined(self, members, mats, runs=None) -> np.ndarray:
         mat = self._mat_of(members[0], mats)
@@ -692,14 +790,18 @@ class CompiledTape:
         a per-run stack with a per-sample ``(R*B, k, k)`` stack views
         the per-sample one as ``(R, B, k, k)`` so the run axis
         broadcasts, then flattens back — the product is per-sample.
+
+        Uses the ``@`` operator so the same code works for ndarrays
+        (where it *is* ``np.matmul``, bit-identically) and device
+        tensors.
         """
         if a.ndim == 4 and b.ndim == 3:
             wide = b.reshape(runs, -1, *b.shape[1:])
-            return np.matmul(a, wide).reshape(b.shape)
+            return (a @ wide).reshape(b.shape)
         if a.ndim == 3 and b.ndim == 4:
             wide = a.reshape(runs, -1, *a.shape[1:])
-            return np.matmul(wide, b).reshape(a.shape)
-        return np.matmul(a, b)
+            return (wide @ b).reshape(a.shape)
+        return a @ b
 
     # -- execution ---------------------------------------------------------
 
@@ -732,7 +834,10 @@ class CompiledTape:
         see the module docstring.
         """
         if inputs is not None:
-            inputs = np.asarray(inputs, dtype=np.float64)
+            # Parameter binding and gate-matrix construction are always
+            # host-side (tiny arrays, branchy code); download any device
+            # inputs/weights first.  Identity on the NumPy backend.
+            inputs = np.asarray(self._xp.to_numpy(inputs), dtype=np.float64)
             if inputs.ndim != 2:
                 raise ShapeError(
                     f"inputs must be (batch, n_features), got {inputs.shape}"
@@ -743,7 +848,7 @@ class CompiledTape:
                     f"have {inputs.shape[1]} features"
                 )
         if weights is not None:
-            weights = np.asarray(weights, dtype=np.float64)
+            weights = np.asarray(self._xp.to_numpy(weights), dtype=np.float64)
             if weights.ndim == 2 and runs is not None:
                 if weights.shape[0] != runs:
                     raise ShapeError(
@@ -780,27 +885,31 @@ class CompiledTape:
         values, run_ops = self._resolve_values(
             inputs, weights, batch, shifts, runs
         )
-        mats = self._grouped_matrices(
-            self._dyn_groups, values, batch, run_ops=run_ops
+        mats = self._upload_mats(
+            self._grouped_matrices(
+                self._dyn_groups, values, batch, run_ops=run_ops
+            )
         )
 
         buf, scratch = self._buffers(batch, "fwd", 2)
-        buf.fill(0.0)
+        self._xp.fill(buf, 0.0)
         buf[:, 0] = 1.0
         for instr in self._program:
             kind = instr[0]
             if kind == _F1Q:
-                self._apply_1q(instr[2], instr[1], buf, scratch, batch)
+                self._apply_1q(
+                    self._dev(instr[2]), instr[1], buf, scratch, batch
+                )
                 buf, scratch = scratch, buf
             elif kind == _F1Q_DYN:
                 mat = self._combined(instr[2], mats, runs)
                 self._apply_1q(mat, instr[1], buf, scratch, batch, runs)
                 buf, scratch = scratch, buf
             elif kind == _FPERM:
-                np.take(buf, instr[1], axis=1, out=scratch)
+                self._xp.take(buf, self._dev_idx(instr[1]), scratch)
                 buf, scratch = scratch, buf
             elif kind == _FNEG:
-                buf[:, instr[1]] *= -1.0
+                buf[:, self._dev_idx(instr[1])] *= -1.0
             elif kind == _F2Q:
                 self._apply_2q(instr[3], instr[1], instr[2], buf, scratch, batch)
                 buf, scratch = scratch, buf
@@ -837,9 +946,12 @@ class CompiledTape:
     ) -> np.ndarray:
         """Like :meth:`execute` but returns an owned ``(B, 2, ..., 2)`` copy
 
-        (the same layout as :func:`repro.quantum.circuit.run`).
+        (the same layout as :func:`repro.quantum.circuit.run`).  Always
+        a host ndarray, whatever the backend.
         """
-        state = self.execute(inputs=inputs, weights=weights, batch=batch)
+        state = self._xp.to_numpy(
+            self.execute(inputs=inputs, weights=weights, batch=batch)
+        )
         b = state.shape[0]
         return state.reshape((b,) + (2,) * self.n_qubits).copy()
 
@@ -862,6 +974,7 @@ class CompiledTape:
                 raise ShapeError("no state given and no recorded execution")
             state = self._last["final"]
         signs = self._z_signs
+        n_signs = signs.shape[0]
         if wires is not None:
             wires = list(wires)
             for w in wires:
@@ -870,18 +983,27 @@ class CompiledTape:
                         f"wire {w} out of range for {self.n_qubits} qubits"
                     )
             signs = signs[wires]
-        probs = abs2(state)
+            n_signs = len(wires)
+        if not self._xp.is_numpy:
+            state = self._xp.asarray(state, dtype=self._xp.complex_dtype)
+            signs = (
+                self._dev(signs) if wires is None
+                else self._xp.asarray(signs)
+            )
+        probs = self._xp.abs2(state)
         if runs is None or runs == 1:
             return probs @ signs.T
         if probs.shape[0] % runs != 0:
             raise ShapeError(
                 f"batch {probs.shape[0]} is not a multiple of runs {runs}"
             )
-        out = np.empty((probs.shape[0], signs.shape[0]))
+        out = self._xp.empty(
+            (probs.shape[0], n_signs), dtype=self._xp.real_dtype
+        )
         per = probs.shape[0] // runs
         for r in range(runs):
             sl = slice(r * per, (r + 1) * per)
-            np.matmul(probs[sl], signs.T, out=out[sl])
+            self._xp.matmul(probs[sl], signs.T, out=out[sl])
         return out
 
     # -- compiled adjoint --------------------------------------------------
@@ -917,21 +1039,21 @@ class CompiledTape:
             per = batch // runs
             k = ket.reshape(runs, per, left, 2, right)
             b = bra.reshape(runs, per, left, 2, right)
-            dk = np.einsum("prij,rbljs->prblis", dmats[:, :, 0], k)
+            dk = self._xp.einsum("prij,rbljs->prblis", dmats[:, :, 0], k)
             out = 2.0 * (
-                np.einsum("rblis,prblis->prb", b.real, dk.real)
-                + np.einsum("rblis,prblis->prb", b.imag, dk.imag)
+                self._xp.einsum("rblis,prblis->prb", b.real, dk.real)
+                + self._xp.einsum("rblis,prblis->prb", b.imag, dk.imag)
             )
             return out.reshape(dmats.shape[0], batch)
         k = ket.reshape(batch, left, 2, right)
         b = bra.reshape(batch, left, 2, right)
         if dmats.ndim == 3:
-            dk = np.einsum("pij,bljr->pblir", dmats, k)
+            dk = self._xp.einsum("pij,bljr->pblir", dmats, k)
         else:
-            dk = np.einsum("pbij,bljr->pblir", dmats, k)
+            dk = self._xp.einsum("pbij,bljr->pblir", dmats, k)
         return 2.0 * (
-            np.einsum("blir,pblir->pb", b.real, dk.real)
-            + np.einsum("blir,pblir->pb", b.imag, dk.imag)
+            self._xp.einsum("blir,pblir->pb", b.real, dk.real)
+            + self._xp.einsum("blir,pblir->pb", b.imag, dk.imag)
         )
 
     def _apply_adj_step(self, step, mats, src, dst, batch, runs=None):
@@ -941,12 +1063,13 @@ class CompiledTape:
             self._apply_1q_inv(mats, step[1], src, dst, batch, runs)
             return dst, src
         if kind == "perm":
-            np.take(src, step[2], axis=1, out=dst)
+            self._xp.take(src, self._dev_idx(step[2]), dst)
             return dst, src
         if kind == "neg":
-            src[:, step[1]] *= -1.0
+            src[:, self._dev_idx(step[1])] *= -1.0
             return src, dst
-        # kind == "m2"
+        # kind == "m2" — two-qubit matrices stay host-side (see
+        # _apply_2q), so the dagger is plain NumPy.
         inv = np.conj(np.swapaxes(mats, -1, -2))
         self._apply_2q(inv, step[1], step[2], src, dst, batch)
         return dst, src
@@ -982,14 +1105,20 @@ class CompiledTape:
         ket, kscr = last["final"], last["scratch"]
         bra, bscr = self._buffers(batch, "adj", 2)
 
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = self._xp.as_real(grad_out)
         signs = self._z_signs
         if measure_wires is not None:
             signs = signs[list(measure_wires)]
-        if grad_out.shape != (batch, signs.shape[0]):
+        if tuple(grad_out.shape) != (batch, signs.shape[0]):
             raise ShapeError(
                 f"grad_out must be ({batch}, {signs.shape[0]}), "
-                f"got {grad_out.shape}"
+                f"got {tuple(grad_out.shape)}"
+            )
+        n_z = signs.shape[1]
+        if not self._xp.is_numpy:
+            signs = (
+                self._dev(signs) if measure_wires is None
+                else self._xp.asarray(signs)
             )
         # Seed |bra_b> = (sum_k g_bk Z_k)|psi_b>: the Z combination is a
         # diagonal, so it is one matmul against the sign table followed by
@@ -999,12 +1128,12 @@ class CompiledTape:
         if runs is None or runs == 1:
             seed = grad_out @ signs
         else:
-            seed = np.empty((batch, signs.shape[1]))
+            seed = self._xp.empty((batch, n_z), dtype=self._xp.real_dtype)
             per = batch // runs
             for r in range(runs):
                 sl = slice(r * per, (r + 1) * per)
-                np.matmul(grad_out[sl], signs, out=seed[sl])
-        np.multiply(seed, ket, out=bra)
+                self._xp.matmul(grad_out[sl], signs, out=seed[sl])
+        self._xp.multiply(seed, ket, bra)
 
         derivs = self._grouped_matrices(
             self._train_groups,
@@ -1013,11 +1142,21 @@ class CompiledTape:
             deriv=True,
             run_ops=last["run_ops"],
         )
-        input_grads = np.zeros((batch, n_inputs), dtype=np.float64)
+        if not self._xp.is_numpy:
+            # Derivative stacks are single-qubit only (2x2 trailing
+            # axes); upload them once for the whole reversed sweep.
+            derivs = {g: self._xp.asarray(d) for g, d in derivs.items()}
+        input_grads = self._xp.zeros(
+            (batch, n_inputs), dtype=self._xp.real_dtype
+        )
         if runs is not None:
-            weight_grads = np.zeros((runs, n_weights), dtype=np.float64)
+            weight_grads = self._xp.zeros(
+                (runs, n_weights), dtype=self._xp.real_dtype
+            )
         else:
-            weight_grads = np.zeros(n_weights, dtype=np.float64)
+            weight_grads = self._xp.zeros(
+                n_weights, dtype=self._xp.real_dtype
+            )
 
         for g in range(len(self._specs) - 1, -1, -1):
             spec = self._specs[g]
@@ -1160,18 +1299,27 @@ def compile_cache_info() -> dict[str, int | bool]:
     }
 
 
-def compiled_tape(ops: Sequence[Operation], n_qubits: int) -> CompiledTape:
+def compiled_tape(
+    ops: Sequence[Operation],
+    n_qubits: int,
+    backend: "ArrayBackend | None" = None,
+) -> CompiledTape:
     """Compile a tape, consulting the process-wide cache when enabled.
 
-    With the cache disabled this is exactly ``CompiledTape(ops, n_qubits)``.
-    With it enabled, structurally identical tapes share one compilation
-    and each call receives its own :meth:`~CompiledTape.clone`; see the
-    cache contract above for what callers must rebind.
+    With the cache disabled this is exactly ``CompiledTape(ops, n_qubits,
+    backend=backend)``.  With it enabled, structurally identical tapes
+    share one compilation and each call receives its own
+    :meth:`~CompiledTape.clone`; see the cache contract above for what
+    callers must rebind.  The cache key includes the backend name, so a
+    torch-backed layer never receives a numpy-backed engine (or vice
+    versa); ``backend=None`` means the NumPy backend — device execution
+    is an explicit opt-in per compilation.
     """
     global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
+    xp = backend if backend is not None else get_backend("numpy")
     if _COMPILE_CACHE is None:
-        return CompiledTape(ops, n_qubits)
-    key = _structure_key(ops, n_qubits)
+        return CompiledTape(ops, n_qubits, backend=xp)
+    key = (xp.name,) + _structure_key(ops, n_qubits)
     engine = _COMPILE_CACHE.get(key)
     if engine is not None:
         _CACHE_HITS += 1
@@ -1179,7 +1327,7 @@ def compiled_tape(ops: Sequence[Operation], n_qubits: int) -> CompiledTape:
         _COMPILE_CACHE[key] = _COMPILE_CACHE.pop(key)
         return engine.clone()
     _CACHE_MISSES += 1
-    engine = CompiledTape(ops, n_qubits)
+    engine = CompiledTape(ops, n_qubits, backend=xp)
     _COMPILE_CACHE[key] = engine
     while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
         del _COMPILE_CACHE[next(iter(_COMPILE_CACHE))]

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..backends import resolve_backend, use_backend
 from ..nn.optimizers import Adam
 from ..nn.stacked import stack_candidates
 from ..nn.training import VectorizedTrainer, train_model, train_stack
@@ -87,6 +88,20 @@ class RunResult:
     epochs_run: int
     wall_time_s: float
     history: "History | None" = None
+
+
+def _settings_backend(settings: "TrainingSettings"):
+    """The ``use_backend`` scope for one job's settings.
+
+    Resolves ``settings.backend`` (explicit > ``REPRO_BACKEND`` env >
+    process default > numpy) with the standard fallback-to-numpy when
+    the requested backend is unimportable; the structured fallback
+    event is emitted once by the grid search, not per job.  Scoping the
+    active backend around each stacked sweep is what lets pooled
+    workers and the sequential path share one selection mechanism.
+    """
+    backend, _ = resolve_backend(getattr(settings, "backend", None))
+    return use_backend(backend)
 
 
 def execute_job(
@@ -161,6 +176,10 @@ def execute_runs(
     scalar :func:`execute_job` calls.  Both paths produce bit-identical
     :class:`RunResult` metrics; only ``wall_time_s`` differs (stacked
     runs share the lockstep clock).
+
+    The stacked sweep runs on the backend resolved from
+    ``settings.backend`` (scalar fallbacks always use NumPy — the
+    scalar layers are NumPy code).
     """
     runs = list(runs)
 
@@ -177,54 +196,57 @@ def execute_runs(
 
     if not vectorized or len(runs) < 2:
         return scalar()
-    # Build each run's model from its own (seed, candidate, run) stream;
-    # the streams then continue into minibatch shuffling, exactly as in
-    # execute_job.  Build errors surface at the lowest run first, like
-    # the scalar loop's.
-    rngs = [
-        np.random.default_rng((seed, candidate_index, run)) for run in runs
-    ]
-    models = [spec.build(rng=rng) for rng in rngs]
-    trainer = VectorizedTrainer(
-        models, learning_rate=settings.learning_rate
-    )
-    if not trainer.available:
-        # Unstackable models: train the ones just built (their rngs are
-        # already past initialization, exactly where execute_job's would
-        # be) instead of rebuilding each from scratch.
-        return [
-            _to_result(
-                candidate_index,
-                run,
-                train_model(
-                    model,
-                    split.x_train,
-                    split.y_train,
-                    split.x_val,
-                    split.y_val,
-                    epochs=settings.epochs,
-                    batch_size=settings.batch_size,
-                    optimizer=Adam(learning_rate=settings.learning_rate),
-                    rng=rng,
-                    early_stop_threshold=settings.early_stop_threshold,
-                    cancel_check=cancel_check,
-                ),
-                settings,
-            )
-            for run, model, rng in zip(runs, models, rngs)
+    with _settings_backend(settings):
+        # Build each run's model from its own (seed, candidate, run)
+        # stream; the streams then continue into minibatch shuffling,
+        # exactly as in execute_job.  Build errors surface at the lowest
+        # run first, like the scalar loop's.
+        rngs = [
+            np.random.default_rng((seed, candidate_index, run))
+            for run in runs
         ]
-    histories = trainer.train(
-        split.x_train,
-        split.y_train,
-        split.x_val,
-        split.y_val,
-        epochs=settings.epochs,
-        batch_size=settings.batch_size,
-        rngs=rngs,
-        early_stop_threshold=settings.early_stop_threshold,
-        cancel_check=cancel_check,
-        compact=getattr(settings, "compact_frozen", True),
-    )
+        models = [spec.build(rng=rng) for rng in rngs]
+        trainer = VectorizedTrainer(
+            models, learning_rate=settings.learning_rate
+        )
+        if not trainer.available:
+            # Unstackable models: train the ones just built (their rngs
+            # are already past initialization, exactly where
+            # execute_job's would be) instead of rebuilding each from
+            # scratch.
+            return [
+                _to_result(
+                    candidate_index,
+                    run,
+                    train_model(
+                        model,
+                        split.x_train,
+                        split.y_train,
+                        split.x_val,
+                        split.y_val,
+                        epochs=settings.epochs,
+                        batch_size=settings.batch_size,
+                        optimizer=Adam(learning_rate=settings.learning_rate),
+                        rng=rng,
+                        early_stop_threshold=settings.early_stop_threshold,
+                        cancel_check=cancel_check,
+                    ),
+                    settings,
+                )
+                for run, model, rng in zip(runs, models, rngs)
+            ]
+        histories = trainer.train(
+            split.x_train,
+            split.y_train,
+            split.x_val,
+            split.y_val,
+            epochs=settings.epochs,
+            batch_size=settings.batch_size,
+            rngs=rngs,
+            early_stop_threshold=settings.early_stop_threshold,
+            cancel_check=cancel_check,
+            compact=getattr(settings, "compact_frozen", True),
+        )
     return [
         _to_result(candidate_index, run, history, settings)
         for run, history in zip(runs, histories)
@@ -261,35 +283,36 @@ def execute_candidates(
     ]
     if len(slices) < 2:
         return None
-    rngs = [
-        np.random.default_rng((seed, candidate_index, run))
-        for _, candidate_index, run in slices
-    ]
-    models = [
-        spec.build(rng=rng) for (spec, _, _), rng in zip(slices, rngs)
-    ]
-    model_groups = []
-    offset = 0
-    for _, _, runs in group:
-        model_groups.append(models[offset : offset + len(runs)])
-        offset += len(runs)
-    stack = stack_candidates(model_groups)
-    if stack is None:
-        return None
-    histories = train_stack(
-        stack,
-        split.x_train,
-        split.y_train,
-        split.x_val,
-        split.y_val,
-        epochs=settings.epochs,
-        batch_size=settings.batch_size,
-        learning_rate=settings.learning_rate,
-        rngs=rngs,
-        early_stop_threshold=settings.early_stop_threshold,
-        cancel_check=cancel_check,
-        compact=getattr(settings, "compact_frozen", True),
-    )
+    with _settings_backend(settings):
+        rngs = [
+            np.random.default_rng((seed, candidate_index, run))
+            for _, candidate_index, run in slices
+        ]
+        models = [
+            spec.build(rng=rng) for (spec, _, _), rng in zip(slices, rngs)
+        ]
+        model_groups = []
+        offset = 0
+        for _, _, runs in group:
+            model_groups.append(models[offset : offset + len(runs)])
+            offset += len(runs)
+        stack = stack_candidates(model_groups)
+        if stack is None:
+            return None
+        histories = train_stack(
+            stack,
+            split.x_train,
+            split.y_train,
+            split.x_val,
+            split.y_val,
+            epochs=settings.epochs,
+            batch_size=settings.batch_size,
+            learning_rate=settings.learning_rate,
+            rngs=rngs,
+            early_stop_threshold=settings.early_stop_threshold,
+            cancel_check=cancel_check,
+            compact=getattr(settings, "compact_frozen", True),
+        )
     return [
         _to_result(candidate_index, run, history, settings)
         for (_, candidate_index, run), history in zip(slices, histories)

@@ -132,7 +132,9 @@ class SearchEvent:
     """A structured supervision event, delivered to ``on_event``.
 
     ``kind`` is one of ``"worker-lost"``, ``"retry"``,
-    ``"chunk-overdue"``, ``"chunk-timeout"``, ``"sequential-fallback"``.
+    ``"chunk-overdue"``, ``"chunk-timeout"``, ``"sequential-fallback"``,
+    ``"backend-fallback"`` (a requested array backend was unimportable
+    and the search fell back to NumPy; emitted once per search).
     ``candidates`` lists the affected candidate indices (rank order);
     ``attempts`` is the highest submission count among the affected
     chunks at the time of the event.  ``str(event)`` is the human

@@ -1,0 +1,113 @@
+"""A minimal NumPy-backed substitute for the ``torch`` module.
+
+PyTorch is an optional dependency this environment may not ship, yet
+the :class:`repro.backends.torch_backend.TorchBackend` adapter code —
+tensor round-trips, ``out=``-less einsum, ``index_select`` gathers,
+``copy_``/``fill_`` in-place ops — must stay covered everywhere.  This
+stub implements exactly the slice of torch's API the adapter touches,
+with ``Tensor`` as an ``np.ndarray`` subclass so every arithmetic
+operator and view the engine applies to device buffers just works.
+
+Installed into ``sys.modules["torch"]`` by the ``torch_stub`` fixture
+(see ``conftest.py``); real-torch coverage lives in
+``test_torch_differential.py`` behind ``pytest.importorskip`` and runs
+in the optional CI job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+complex128 = np.complex128
+float64 = np.float64
+int64 = np.int64
+
+#: Lets tests distinguish this stub from a real torch install.
+__repro_torch_stub__ = True
+
+
+class Tensor(np.ndarray):
+    """An ndarray with the tensor methods the backend adapter calls."""
+
+    def detach(self) -> "Tensor":
+        return self
+
+    def cpu(self) -> "Tensor":
+        return self
+
+    def numpy(self) -> np.ndarray:
+        return self.view(np.ndarray)
+
+    def contiguous(self) -> "Tensor":
+        return np.ascontiguousarray(self).view(Tensor)
+
+    def copy_(self, other) -> "Tensor":
+        self[...] = other
+        return self
+
+    def fill_(self, value) -> "Tensor":
+        np.ndarray.fill(self, value)
+        return self
+
+    def to(self, dtype=None, device=None) -> "Tensor":
+        if dtype is None or self.dtype == dtype:
+            return self
+        return np.asarray(self, dtype=dtype).view(Tensor)
+
+
+class device:  # noqa: N801 - torch spells it lowercase
+    def __init__(self, name: str) -> None:
+        self.type = str(name).split(":")[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"device(type={self.type!r})"
+
+
+class cuda:  # noqa: N801 - torch spells it lowercase
+    @staticmethod
+    def is_available() -> bool:
+        return False
+
+    @staticmethod
+    def synchronize() -> None:  # pragma: no cover - cpu-only stub
+        pass
+
+
+def as_tensor(data, dtype=None, device=None) -> Tensor:
+    return np.asarray(data, dtype=dtype).view(Tensor)
+
+
+def empty(shape, dtype=None, device=None) -> Tensor:
+    return np.empty(shape, dtype=dtype).view(Tensor)
+
+
+def zeros(shape, dtype=None, device=None) -> Tensor:
+    return np.zeros(shape, dtype=dtype).view(Tensor)
+
+
+def zeros_like(a) -> Tensor:
+    return np.zeros_like(a).view(Tensor)
+
+
+def einsum(spec, *operands) -> Tensor:
+    return np.einsum(spec, *operands).view(Tensor)
+
+
+def matmul(a, b) -> Tensor:
+    return np.matmul(a, b).view(Tensor)
+
+
+def index_select(a, dim, indices, out=None):
+    result = np.take(a, np.asarray(indices), axis=dim)
+    if out is None:
+        return result.view(Tensor)
+    out[...] = result
+    return out
+
+
+def sqrt(a) -> Tensor:
+    return np.sqrt(a).view(Tensor)
+
+
+def square(a) -> Tensor:
+    return np.square(a).view(Tensor)

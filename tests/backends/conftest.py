@@ -1,0 +1,29 @@
+"""Fixtures for the backend suite: the installable torch stub."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.backends import _clear_backend_cache
+
+
+@pytest.fixture
+def torch_stub(monkeypatch):
+    """Install the NumPy-backed torch substitute for one test.
+
+    Clears the backend instance cache on both sides so a
+    ``TorchBackend`` built over the stub never leaks into (or out of)
+    the test, and ``sys.modules["torch"]`` is restored afterwards.
+    """
+    path = pathlib.Path(__file__).with_name("_torchstub.py")
+    spec = importlib.util.spec_from_file_location("_repro_torch_stub", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    _clear_backend_cache()
+    monkeypatch.setitem(sys.modules, "torch", module)
+    yield module
+    _clear_backend_cache()

@@ -1,0 +1,194 @@
+"""The array-backend protocol: registry, NumPy semantics, scoping."""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    COMPLEX_DTYPE,
+    REAL_DTYPE,
+    NumpyBackend,
+    _clear_backend_cache,
+    active_backend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.exceptions import BackendUnavailable, ConfigurationError
+
+torch_missing = importlib.util.find_spec("torch") is None
+
+
+@pytest.fixture(autouse=True)
+def _isolate_backend_state(monkeypatch):
+    """Every test starts from the no-configuration default."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ("numpy", "torch", "cupy")
+
+    def test_numpy_backend_is_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown array backend"):
+            get_backend("jax")
+
+    @pytest.mark.skipif(not torch_missing, reason="torch is installed here")
+    def test_missing_library_raises_backend_unavailable(self):
+        _clear_backend_cache()
+        with pytest.raises(BackendUnavailable, match="torch"):
+            get_backend("torch")
+        # BackendUnavailable is a ConfigurationError subtype, so callers
+        # with a single except clause keep working.
+        assert issubclass(BackendUnavailable, ConfigurationError)
+
+
+class TestNumpyBackendSemantics:
+    """The default backend must be the historical NumPy calls verbatim."""
+
+    xp = NumpyBackend()
+
+    def test_identity_and_dtypes(self):
+        assert self.xp.name == "numpy"
+        assert self.xp.is_numpy
+        assert self.xp.complex_dtype == COMPLEX_DTYPE == np.complex128
+        assert self.xp.real_dtype == REAL_DTYPE == np.float64
+
+    def test_allocation_defaults_to_real_dtype(self):
+        assert self.xp.empty((2, 3)).dtype == np.float64
+        assert self.xp.zeros((2, 3)).dtype == np.float64
+        buf = self.xp.empty((2, 2), dtype=self.xp.complex_dtype)
+        assert buf.dtype == np.complex128
+
+    def test_to_numpy_is_identity_for_ndarrays(self):
+        a = np.arange(4.0)
+        assert self.xp.to_numpy(a) is a
+
+    def test_as_real_casts(self):
+        out = self.xp.as_real([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_take_is_axis1_gather(self):
+        a = np.arange(12.0).reshape(3, 4)
+        idx = np.array([3, 0, 2])
+        out = np.empty((3, 3))
+        self.xp.take(a, idx, out)
+        np.testing.assert_array_equal(out, a[:, idx])
+
+    def test_einsum_and_matmul_out(self):
+        a = np.random.default_rng(0).standard_normal((4, 4))
+        out = np.empty((4, 4))
+        self.xp.matmul(a, a, out=out)
+        np.testing.assert_array_equal(out, a @ a)
+        out2 = np.empty((4, 4))
+        self.xp.einsum("ij,jk->ik", a, a, out=out2)
+        np.testing.assert_allclose(out2, a @ a)
+
+    def test_multiply_fill_and_index_const(self):
+        a = np.full((2, 2), 3.0)
+        out = np.empty((2, 2))
+        self.xp.multiply(a, a, out)
+        np.testing.assert_array_equal(out, a * a)
+        self.xp.fill(out, 0.0)
+        assert not out.any()
+        idx = np.array([1, 0])
+        assert self.xp.index_const(idx) is idx
+
+    def test_conj_transpose_and_abs2(self):
+        m = np.array([[1 + 2j, 3j], [4.0, 5 - 1j]])
+        np.testing.assert_array_equal(
+            self.xp.conj_transpose(m), np.conj(m.T)
+        )
+        z = np.array([3 + 4j, 1 - 1j])
+        # the contract is the exact expression, not |z|**2's rounding
+        np.testing.assert_array_equal(
+            self.xp.abs2(z), z.real**2 + z.imag**2
+        )
+
+    def test_synchronize_is_a_noop(self):
+        self.xp.synchronize()
+
+
+class TestScoping:
+    def test_active_defaults_to_numpy(self):
+        assert active_backend().is_numpy
+
+    def test_use_backend_scopes_and_nests(self):
+        outer = NumpyBackend()
+        inner = NumpyBackend()
+        with use_backend(outer):
+            assert active_backend() is outer
+            with use_backend(inner):
+                assert active_backend() is inner
+            assert active_backend() is outer
+        assert active_backend() is get_backend("numpy")
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend(NumpyBackend()):
+                raise RuntimeError("boom")
+        assert active_backend() is get_backend("numpy")
+
+    def test_set_default_backend(self):
+        marker = NumpyBackend()
+        set_default_backend(marker)
+        assert active_backend() is marker
+        set_default_backend(None)
+        assert active_backend() is get_backend("numpy")
+
+
+class TestResolveBackend:
+    def test_no_request_resolves_to_numpy(self):
+        backend, fallback = resolve_backend(None)
+        assert backend.is_numpy
+        assert fallback is None
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch")
+        backend, fallback = resolve_backend("numpy")
+        assert backend.is_numpy
+        assert fallback is None
+
+    def test_env_var_is_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        backend, fallback = resolve_backend(None)
+        assert backend.is_numpy
+        assert fallback is None
+
+    def test_default_backend_is_consulted(self):
+        marker = NumpyBackend()
+        set_default_backend(marker)
+        backend, fallback = resolve_backend(None)
+        assert backend is marker
+        assert fallback is None
+
+    @pytest.mark.skipif(not torch_missing, reason="torch is installed here")
+    def test_unimportable_backend_falls_back_with_reason(self):
+        _clear_backend_cache()
+        backend, fallback = resolve_backend("torch")
+        assert backend.is_numpy
+        assert "torch" in fallback and "falling back to numpy" in fallback
+
+    @pytest.mark.skipif(not torch_missing, reason="torch is installed here")
+    def test_unimportable_env_backend_falls_back(self, monkeypatch):
+        _clear_backend_cache()
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch")
+        backend, fallback = resolve_backend(None)
+        assert backend.is_numpy
+        assert fallback is not None
+
+    def test_unknown_name_still_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("jax")

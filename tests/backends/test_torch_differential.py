@@ -1,0 +1,113 @@
+"""Tolerance differentials for the real-torch backend.
+
+These run only where PyTorch is actually installed (the optional
+``torch-cpu`` CI job; any dev box with torch).  Everywhere else they
+skip at import.  Unlike the stub tests, the device kernels here are
+torch's own einsum/gemm, so the contract is *tolerance* (1e-10
+relative), never bit-identity — that guarantee is scoped to the NumPy
+backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+torch = pytest.importorskip("torch")
+
+from repro.backends import get_backend  # noqa: E402
+from repro.core.grid_search import TrainingSettings  # noqa: E402
+from repro.core.search_space import HybridSpec  # noqa: E402
+from repro.data import make_spiral, stratified_split  # noqa: E402
+from repro.quantum import (  # noqa: E402
+    CompiledTape,
+    angle_embedding,
+    random_sel_weights,
+    strongly_entangling_layers,
+)
+from repro.runtime.jobs import execute_runs  # noqa: E402
+
+RTOL = 1e-10
+ATOL = 1e-12
+
+
+def _sel_case(n_qubits: int, batch: int = 16):
+    rng = np.random.default_rng((31, n_qubits))
+    x = rng.uniform(-1, 1, (batch, n_qubits))
+    w = random_sel_weights(2, n_qubits, rng)
+    tape = angle_embedding(x, n_qubits) + strongly_entangling_layers(
+        w, n_qubits
+    )
+    grad = rng.standard_normal((batch, n_qubits))
+    return tape, x, w, grad
+
+
+@pytest.mark.parametrize("n_qubits", [3, 4, 6])
+class TestEngineDifferential:
+    def test_forward_state(self, n_qubits):
+        tape, x, w, _ = _sel_case(n_qubits)
+        dev = CompiledTape(tape, n_qubits, backend=get_backend("torch"))
+        ref = CompiledTape(tape, n_qubits)
+        got = dev.backend.to_numpy(dev.execute(x, w.ravel()))
+        np.testing.assert_allclose(
+            got, ref.execute(x, w.ravel()), rtol=RTOL, atol=ATOL
+        )
+
+    def test_expvals(self, n_qubits):
+        tape, x, w, _ = _sel_case(n_qubits)
+        dev = CompiledTape(tape, n_qubits, backend=get_backend("torch"))
+        ref = CompiledTape(tape, n_qubits)
+        got = dev.backend.to_numpy(dev.expvals(dev.execute(x, w.ravel())))
+        np.testing.assert_allclose(
+            got,
+            ref.expvals(ref.execute(x, w.ravel())),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_adjoint_gradients(self, n_qubits):
+        tape, x, w, grad = _sel_case(n_qubits)
+        dev = CompiledTape(tape, n_qubits, backend=get_backend("torch"))
+        ref = CompiledTape(tape, n_qubits)
+        dev.execute(x, w.ravel(), record=True)
+        ref.execute(x, w.ravel(), record=True)
+        got_in, got_w = dev.adjoint_gradients(grad, n_qubits, w.size)
+        want_in, want_w = ref.adjoint_gradients(grad, n_qubits, w.size)
+        xp = dev.backend
+        np.testing.assert_allclose(
+            xp.to_numpy(got_in), want_in, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            xp.to_numpy(got_w), want_w, rtol=RTOL, atol=ATOL
+        )
+
+
+class TestTrainingDifferential:
+    def test_run_stacked_metrics_agree(self):
+        """End to end: the fused sweep on torch reaches the same per-run
+        accuracies as NumPy.  Accuracies are argmax counts over a
+        minibatch, so tolerance-grade kernels still agree exactly unless
+        a prediction sits within kernel rounding of the boundary."""
+        split = stratified_split(make_spiral(4, n_points=60, seed=13), seed=13)
+        spec = HybridSpec(n_features=4, n_qubits=3, n_layers=2, ansatz="sel")
+
+        def sweep(backend):
+            return execute_runs(
+                spec,
+                seed=13,
+                candidate_index=0,
+                runs=[0, 1],
+                split=split,
+                settings=TrainingSettings(
+                    epochs=3, batch_size=8, runs=2, backend=backend
+                ),
+            )
+
+        got = sweep("torch")
+        want = sweep(None)
+        for g, w in zip(got, want):
+            assert g.epochs_run == w.epochs_run
+            assert g.train_accuracy == pytest.approx(
+                w.train_accuracy, abs=0.05
+            )
+            assert g.val_accuracy == pytest.approx(w.val_accuracy, abs=0.05)

@@ -133,8 +133,9 @@ class TestMain:
         from repro.runtime.pool import ChunkCostModel
 
         class _FakePool:
-            def __init__(self, workers):
+            def __init__(self, workers, backend=None):
                 self.workers = workers
+                self.backend = backend
                 self.cost_model = ChunkCostModel()
                 self.closed = False
 
@@ -150,7 +151,10 @@ class TestMain:
 
         monkeypatch.setattr(
             "repro.runtime.pool.PersistentPool",
-            lambda workers: created.append(_FakePool(workers)) or created[-1],
+            lambda workers, backend=None: created.append(
+                _FakePool(workers, backend)
+            )
+            or created[-1],
         )
         monkeypatch.setattr(cli_mod, "_dispatch", fake_dispatch)
         code = main(
