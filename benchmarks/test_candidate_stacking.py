@@ -18,6 +18,14 @@ snapshots:
   run-stacked sweep per candidate (the PR-4 execution mode).
 * ``test_stacked_candidate_search`` — candidate stacking on: one fused
   sweep for the whole tape-structure group; bit-identical outcome.
+
+A third pair covers **adaptive group sizing** on a 6-candidate group:
+with an explicit, comfortably large ``memory_budget`` the speculator
+grows the stacked group past the fixed ``MAX_GROUP_CANDIDATES`` cap of
+4 (here: one fused 6-candidate sweep instead of 4 + 2), and the
+snapshot asserts the adaptive outcome is bit-identical to the
+fixed-cap one.  The acceptance bar is parity or better: fewer, larger
+fused sweeps must never be slower than the capped split.
 """
 
 import pytest
@@ -32,14 +40,27 @@ _SPECS = [
     HybridSpec(n_features=4, n_qubits=4, n_layers=3, ansatz="sel", hidden=h)
     for h in _HEADS
 ]
+# Six same-group-key candidates for the adaptive-sizing pair: one more
+# than the fixed cap of 4 is not enough to show a regrouping, six gives
+# the budget-grown path a single fused sweep vs the capped 4 + 2 split.
+_WIDE_HEADS = ((), (3,), (4,), (5,), (6,), (8,))
+_WIDE_SPECS = [
+    HybridSpec(n_features=4, n_qubits=4, n_layers=3, ansatz="sel", hidden=h)
+    for h in _WIDE_HEADS
+]
+# Explicit budget far above the workload's working set: growth past the
+# fixed cap only engages for *explicit* budgets, and 1 TiB guarantees
+# byte admission never splits the group on any bench machine.
+_BIG_BUDGET = float(1 << 40)
 
 
-def _settings(stacked: bool) -> TrainingSettings:
+def _settings(stacked: bool, memory_budget: float | None = None) -> TrainingSettings:
     return TrainingSettings(
         epochs=3,
         batch_size=8,
         runs=_RUNS,
         stacked_candidates=stacked,
+        memory_budget=memory_budget,
     )
 
 
@@ -62,6 +83,17 @@ def _search(split, stacked: bool):
     )
 
 
+def _wide_search(split, memory_budget: float | None):
+    return grid_search(
+        _WIDE_SPECS,
+        split,
+        threshold=1.01,
+        settings=_settings(stacked=True, memory_budget=memory_budget),
+        workers=1,
+        seed=7,
+    )
+
+
 class TestCandidateStackedSearch:
     def test_per_candidate_search(self, benchmark, split):
         outcome = benchmark.pedantic(
@@ -77,6 +109,38 @@ class TestCandidateStackedSearch:
         # same outcome as the per-candidate mode — the snapshot's delta
         # is pure execution strategy
         reference = _search(split, stacked=False)
+        for got, ref in zip(outcome.evaluated, reference.evaluated):
+            assert got.spec == ref.spec
+            assert got.train_accuracies == ref.train_accuracies
+            assert got.val_accuracies == ref.val_accuracies
+            assert got.epochs_run == ref.epochs_run
+
+
+class TestAdaptiveGroupSizing:
+    """Budget-grown 6-candidate fused sweep vs the fixed 4-cap split."""
+
+    def test_fixed_cap_groups(self, benchmark, split):
+        # No budget: default behaviour, the 6-candidate group is packed
+        # as a 4-member fused sweep plus a 2-member one.
+        outcome = benchmark.pedantic(
+            lambda: _wide_search(split, memory_budget=None),
+            rounds=3,
+            iterations=1,
+        )
+        assert outcome.candidates_trained == len(_WIDE_SPECS)
+
+    def test_budget_grown_group(self, benchmark, split):
+        # Explicit 1 TiB budget: the speculator grows the group past
+        # the fixed cap and trains all 6 candidates as one fused sweep.
+        outcome = benchmark.pedantic(
+            lambda: _wide_search(split, memory_budget=_BIG_BUDGET),
+            rounds=3,
+            iterations=1,
+        )
+        assert outcome.candidates_trained == len(_WIDE_SPECS)
+        # bit-identical to the fixed-cap packing — group sizing is pure
+        # execution strategy, never results
+        reference = _wide_search(split, memory_budget=None)
         for got, ref in zip(outcome.evaluated, reference.evaluated):
             assert got.spec == ref.spec
             assert got.train_accuracies == ref.train_accuracies

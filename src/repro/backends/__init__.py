@@ -154,6 +154,33 @@ class ArrayBackend:
     def synchronize(self) -> None:
         """Block until queued device work finishes (no-op on host)."""
 
+    def free_bytes(self) -> "int | None":
+        """Free memory available to this backend's allocations, or ``None``.
+
+        The memory-governance layer (:mod:`repro.runtime.memory`) sizes
+        the implicit search budget as a fraction of this probe.  The
+        base implementation reports available *host* RAM
+        (``/proc/meminfo`` ``MemAvailable``, falling back to
+        ``sysconf``); device backends override it with their device's
+        free memory.  ``None`` means "unknown" — governance then stays
+        off unless the user sets an explicit budget.
+        """
+        try:
+            with open("/proc/meminfo", "rb") as fh:
+                for line in fh:
+                    if line.startswith(b"MemAvailable:"):
+                        return int(line.split()[1]) * 1024
+        except OSError:
+            pass
+        try:
+            pages = os.sysconf("SC_AVPHYS_PAGES")
+            page_size = os.sysconf("SC_PAGE_SIZE")
+        except (ValueError, OSError, AttributeError):
+            return None
+        if pages <= 0 or page_size <= 0:
+            return None
+        return int(pages) * int(page_size)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
 

@@ -110,3 +110,9 @@ class CupyBackend(ArrayBackend):
 
     def synchronize(self) -> None:  # pragma: no cover - needs a GPU
         self._cp.cuda.runtime.deviceSynchronize()
+
+    def free_bytes(self) -> "int | None":  # pragma: no cover - needs a GPU
+        try:
+            return int(self._cp.cuda.runtime.memGetInfo()[0])
+        except Exception:
+            return None

@@ -142,3 +142,12 @@ class TorchBackend(ArrayBackend):
     def synchronize(self) -> None:
         if self.device.type == "cuda":  # pragma: no cover - needs GPU
             self._torch.cuda.synchronize()
+
+    def free_bytes(self) -> "int | None":
+        if self.device.type == "cuda":  # pragma: no cover - needs GPU
+            try:
+                return int(self._torch.cuda.mem_get_info(self.device)[0])
+            except Exception:
+                return None
+        # CPU tensors allocate from host RAM: the base host probe applies.
+        return super().free_bytes()

@@ -130,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
         "and fall back to numpy with a warning when unimportable",
     )
     parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="memory budget for the speculative runtime, e.g. 2G, 512M, "
+        "or a plain byte count; 'off' disables governance (default: "
+        "the REPRO_MEMORY_BUDGET env var, then an automatic fraction "
+        "of free memory); budgets size stacked groups and bound "
+        "in-flight bytes, and never change results",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -145,6 +155,14 @@ def validate_args(parser: argparse.ArgumentParser, args) -> None:
         parser.error(f"--runs must be >= 1, got {args.runs}")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.memory_budget is not None:
+        from .exceptions import ConfigurationError
+        from .runtime.memory import parse_memory_budget
+
+        try:
+            parse_memory_budget(args.memory_budget)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
 
 
 def _progress_printer(quiet: bool):
@@ -222,6 +240,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["max_retries"] = args.max_retries
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.memory_budget is not None:
+        from .runtime.memory import parse_memory_budget
+
+        overrides["memory_budget"] = parse_memory_budget(args.memory_budget)
 
     from .runtime.parallel import resolve_workers
 

@@ -92,3 +92,14 @@ N_EXPERIMENTS = 5
 
 #: Feature sizes for which the paper reports parameter counts and Table I.
 REPORTED_FEATURE_SIZES = (10, 40, 80, 110)
+
+# --------------------------------------------------------------------------
+# Runtime (not from the paper)
+# --------------------------------------------------------------------------
+
+#: Fraction of the probed free memory used as the implicit search-wide
+#: memory budget when neither ``--memory-budget`` nor
+#: ``REPRO_MEMORY_BUDGET`` is set.  A runtime knob, not a paper constant:
+#: it bounds how much of the host (or device) the fused sweeps may claim
+#: concurrently; see ``repro.runtime.memory``.
+MEMORY_BUDGET_FRACTION = 0.5

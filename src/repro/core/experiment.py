@@ -89,6 +89,12 @@ class ProtocolConfig:
     #: bit-exact reference; device backends are tolerance-grade (see
     #: docs/backends.md) and fall back to NumPy when unimportable.
     backend: str | None = None
+    #: Memory budget in bytes for the speculative runtime (None = the
+    #: ``REPRO_MEMORY_BUDGET`` env var, then an automatic fraction of
+    #: free memory; <= 0 disables governance).  Budgets size stacked
+    #: groups and bound in-flight bytes; results never change (see
+    #: docs/parallel_runtime.md, "Memory governance").
+    memory_budget: float | None = None
 
     def training_settings(self) -> TrainingSettings:
         return TrainingSettings(
@@ -101,6 +107,7 @@ class ProtocolConfig:
             stacked_candidates=self.stacked_candidates,
             max_retries=self.max_retries,
             backend=self.backend,
+            memory_budget=self.memory_budget,
         )
 
     def with_(self, **overrides) -> "ProtocolConfig":

@@ -17,7 +17,7 @@ returned :class:`SearchOutcome` is identical to the sequential one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -40,6 +40,7 @@ __all__ = [
     "grid_search",
     "plan_group",
     "MAX_GROUP_CANDIDATES",
+    "MAX_ADAPTIVE_GROUP",
     "GROUP_LOOKAHEAD",
 ]
 
@@ -52,6 +53,13 @@ MAX_GROUP_CANDIDATES = 4
 #: same-structure candidates to group.  Non-matching candidates in
 #: between are skipped (they commit from their own, later groups).
 GROUP_LOOKAHEAD = 8
+
+#: Member ceiling for budget-driven group growth.  An *explicit* memory
+#: budget (``TrainingSettings.memory_budget`` / ``REPRO_MEMORY_BUDGET``)
+#: lets :func:`plan_group` grow past :data:`MAX_GROUP_CANDIDATES` while
+#: the predicted group bytes stay under budget, but never past the
+#: lookahead window — speculation stays bounded by rank distance.
+MAX_ADAPTIVE_GROUP = GROUP_LOOKAHEAD + 1
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,17 @@ class TrainingSettings:
     are tolerance-grade (see ``docs/backends.md``).  A requested
     backend whose library is unimportable falls back to NumPy with a
     ``backend-fallback`` :class:`~repro.runtime.parallel.SearchEvent`.
+
+    ``memory_budget`` caps the predicted concurrent working-set bytes
+    of fused sweeps and in-flight chunks (``--memory-budget`` on the
+    CLI).  ``None`` defers to the ``REPRO_MEMORY_BUDGET`` environment
+    variable, then to a fraction of the backend's free-memory probe; a
+    non-positive value disables governance.  An *explicit* budget also
+    unlocks group growth past :data:`MAX_GROUP_CANDIDATES` when groups
+    are predicted cheap.  Budgets shape wall time and allocation only —
+    splitting and the scalar fallback are bit-identity-preserving, so
+    the :class:`SearchOutcome` never changes (see
+    ``docs/parallel_runtime.md``, "Memory governance").
     """
 
     epochs: int = 100
@@ -126,6 +145,7 @@ class TrainingSettings:
     chunk_deadline_floor_s: float = 30.0
     watchdog_interval_s: float | None = None
     backend: str | None = None
+    memory_budget: float | None = None
 
 
 @dataclass
@@ -213,6 +233,76 @@ def aggregate_runs(
     return result
 
 
+def _ladder_runs(
+    spec: ModelSpec,
+    seed: int,
+    candidate_index: int,
+    runs: Sequence[int],
+    split: DataSplit,
+    settings: TrainingSettings,
+    notify: Callable[[str, Sequence[int]], None] | None = None,
+) -> list[RunResult]:
+    """:func:`~repro.runtime.jobs.execute_runs` with the OOM recovery
+    ladder.
+
+    An out-of-memory failure in the vectorized sweep degrades stepwise —
+    retry the fused sweep on the NumPy backend (device OOMs fit in host
+    RAM far more often than not), then fall to the per-run scalar path —
+    instead of raising.  Every step trains from the same
+    ``(seed, candidate, run)`` streams, and the scalar path is the
+    bit-identity oracle, so degradation never changes results.  A scalar
+    OOM raises: the ladder has no smaller allocation left to try.
+    """
+    try:
+        return execute_runs(
+            spec,
+            seed,
+            candidate_index,
+            runs,
+            split,
+            settings,
+            vectorized=settings.vectorized_runs,
+        )
+    except Exception as exc:  # noqa: BLE001 - classified below
+        from ..runtime.memory import is_memory_error
+
+        if not (settings.vectorized_runs and is_memory_error(exc)):
+            raise
+    if notify is not None:
+        notify("vectorized run sweep hit OOM", (candidate_index,))
+    from ..backends import resolve_backend
+
+    numpy_settings = replace(settings, backend="numpy")
+    resolved, _ = resolve_backend(settings.backend)
+    if not resolved.is_numpy:
+        try:
+            return execute_runs(
+                spec,
+                seed,
+                candidate_index,
+                runs,
+                split,
+                numpy_settings,
+                vectorized=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - classified below
+            from ..runtime.memory import is_memory_error
+
+            if not is_memory_error(exc):
+                raise
+        if notify is not None:
+            notify("numpy retry hit OOM", (candidate_index,))
+    return execute_runs(
+        spec,
+        seed,
+        candidate_index,
+        runs,
+        split,
+        numpy_settings,
+        vectorized=False,
+    )
+
+
 def _evaluate_candidate(
     spec: ModelSpec,
     split: DataSplit,
@@ -220,24 +310,26 @@ def _evaluate_candidate(
     seed: int,
     candidate_index: int,
     convention: CountingConvention,
+    notify: Callable[[str, Sequence[int]], None] | None = None,
 ) -> CandidateResult:
     """Train one candidate ``settings.runs`` times and aggregate.
 
     With ``settings.vectorized_runs`` the whole run set trains as one
     stacked sweep (:func:`repro.runtime.jobs.execute_runs`); metrics are
-    bit-identical to the per-run loop either way.
+    bit-identical to the per-run loop either way.  Out-of-memory
+    failures degrade through :func:`_ladder_runs`.
     """
     return aggregate_runs(
         spec,
         convention,
-        execute_runs(
+        _ladder_runs(
             spec,
             seed,
             candidate_index,
             range(settings.runs),
             split,
             settings,
-            vectorized=settings.vectorized_runs,
+            notify=notify,
         ),
     )
 
@@ -247,6 +339,8 @@ def plan_group(
     index: int,
     settings: TrainingSettings,
     skip: "frozenset[int] | set[int]" = frozenset(),
+    *,
+    budget=None,
 ) -> list[int]:
     """Candidate indices to train as one fused sweep, anchored at ``index``.
 
@@ -257,21 +351,51 @@ def plan_group(
     changes results — members are committed strictly in rank order and
     anything past a winner is discarded — so the plan only shapes wall
     time.
+
+    ``budget`` (a resolved :class:`~repro.runtime.memory.MemoryBudget`)
+    makes the plan memory-governed: members are admitted only while the
+    group's predicted peak bytes
+    (:func:`~repro.runtime.memory.estimate_candidate_bytes`) fit, so an
+    overweight group shrinks — down to the anchor alone.  An *explicit*
+    budget additionally raises the member ceiling to
+    :data:`MAX_ADAPTIVE_GROUP`, growing predicted-cheap groups past the
+    legacy cap (still lookahead-bounded).
     """
     if not (settings.stacked_candidates and settings.vectorized_runs):
         return [index]
     key = ranked[index].group_key()
     if key is None:
         return [index]
+    active = budget is not None and budget.active
+    cap = (
+        MAX_ADAPTIVE_GROUP
+        if active and budget.explicit
+        else MAX_GROUP_CANDIDATES
+    )
+    group_bytes = 0
+    if active:
+        from ..runtime.memory import estimate_candidate_bytes
+
+        group_bytes = estimate_candidate_bytes(
+            ranked[index], settings.batch_size, settings.runs
+        )
     group = [index]
     limit = min(len(ranked), index + 1 + GROUP_LOOKAHEAD)
     for j in range(index + 1, limit):
-        if len(group) >= MAX_GROUP_CANDIDATES:
+        if len(group) >= cap:
             break
         if j in skip:
             continue
-        if ranked[j].group_key() == key:
-            group.append(j)
+        if ranked[j].group_key() != key:
+            continue
+        if active:
+            member_bytes = estimate_candidate_bytes(
+                ranked[j], settings.batch_size, settings.runs
+            )
+            if group_bytes + member_bytes > budget.bytes:
+                break
+            group_bytes += member_bytes
+        group.append(j)
     return group
 
 
@@ -282,6 +406,7 @@ def _evaluate_group(
     settings: TrainingSettings,
     seed: int,
     convention: CountingConvention,
+    notify: Callable[[str, Sequence[int]], None] | None = None,
 ) -> "dict[int, CandidateResult | Exception] | None":
     """Train a multi-candidate group as one fused sweep.
 
@@ -292,16 +417,63 @@ def _evaluate_group(
     re-attributed to the candidate the sequential loop would blame:
     errors are captured per candidate and surface only at that
     candidate's commit turn.
+
+    An *out-of-memory* failure takes the recovery ladder instead: the
+    group splits in half (each half fused again, recursively), then per
+    candidate, then down :func:`_ladder_runs` — every step
+    bit-identity-preserving, each reported through ``notify``.
     """
     group = [(ranked[j], j, range(settings.runs)) for j in indices]
     try:
         results = execute_candidates(group, seed, split, settings)
-    except Exception:  # noqa: BLE001 - re-run per candidate to attribute
+    except Exception as exc:  # noqa: BLE001 - re-run per candidate to attribute
+        from ..runtime.memory import is_memory_error
+
+        if notify is not None and is_memory_error(exc) and len(indices) > 1:
+            notify(
+                f"fused sweep of {len(indices)} candidates hit OOM, "
+                f"splitting in half",
+                tuple(indices),
+            )
+            mid = (len(indices) + 1) // 2
+            out: dict[int, CandidateResult | Exception] = {}
+            for half in (list(indices[:mid]), list(indices[mid:])):
+                if len(half) > 1:
+                    sub = _evaluate_group(
+                        ranked,
+                        half,
+                        split,
+                        settings,
+                        seed,
+                        convention,
+                        notify=notify,
+                    )
+                    if sub is not None:
+                        out.update(sub)
+                        continue
+                for j in half:
+                    try:
+                        out[j] = aggregate_runs(
+                            ranked[j],
+                            convention,
+                            _ladder_runs(
+                                ranked[j],
+                                seed,
+                                j,
+                                range(settings.runs),
+                                split,
+                                settings,
+                                notify=notify,
+                            ),
+                        )
+                    except Exception as sub_exc:  # noqa: BLE001
+                        out[j] = sub_exc
+            return out
         results = None
     else:
         if results is None:
             return None
-        out: dict[int, CandidateResult | Exception] = {}
+        out = {}
         for spec, j, _ in group:
             out[j] = aggregate_runs(
                 spec,
@@ -315,14 +487,14 @@ def _evaluate_group(
             out[j] = aggregate_runs(
                 spec,
                 convention,
-                execute_runs(
+                _ladder_runs(
                     spec,
                     seed,
                     j,
                     runs_j,
                     split,
                     settings,
-                    vectorized=settings.vectorized_runs,
+                    notify=notify,
                 ),
             )
         except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
@@ -494,6 +666,26 @@ def grid_search(
     if not had_cache:
         # Leave an already-configured cache (custom maxsize) untouched.
         enable_compile_cache()
+
+    # Memory governance: one budget resolution for the whole search
+    # (settings > env > a fraction of the free-memory probe), consulted
+    # by every group plan; OOM-ladder steps surface as memory-degrade
+    # events.  Budgets shape group sizes, never results.
+    from ..runtime.memory import resolve_memory_budget
+    from ..runtime.parallel import SearchEvent
+
+    budget = resolve_memory_budget(getattr(settings, "memory_budget", None))
+
+    def notify(message: str, candidates: Sequence[int] = ()) -> None:
+        if on_event is not None:
+            on_event(
+                SearchEvent(
+                    kind="memory-degrade",
+                    message=message,
+                    candidates=tuple(candidates),
+                )
+            )
+
     try:
         # Results of speculatively trained group members past the
         # commit frontier; an Exception entry re-raises at its
@@ -509,11 +701,39 @@ def grid_search(
                 candidate = committed
             else:
                 group = plan_group(
-                    ranked, index, settings, skip=speculated.keys()
+                    ranked,
+                    index,
+                    settings,
+                    skip=speculated.keys(),
+                    budget=budget,
                 )
+                if budget.active and on_event is not None:
+                    ungoverned = plan_group(
+                        ranked, index, settings, skip=speculated.keys()
+                    )
+                    if len(group) != len(ungoverned):
+                        grew = len(group) > len(ungoverned)
+                        on_event(
+                            SearchEvent(
+                                kind="group-resize",
+                                message=(
+                                    f"budget ({budget.source}) "
+                                    f"{'grew' if grew else 'shrank'} group "
+                                    f"at {index} to {len(group)} members "
+                                    f"(ungoverned: {len(ungoverned)})"
+                                ),
+                                candidates=tuple(group),
+                            )
+                        )
                 verdicts = (
                     _evaluate_group(
-                        ranked, group, split, settings, seed, conv
+                        ranked,
+                        group,
+                        split,
+                        settings,
+                        seed,
+                        conv,
+                        notify=notify,
                     )
                     if len(group) > 1
                     else None
@@ -526,6 +746,7 @@ def grid_search(
                         seed=seed,
                         candidate_index=index,
                         convention=conv,
+                        notify=notify,
                     )
                 else:
                     # Re-enter the loop: the anchor's verdict now sits

@@ -351,6 +351,12 @@ class StackedQuantumLayer(StackedLayer):
         self.grads[0] += weight_grads.reshape(self.weights.shape)
         return input_grads
 
+    def peak_bytes(self, rows: int) -> int:
+        # The compiled engine's recorded-adjoint sweep dominates this
+        # layer's working set; the weight stacks are counted by the
+        # owning StackedSequential/GroupedStack.
+        return self._engine.peak_bytes(rows, runs=self.runs, mode="adjoint")
+
     def sync_to_layers(self, layers) -> None:
         for r, lay in enumerate(layers):
             lay.weights[...] = self._xp.to_numpy(self.weights[r])

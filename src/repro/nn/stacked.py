@@ -100,6 +100,14 @@ class StackedLayer:
         for g in self.grads:
             g[...] = 0.0
 
+    def peak_bytes(self, rows: int) -> int:
+        """Predicted activation working-set bytes of one training step
+        over a fused ``(rows, features)`` batch, excluding the parameter
+        stacks (the owning stack counts those, with their optimizer
+        moments).  Parameter-free layers cost nothing beyond the
+        activations already counted by their neighbours."""
+        return 0
+
     def sync_to_layers(self, layers: Sequence[Layer]) -> None:
         """Copy the per-run parameter slices back into the source layers."""
 
@@ -209,6 +217,10 @@ class StackedDense(StackedLayer):
             out[sl] = grad[sl] @ self.weight[r].T
         return out
 
+    def peak_bytes(self, rows: int) -> int:
+        # The cached forward input plus the output block, float64 rows.
+        return 2 * rows * (self.in_features + self.out_features) * 8
+
     def sync_to_layers(self, layers: Sequence[Layer]) -> None:
         for r, lay in enumerate(layers):
             lay.weight[...] = self._xp.to_numpy(self.weight[r])
@@ -221,6 +233,17 @@ class StackedDense(StackedLayer):
         self.params = [self.weight, self.bias]
         self.grads = [g[keep] for g in self.grads]
         self._cache_x = None
+
+
+def _param_nbytes(p) -> int:
+    """Bytes held by one parameter stack (backend-agnostic)."""
+    nbytes = getattr(p, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    size = 1
+    for s in getattr(p, "shape", ()):
+        size *= int(s)
+    return size * 8
 
 
 #: type -> stacker(runs, layers) registry.  Keyed on the *exact* type:
@@ -308,6 +331,21 @@ class StackedSequential:
         overrides this for per-candidate parameter stacks.
         """
         return [None] * len(self.parameters())
+
+    def peak_bytes(self, batch: int) -> int:
+        """Predicted peak working-set bytes of one training step.
+
+        Parameter stacks count four times over — values, gradients and
+        the two Adam moment stacks a
+        :class:`~repro.nn.optimizers.StackedAdam` holds — plus each
+        layer's activation working set over the fused ``runs * batch``
+        rows.  An upper envelope for admission control, cross-checked by
+        the runtime's measured bytes EWMA.
+        """
+        rows = self.runs * batch
+        total = 4 * sum(_param_nbytes(p) for p in self.parameters())
+        total += sum(layer.peak_bytes(rows) for layer in self.layers)
+        return total
 
     def zero_grads(self) -> None:
         for layer in self.layers:
@@ -532,6 +570,25 @@ class GroupedStack:
             offset += member.size
         maps.extend([None] * sum(len(lay.params) for lay in self.shared))
         return maps
+
+    def peak_bytes(self, batch: int) -> int:
+        """Predicted peak working-set bytes of one grouped training step.
+
+        Same accounting as :meth:`StackedSequential.peak_bytes` — every
+        parameter stack four times over (values, grads, Adam moments) —
+        with prefix layers counted over their candidate's row block and
+        the shared pivot/suffix over all ``runs * batch`` fused rows.
+        """
+        rows = self.runs * batch
+        total = 4 * sum(_param_nbytes(p) for p in self.parameters())
+        for member in self.members:
+            if member.prefix is not None:
+                total += sum(
+                    layer.peak_bytes(member.size * batch)
+                    for layer in member.prefix.layers
+                )
+        total += sum(layer.peak_bytes(rows) for layer in self.shared)
+        return total
 
     def zero_grads(self) -> None:
         for member in self.members:

@@ -91,7 +91,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..backends import REAL_DTYPE, ArrayBackend, get_backend
+from ..backends import COMPLEX_DTYPE, REAL_DTYPE, ArrayBackend, get_backend
 from ..exceptions import ConfigurationError, GateError, ShapeError
 from .circuit import GATE_SET, Operation
 from .state import apply_two_qubit
@@ -708,6 +708,51 @@ class CompiledTape:
             ]
             pool[kind] = bufs
         return bufs
+
+    def peak_bytes(
+        self, batch: int, runs: "int | None" = None, mode: str = "forward"
+    ) -> int:
+        """Predicted peak working-set bytes of one execution.
+
+        An analytic upper envelope over the engine's allocations for a
+        ``(batch, 2**n)`` sweep — the memory-governance layer sizes
+        group admissions against it (see :mod:`repro.runtime.memory`).
+        Counted per mode:
+
+        * ``"forward"``: the ping-pong statevector pair.
+        * ``"adjoint"``: the forward pair, the recorded forward
+          (``record=True`` detaches its own pair so it survives
+          intervening executes), the bra/bra-scratch adjoint pair, and
+          the per-op derivative stacks for every trainable group.
+
+        Both modes add the bound dynamic gate-matrix stacks: per-sample
+        ops (``input`` refs) bind a ``(batch, k, k)`` stack, per-run
+        weight ops an ``(runs, k, k)`` one.  The prediction is
+        cross-checked online by the measured bytes EWMA in
+        :class:`~repro.runtime.pool.ChunkCostModel`.
+        """
+        item = np.dtype(COMPLEX_DTYPE).itemsize
+        state = batch * self.dim * item
+        total = 2 * state
+        if mode == "adjoint":
+            total += 4 * state
+        for groups in self._dyn_groups.values():
+            for g in groups:
+                spec = self._specs[g]
+                k = 2 ** len(spec.wires)
+                per_sample = any(
+                    ref is not None and ref.kind == "input"
+                    for ref in spec.refs
+                )
+                eff = batch if per_sample else (runs or 1)
+                total += eff * k * k * item
+        if mode == "adjoint":
+            for name, groups in self._train_groups.items():
+                n_params = GATE_SET[name].n_params
+                for g in groups:
+                    k = 2 ** len(self._specs[g].wires)
+                    total += n_params * (runs or 1) * k * k * item
+        return total
 
     # -- kernels -----------------------------------------------------------
 

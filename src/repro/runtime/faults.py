@@ -15,7 +15,11 @@ see :mod:`repro.runtime.pool`):
   pushing it past its scheduler deadline;
 * ``corrupt-result`` — the worker ships a shared-memory result handle
   whose segment holds garbage, exercising the parent's result-inflation
-  error path.
+  error path;
+* ``oom`` — the worker raises :class:`MemoryError` at the start of a
+  matching chunk's fused sweep, exercising the memory-governance
+  recovery ladder (group halving, per-candidate, scalar — see
+  :mod:`repro.runtime.pool`) rather than the crash/retry machinery.
 
 A plan matches either a specific ``candidate`` index (fully
 deterministic regardless of worker count or scheduling) or the Nth
@@ -44,12 +48,13 @@ from ..exceptions import SearchError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pool import JobChunk, ShmResultHandle
 
-__all__ = ["FaultPlan", "KILL", "DELAY", "CORRUPT_RESULT"]
+__all__ = ["FaultPlan", "KILL", "DELAY", "CORRUPT_RESULT", "OOM"]
 
 KILL = "kill"
 DELAY = "delay"
 CORRUPT_RESULT = "corrupt-result"
-_KINDS = (KILL, DELAY, CORRUPT_RESULT)
+OOM = "oom"
+_KINDS = (KILL, DELAY, CORRUPT_RESULT, OOM)
 
 # Control-segment layout.  Byte 0 onward is owned by the cancellation
 # protocol (an 8-byte generation floor, see pool._cancel_floor); the
@@ -147,8 +152,10 @@ def maybe_fire(buf, chunk: "JobChunk") -> str | None:
     """Worker-side hook, called once per live chunk execution.
 
     Returns the fired kind for faults the caller must act on (``delay``
-    already slept; ``corrupt-result`` asks the caller to ship garbage),
-    ``None`` when nothing fired.  A ``kill`` fault does not return.
+    already slept; ``corrupt-result`` asks the caller to ship garbage;
+    ``oom`` asks the caller to raise :class:`MemoryError` at the start
+    of the chunk's first fused sweep), ``None`` when nothing fired.  A
+    ``kill`` fault does not return.
     """
     plan = read_plan(buf)
     if plan is None:

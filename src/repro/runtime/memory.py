@@ -1,0 +1,231 @@
+"""Memory governance: budgets, peak-bytes prediction, OOM classification.
+
+The stacked execution engine buys throughput by fusing ever-larger
+``(C*R*B, 2**n)`` complex sweeps, and nothing in the scheduler used to
+bound them: a grid search that merges four 8-qubit candidates allocates
+the whole fused working set in one ``einsum``.  This module makes memory
+a governed resource:
+
+* :func:`resolve_memory_budget` turns the user's intent — an explicit
+  ``TrainingSettings.memory_budget`` / ``--memory-budget`` value, the
+  ``REPRO_MEMORY_BUDGET`` environment variable, or (by default) a
+  fraction of the backend's :meth:`~repro.backends.ArrayBackend.free_bytes`
+  probe — into one :class:`MemoryBudget` the group planner and the pool
+  scheduler size admissions against.
+* :func:`estimate_candidate_bytes` is the *a-priori* analytic peak-bytes
+  model for a candidate's run set: parameter stacks with Adam moments,
+  dense activations, and the quantum sweep's state buffers and gate
+  stacks.  Live model objects refine it (``CompiledTape.peak_bytes``,
+  ``GroupedStack.peak_bytes``); the scheduler additionally cross-checks
+  against the measured bytes EWMA in
+  :class:`~repro.runtime.pool.ChunkCostModel`.
+* :func:`is_memory_error` classifies an exception as a *resource*
+  failure (host ``MemoryError``, CUDA/CuPy OOM, shm ``ENOSPC``) so the
+  chunk runner degrades gracefully instead of retrying the same
+  oversized allocation as if a worker had crashed.
+
+Budgets never change results: group splitting and the scalar fallback
+are bit-identity-preserving, so any budget (and any OOM mid-search)
+yields the same :class:`~repro.core.grid_search.SearchOutcome`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+from ..config import MEMORY_BUDGET_FRACTION
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "MEMORY_BUDGET_ENV_VAR",
+    "MemoryBudget",
+    "parse_memory_budget",
+    "resolve_memory_budget",
+    "is_memory_error",
+    "estimate_candidate_bytes",
+]
+
+MEMORY_BUDGET_ENV_VAR = "REPRO_MEMORY_BUDGET"
+
+#: float64 / complex128 item sizes used by the analytic byte model.
+_REAL_ITEM = 8
+_COMPLEX_ITEM = 16
+
+_UNIT_SUFFIXES = {
+    "": 1,
+    "K": 1024,
+    "M": 1024**2,
+    "G": 1024**3,
+    "T": 1024**4,
+}
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A resolved concurrent-bytes ceiling for one search.
+
+    ``bytes`` is ``None`` when governance is off (no probe available, or
+    the user disabled it with a non-positive value).  ``source`` records
+    where the number came from: ``"settings"`` (TrainingSettings /
+    ``--memory-budget``), ``"env"`` (``REPRO_MEMORY_BUDGET``), ``"auto"``
+    (a fraction of the backend's free-memory probe) or ``"off"``.
+    """
+
+    bytes: int | None
+    source: str
+
+    @property
+    def active(self) -> bool:
+        return self.bytes is not None
+
+    @property
+    def explicit(self) -> bool:
+        """Whether the user asked for this exact number.
+
+        Only explicit budgets unlock group growth past the legacy
+        ``MAX_GROUP_CANDIDATES`` cap; the implicit ``auto`` budget only
+        enables splitting and admission control, so default-settings
+        searches keep their historical group shapes.
+        """
+        return self.source in ("settings", "env")
+
+
+def parse_memory_budget(text: str) -> float:
+    """Parse a ``--memory-budget`` value into bytes.
+
+    Accepts a plain number of bytes or a ``K``/``M``/``G``/``T``
+    binary-suffixed value (optional trailing ``B``, case-insensitive):
+    ``"2G"`` is 2 GiB.  ``"0"``, ``"none"`` and ``"off"`` disable
+    governance (a non-positive budget).
+    """
+    raw = str(text).strip()
+    if raw.lower() in ("none", "off"):
+        return 0.0
+    body = raw.upper().rstrip("B") if raw.upper().endswith("B") else raw.upper()
+    suffix = body[-1:] if body[-1:] in _UNIT_SUFFIXES and body[-1:].isalpha() else ""
+    number = body[: len(body) - len(suffix)] if suffix else body
+    try:
+        value = float(number)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid memory budget {text!r}: expected bytes or a "
+            f"K/M/G/T-suffixed size (e.g. 512M, 2G), or 0/none/off"
+        ) from None
+    return value * _UNIT_SUFFIXES.get(suffix, 1)
+
+
+def _probe_free_bytes(backend=None) -> int | None:
+    """Free memory of ``backend`` (or the active one); ``None`` unknown."""
+    if backend is None:
+        try:
+            from ..backends import active_backend
+
+            backend = active_backend()
+        except Exception:  # pragma: no cover - defensive
+            return None
+    try:
+        return backend.free_bytes()
+    except Exception:  # pragma: no cover - probe must never break a search
+        return None
+
+
+def resolve_memory_budget(explicit=None, backend=None) -> MemoryBudget:
+    """Resolve the effective memory budget for one search.
+
+    Precedence: ``explicit`` (``TrainingSettings.memory_budget``, fed by
+    ``--memory-budget``) > the ``REPRO_MEMORY_BUDGET`` environment
+    variable > ``auto`` (``MEMORY_BUDGET_FRACTION`` of the backend's
+    free-memory probe).  A non-positive explicit or env value disables
+    governance entirely, as does a failed probe.
+    """
+    if explicit is not None:
+        value = float(explicit)
+        if value <= 0:
+            return MemoryBudget(bytes=None, source="off")
+        return MemoryBudget(bytes=int(value), source="settings")
+    env = os.environ.get(MEMORY_BUDGET_ENV_VAR)
+    if env is not None and env.strip():
+        try:
+            value = parse_memory_budget(env)
+        except ConfigurationError:
+            return MemoryBudget(bytes=None, source="off")
+        if value <= 0:
+            return MemoryBudget(bytes=None, source="off")
+        return MemoryBudget(bytes=int(value), source="env")
+    free = _probe_free_bytes(backend)
+    if free is None:
+        return MemoryBudget(bytes=None, source="off")
+    return MemoryBudget(
+        bytes=int(free * MEMORY_BUDGET_FRACTION), source="auto"
+    )
+
+
+def is_memory_error(exc: BaseException) -> bool:
+    """Whether ``exc`` is an out-of-memory *resource* failure.
+
+    Covers host ``MemoryError``, ``OSError`` with ``ENOMEM``/``ENOSPC``
+    (shm segments live on a size-capped tmpfs), and — only when the
+    module is already imported, so the check never imports a device
+    stack — ``torch.cuda.OutOfMemoryError`` and CuPy's
+    ``OutOfMemoryError``.
+    """
+    if isinstance(exc, MemoryError):
+        return True
+    if isinstance(exc, OSError):
+        import errno
+
+        if exc.errno in (errno.ENOMEM, errno.ENOSPC):
+            return True
+    torch = sys.modules.get("torch")
+    if torch is not None:
+        cuda_oom = getattr(
+            getattr(torch, "cuda", None), "OutOfMemoryError", None
+        )
+        if cuda_oom is not None and isinstance(exc, cuda_oom):
+            return True
+    cupy = sys.modules.get("cupy")
+    if cupy is not None:
+        cp_oom = getattr(
+            getattr(cupy, "cuda", None), "memory", None
+        )
+        cp_oom = getattr(cp_oom, "OutOfMemoryError", None)
+        if cp_oom is not None and isinstance(exc, cp_oom):
+            return True
+    return False
+
+
+def estimate_candidate_bytes(spec, batch: int, runs: int) -> int:
+    """Analytic peak working-set bytes for one candidate's fused run set.
+
+    A deliberately simple upper-envelope model — the scheduler only
+    needs relative magnitudes that track reality within a small factor,
+    and the measured bytes EWMA corrects it online.  Terms:
+
+    * parameter stacks x4 (values, grads, Adam ``m``/``v`` moments);
+    * dense activations: one input + one output row block per layer,
+      cached for backward;
+    * quantum sweep (when ``spec`` has ``n_qubits``): the engine's
+      forward/adjoint/record statevector buffers — six ``(rows, 2**n)``
+      complex buffers — plus the bound gate-matrix stacks (roughly
+      3 matrices per qubit per layer, per-sample encoding stacks and
+      per-run weight stacks).
+
+    ``rows = batch * runs`` is the fused run-major activation height.
+    """
+    rows = max(1, int(batch)) * max(1, int(runs))
+    runs = max(1, int(runs))
+    total = 4 * int(getattr(spec, "param_count", 0) or 0) * runs * _REAL_ITEM
+    widths = [int(getattr(spec, "n_features", 0) or 0)]
+    widths.extend(int(h) for h in getattr(spec, "hidden", ()) or ())
+    widths.append(int(getattr(spec, "n_classes", 0) or 0))
+    total += 2 * rows * sum(widths) * _REAL_ITEM
+    n_qubits = getattr(spec, "n_qubits", None)
+    if n_qubits:
+        dim = 2 ** int(n_qubits)
+        total += 6 * rows * dim * _COMPLEX_ITEM
+        n_layers = int(getattr(spec, "n_layers", 1) or 1)
+        gates = int(n_qubits) * (n_layers + 1) * 3
+        total += gates * (rows + runs) * 4 * _COMPLEX_ITEM
+    return total

@@ -134,7 +134,11 @@ class SearchEvent:
     ``kind`` is one of ``"worker-lost"``, ``"retry"``,
     ``"chunk-overdue"``, ``"chunk-timeout"``, ``"sequential-fallback"``,
     ``"backend-fallback"`` (a requested array backend was unimportable
-    and the search fell back to NumPy; emitted once per search).
+    and the search fell back to NumPy; emitted once per search),
+    ``"group-resize"`` (the memory budget grew a stacked group past the
+    fixed cap or refused a merge), or ``"memory-degrade"`` (an
+    out-of-memory failure walked the recovery ladder — results are
+    unchanged, only the execution shape degraded).
     ``candidates`` lists the affected candidate indices (rank order);
     ``attempts`` is the highest submission count among the affected
     chunks at the time of the event.  ``str(event)`` is the human
@@ -223,10 +227,12 @@ def speculative_search(
     every supervision decision (retry, timeout, fallback).
     """
     from ..core.grid_search import (
+        MAX_ADAPTIVE_GROUP,
         MAX_GROUP_CANDIDATES,
         SearchOutcome,
         aggregate_runs,
     )
+    from .memory import estimate_candidate_bytes, resolve_memory_budget
 
     if settings.runs < 1:
         raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
@@ -294,6 +300,39 @@ def speculative_search(
     #: observed seconds rather than raw FLOPs.
     costs = [spec.flops(convention) for spec in ranked]
     cost_model = pool.cost_model
+    # Memory governance: groups and the in-flight window are sized
+    # against this budget.  Sizing never affects results (commits stay
+    # in FLOPs order and every execution shape is bit-identical), so
+    # the budget only shapes concurrency and group width.
+    budget = resolve_memory_budget(getattr(settings, "memory_budget", None))
+    group_cap = (
+        MAX_ADAPTIVE_GROUP
+        if budget.active and budget.explicit
+        else MAX_GROUP_CANDIDATES
+    )
+
+    def candidate_bytes(index: int, n_runs: int) -> float:
+        """Predicted working-set bytes for ``n_runs`` of one candidate.
+
+        Prefers the cost model's measured EWMA (fed by worker
+        ``ru_maxrss`` readings) and falls back to the analytic
+        :func:`~repro.runtime.memory.estimate_candidate_bytes` model
+        before any measurement exists.
+        """
+        measured = cost_model.bytes_estimate(ranked[index].label, n_runs)
+        if measured is not None:
+            return measured
+        return float(
+            estimate_candidate_bytes(
+                ranked[index], settings.batch_size, n_runs
+            )
+        )
+
+    def chunk_bytes(job_chunk: JobChunk) -> float:
+        return sum(
+            candidate_bytes(c, n)
+            for c, n in chunk_run_counts(job_chunk).items()
+        )
 
     generation = pool.new_generation()
     handle = pool.acquire_split(split)
@@ -409,9 +448,12 @@ def speculative_search(
         """Merge a new candidate's chunk into a waiting same-key chunk.
 
         Only still-unsubmitted vectorized chunks are candidates, and a
-        merged chunk is capped at MAX_GROUP_CANDIDATES members; the
-        merged jobs stay candidate-major so the worker's fused sweep
-        sees each candidate's runs contiguously.
+        merged chunk is capped at MAX_GROUP_CANDIDATES members — or
+        MAX_ADAPTIVE_GROUP under an *explicit* memory budget, which lets
+        predicted-cheap groups grow past the fixed cap; either way the
+        budget's byte prediction can refuse a merge the member cap would
+        allow.  The merged jobs stay candidate-major so the worker's
+        fused sweep sees each candidate's runs contiguously.
 
         Merging trades parallelism for per-sweep efficiency, so it only
         happens once the window already holds enough distinct chunks to
@@ -429,10 +471,23 @@ def speculative_search(
             if not existing.vectorized:
                 continue
             counts = chunk_run_counts(existing)
-            if index in counts or len(counts) >= MAX_GROUP_CANDIDATES:
+            if index in counts or len(counts) >= group_cap:
                 continue
             if any(group_keys[c] != key for c in counts):
                 continue
+            if budget.active:
+                merged_bytes = chunk_bytes(existing) + chunk_bytes(job_chunk)
+                if merged_bytes > budget.bytes:
+                    emit(
+                        "group-resize",
+                        f"budget ({budget.source}) refused merging "
+                        f"candidate {index} into the stacked group "
+                        f"{sorted(counts)}: predicted "
+                        f"{merged_bytes / 1e6:.1f} MB exceeds "
+                        f"{budget.bytes / 1e6:.1f} MB",
+                        candidates=sorted(counts) + [index],
+                    )
+                    continue
             submittable[slot] = (
                 anchor,
                 first_run,
@@ -444,6 +499,15 @@ def speculative_search(
                     vectorized=True,
                 ),
             )
+            if len(counts) + 1 > MAX_GROUP_CANDIDATES:
+                emit(
+                    "group-resize",
+                    f"budget ({budget.source}) grew a stacked group to "
+                    f"{len(counts) + 1} members (fixed cap: "
+                    f"{MAX_GROUP_CANDIDATES}) for candidate(s) "
+                    f"{sorted(counts) + [index]}",
+                    candidates=sorted(counts) + [index],
+                )
             return True
         return False
 
@@ -478,6 +542,19 @@ def speculative_search(
                     -submittable[i][1],
                 ),
             )
+            if budget.active and outstanding:
+                # Admission control: never put more predicted bytes in
+                # flight than the budget.  With nothing outstanding the
+                # chunk is admitted regardless — otherwise a single
+                # over-budget candidate could deadlock the search; the
+                # worker's degradation ladder handles a real OOM.
+                in_flight = sum(
+                    chunk_bytes(f.chunk) for f in outstanding.values()
+                )
+                if in_flight + chunk_bytes(submittable[best][2]) > (
+                    budget.bytes
+                ):
+                    break
             anchor, first_run, job_chunk = submittable.pop(best)
             cid = next(cid_counter)
             flight = _Flight(
@@ -755,6 +832,25 @@ def speculative_search(
                         / len(job_chunk.jobs),
                         n_chunk_runs,
                     )
+                    # Measured working-set feedback for the memory
+                    # governor (0 = the chunk never raised the worker's
+                    # RSS high-water mark: skipped, see observe_bytes).
+                    cost_model.observe_bytes(
+                        ranked[chunk_index].label,
+                        result.peak_bytes
+                        * n_chunk_runs
+                        // len(job_chunk.jobs),
+                        n_chunk_runs,
+                    )
+                if result.memory_degrades:
+                    emit(
+                        "memory-degrade",
+                        f"chunk for candidate(s) {sorted(counted)} hit "
+                        "out-of-memory and recovered via "
+                        f"{result.memory_degrades} degradation step(s); "
+                        "results are unchanged",
+                        candidates=sorted(counted),
+                    )
                 for entry in result.entries:
                     per_run = pending_runs.setdefault(
                         entry.candidate_index, {}
@@ -831,6 +927,7 @@ def speculative_search(
         # no-op, running trainings abort at the next epoch boundary.
         pool.release_split(handle)
         pool.cancel(generation)
+        logger.info("pool stats at search end: %s", pool.stats())
         if owns_pool:
             # Ephemeral pool: tear down immediately (kills in-flight
             # speculative trainings outright) and unlink the published

@@ -400,15 +400,40 @@ class ChunkResult:
     paid for both attempts); the pool counts these so a deterministic
     stacked-path failure is visible instead of silently doubling a
     candidate's cost.
+
+    ``memory_degrades`` counts OOM recovery-ladder steps the worker took
+    for this chunk (group halving, numpy retry, scalar floor — see
+    :func:`_candidate_entries`); the scheduler turns a non-zero count
+    into a ``memory-degrade`` :class:`~repro.runtime.parallel.SearchEvent`
+    and the pool accumulates it.  ``peak_bytes`` is the worker's
+    measured resident-set growth over the chunk (0 = unobserved); it
+    feeds the cost model's bytes EWMA that cross-checks the analytic
+    peak-bytes predictions.
     """
 
     cancelled: bool
     entries: tuple["RunResult | RunError", ...] = ()
     wall_time_s: float = 0.0
     vectorized_fallback: bool = False
+    memory_degrades: int = 0
+    peak_bytes: int = 0
 
 
 _CANCELLED_CHUNK = ChunkResult(cancelled=True)
+
+
+def _maybe_inject_oom(inject: "list[bool] | None") -> None:
+    """Raise the armed ``oom`` fault once (worker side, tests only)."""
+    if inject and inject[0]:
+        inject[0] = False
+        raise MemoryError("injected 'oom' fault")
+
+
+def _numpy_settings(settings):
+    """``settings`` pinned to the NumPy backend (OOM-ladder retries)."""
+    from dataclasses import replace
+
+    return replace(settings, backend="numpy")
 
 
 def _candidate_entries(
@@ -417,37 +442,89 @@ def _candidate_entries(
     settings,
     cancelled,
     vectorized: bool,
+    inject: "list[bool] | None" = None,
 ):
     """Execute one candidate's runs; per-run errors become RunError entries.
 
-    Returns ``(entries, vectorized_fallback)``.  The vectorized path
-    trains the whole run set in one stacked sweep.  A failure inside
-    that sweep cannot be attributed to a single run, so it falls back to
-    the scalar per-run loop, which reproduces the exact error the
-    sequential path would hit first (lowest run) and still accounts for
-    every other run.
+    Returns ``(entries, vectorized_fallback, memory_degrades)``.  The
+    vectorized path trains the whole run set in one stacked sweep.  A
+    failure inside that sweep cannot be attributed to a single run, so
+    it falls back to the scalar per-run loop, which reproduces the exact
+    error the sequential path would hit first (lowest run) and still
+    accounts for every other run.
+
+    An *out-of-memory* failure in the sweep is a resource, not a
+    correctness, problem: it walks the recovery ladder instead — retry
+    the fused sweep on the NumPy backend (device OOMs usually fit in
+    host RAM), then the per-run scalar path — each step counted in
+    ``memory_degrades``.  Every step trains from the same
+    ``(seed, candidate, run)`` streams and the scalar path is the
+    bit-identity oracle, so degradation never changes results.
     """
+    from .memory import is_memory_error
+
     fallback = False
+    degrades = 0
     if vectorized and len(jobs) > 1:
         job0 = jobs[0]
+        runs = [job.run for job in jobs]
         try:
+            _maybe_inject_oom(inject)
             return (
                 execute_runs(
                     job0.spec,
                     job0.seed,
                     job0.candidate_index,
-                    [job.run for job in jobs],
+                    runs,
                     split,
                     settings,
                     cancel_check=cancelled,
                     vectorized=True,
                 ),
                 False,
+                0,
             )
         except TrainingCancelled:
             raise
-        except Exception:  # noqa: BLE001 - re-run scalar for attribution
-            fallback = True
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if not is_memory_error(exc):
+                fallback = True  # re-run scalar for attribution
+            else:
+                degrades += 1
+                from ..backends import resolve_backend
+
+                resolved, _ = resolve_backend(
+                    getattr(settings, "backend", None)
+                )
+                if not resolved.is_numpy:
+                    try:
+                        return (
+                            execute_runs(
+                                job0.spec,
+                                job0.seed,
+                                job0.candidate_index,
+                                runs,
+                                split,
+                                _numpy_settings(settings),
+                                cancel_check=cancelled,
+                                vectorized=True,
+                            ),
+                            False,
+                            degrades,
+                        )
+                    except TrainingCancelled:
+                        raise
+                    except Exception as retry_exc:  # noqa: BLE001
+                        if not is_memory_error(retry_exc):
+                            fallback = True
+                        else:
+                            degrades += 1
+    elif inject and inject[0]:
+        # No fused sweep to inject into (scalar chunk): the ladder's
+        # floor *is* the scalar path, so the fault is absorbed here —
+        # counted, never re-raised — keeping results identical.
+        inject[0] = False
+        degrades += 1
     entries: list[RunResult | RunError] = []
     for job in jobs:
         try:
@@ -458,51 +535,130 @@ def _candidate_entries(
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced at commit turn
             entries.append(RunError(job.candidate_index, job.run, exc))
-    return entries, fallback
+    return entries, fallback, degrades
 
 
-def _chunk_entries(chunk: JobChunk, split, cancelled):
+def _grouped_entries(
+    items: "list[tuple[int, list[TrainingJob]]]",
+    chunk: "JobChunk",
+    split,
+    cancelled,
+    inject: "list[bool] | None",
+):
+    """One cross-candidate fused sweep over ``items``, with OOM halving.
+
+    Returns ``(entries, vectorized_fallback, memory_degrades)``;
+    ``entries`` is ``None`` when the caller must fall back to
+    per-candidate execution (the group declined to stack, or the sweep
+    failed for a non-memory reason).  An out-of-memory sweep splits the
+    group in half and fuses each half recursively — per-slice arithmetic
+    is unchanged by group membership, so every split is bit-identical to
+    the unsplit sweep.
+    """
+    from .memory import is_memory_error
+
+    group = [
+        (jobs[0].spec, index, [job.run for job in jobs])
+        for index, jobs in items
+    ]
+    try:
+        _maybe_inject_oom(inject)
+        results = execute_candidates(
+            group,
+            chunk.jobs[0].seed,
+            split,
+            chunk.settings,
+            cancel_check=cancelled,
+        )
+    except TrainingCancelled:
+        raise
+    except Exception as exc:  # noqa: BLE001 - classified below
+        if not (is_memory_error(exc) and len(items) > 1):
+            return None, True, 0
+        entries: list[RunResult | RunError] = []
+        fallback = False
+        degrades = 1
+        mid = (len(items) + 1) // 2
+        for half in (items[:mid], items[mid:]):
+            if len(half) > 1:
+                sub_entries, sub_fallback, sub_degrades = _grouped_entries(
+                    half, chunk, split, cancelled, inject
+                )
+                if sub_entries is not None:
+                    entries.extend(sub_entries)
+                    fallback = fallback or sub_fallback
+                    degrades += sub_degrades
+                    continue
+                fallback = fallback or sub_fallback
+                degrades += sub_degrades
+            for index, jobs in half:
+                sub_entries, sub_fallback, sub_degrades = _candidate_entries(
+                    jobs,
+                    split,
+                    chunk.settings,
+                    cancelled,
+                    chunk.vectorized,
+                    inject,
+                )
+                entries.extend(sub_entries)
+                fallback = fallback or sub_fallback
+                degrades += sub_degrades
+        return entries, fallback, degrades
+    if results is None:
+        return None, False, 0
+    return list(results), False, 0
+
+
+def _chunk_entries(
+    chunk: JobChunk, split, cancelled, inject: "list[bool] | None" = None
+):
     """Execute a chunk's runs; per-run errors become RunError entries.
 
-    Returns ``(entries, vectorized_fallback)``.  A multi-candidate
-    vectorized chunk first attempts one cross-candidate fused sweep
-    (:func:`repro.runtime.jobs.execute_candidates`); if the group
-    declines to stack or the sweep raises, every candidate re-runs
+    Returns ``(entries, vectorized_fallback, memory_degrades)``.  A
+    multi-candidate vectorized chunk first attempts one cross-candidate
+    fused sweep (:func:`repro.runtime.jobs.execute_candidates`); if the
+    group declines to stack or the sweep raises, every candidate re-runs
     through the per-candidate path below, which re-attributes any error
-    to its exact (candidate, run) coordinates.
+    to its exact (candidate, run) coordinates.  Out-of-memory failures
+    walk the recovery ladder instead (see :func:`_grouped_entries` and
+    :func:`_candidate_entries`).
     """
     by_candidate: dict[int, list[TrainingJob]] = {}
     for job in chunk.jobs:
         by_candidate.setdefault(job.candidate_index, []).append(job)
     fallback = False
+    degrades = 0
     if chunk.vectorized and len(by_candidate) > 1:
-        group = [
-            (jobs[0].spec, index, [job.run for job in jobs])
-            for index, jobs in by_candidate.items()
-        ]
-        try:
-            results = execute_candidates(
-                group,
-                chunk.jobs[0].seed,
-                split,
-                chunk.settings,
-                cancel_check=cancelled,
-            )
-        except TrainingCancelled:
-            raise
-        except Exception:  # noqa: BLE001 - re-run per candidate
-            fallback = True
-        else:
-            if results is not None:
-                return results, False
-    entries: list[RunResult | RunError] = []
+        entries, fallback, degrades = _grouped_entries(
+            list(by_candidate.items()), chunk, split, cancelled, inject
+        )
+        if entries is not None:
+            return entries, fallback, degrades
+    entries = []
     for jobs in by_candidate.values():
-        sub_entries, sub_fallback = _candidate_entries(
-            jobs, split, chunk.settings, cancelled, chunk.vectorized
+        sub_entries, sub_fallback, sub_degrades = _candidate_entries(
+            jobs, split, chunk.settings, cancelled, chunk.vectorized, inject
         )
         entries.extend(sub_entries)
         fallback = fallback or sub_fallback
-    return entries, fallback
+        degrades += sub_degrades
+    return entries, fallback, degrades
+
+
+def _max_rss_bytes() -> int:
+    """This process's resident-set high-water mark, 0 when unreadable.
+
+    ``ru_maxrss`` only moves when a chunk pushes the worker's all-time
+    peak higher, so the before/after delta in :func:`_run_chunk` is a
+    lower bound that is usually 0 after warm-up — exactly the right
+    bias for an EWMA that must never *under*-report a chunk's weight.
+    """
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return 0
 
 
 def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
@@ -542,9 +698,17 @@ def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
     def cancelled() -> bool:
         return _cancel_floor() > generation
 
+    # An armed "oom" fault is raised by the chunk's first recoverable
+    # attempt (fused sweep when there is one, absorbed at the scalar
+    # floor otherwise) so it engages the degradation ladder rather than
+    # the crash/retry machinery.
+    inject = [fired == faults.OOM]
+    rss_before = _max_rss_bytes()
     started = time.perf_counter()
     try:
-        entries, fallback = _chunk_entries(chunk, split, cancelled)
+        entries, fallback, degrades = _chunk_entries(
+            chunk, split, cancelled, inject
+        )
     except TrainingCancelled:
         return _CANCELLED_CHUNK
     if fired == faults.CORRUPT_RESULT:
@@ -555,6 +719,8 @@ def _run_chunk(chunk: JobChunk) -> "ChunkResult | ShmResultHandle":
             entries=tuple(entries),
             wall_time_s=time.perf_counter() - started,
             vectorized_fallback=fallback,
+            memory_degrades=degrades,
+            peak_bytes=max(0, _max_rss_bytes() - rss_before),
         )
     )
 
@@ -585,14 +751,35 @@ class ShmResultHandle:
 
 
 def _ship_result(result: ChunkResult) -> "ChunkResult | ShmResultHandle":
-    """Park an oversized result in shared memory; small ones pass through."""
+    """Park an oversized result in shared memory; small ones pass through.
+
+    Shipping is best-effort: if the segment cannot be created or written
+    (a full shm tmpfs raises ``ENOSPC`` mid-write), the segment is
+    unlinked *here* — the one exception to the parent-owns-unlinks rule,
+    safe because the handle never reached the parent — and the result
+    falls back to the pool's pickle pipe, which is slower but has no
+    size cliff.  Losing a trained chunk to a transport failure would
+    force a full retrain; a warning is the right price.
+    """
     payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) < RESULT_SHM_THRESHOLD:
         return result
-    shm = _create_named_segment("res", len(payload))
-    shm.buf[: len(payload)] = payload
-    shm.close()
-    return ShmResultHandle(segment=shm.name, nbytes=len(payload))
+    shm = None
+    try:
+        shm = _create_named_segment("res", len(payload))
+        shm.buf[: len(payload)] = payload
+        shm.close()
+        return ShmResultHandle(segment=shm.name, nbytes=len(payload))
+    except OSError as exc:
+        if shm is not None:
+            _unlink_quietly(shm)
+        logger.warning(
+            "shared-memory result shipping failed (%s); sending %d bytes "
+            "through the pool's result pipe instead",
+            exc,
+            len(payload),
+        )
+        return result
 
 
 def _receive_result(obj):
@@ -630,8 +817,11 @@ def _unwrap_result(pool: "PersistentPool", obj, callback, error_callback):
     except Exception as exc:  # noqa: BLE001 - surfaced to the scheduler
         error_callback(exc)
         return
-    if isinstance(obj, ChunkResult) and obj.vectorized_fallback:
-        pool.vectorized_fallbacks += 1
+    if isinstance(obj, ChunkResult):
+        if obj.vectorized_fallback:
+            pool.vectorized_fallbacks += 1
+        if obj.memory_degrades:
+            pool.memory_degrades += obj.memory_degrades
     callback(obj)
 
 
@@ -661,6 +851,7 @@ class ChunkCostModel:
         self.alpha = alpha
         self._per_label: dict[str, float] = {}
         self._rate: float | None = None  # seconds per FLOP
+        self._bytes_per_label: dict[str, float] = {}
         self.observations = 0
 
     def _ewma(self, old: float | None, new: float) -> float:
@@ -681,6 +872,32 @@ class ChunkCostModel:
         if flops > 0:
             self._rate = self._ewma(self._rate, per_run / flops)
         self.observations += 1
+
+    def observe_bytes(
+        self, label: str, chunk_bytes: int, n_runs: int
+    ) -> None:
+        """Record a finished chunk's measured peak working set.
+
+        Zero readings are skipped, not averaged in: ``ru_maxrss`` deltas
+        only register when a chunk raises the worker's all-time peak, so
+        a 0 means "unobserved", and mixing it into the EWMA would bias
+        the memory governor toward admitting overweight groups.
+        """
+        if n_runs < 1 or chunk_bytes <= 0:
+            return
+        per_run = chunk_bytes / n_runs
+        self._bytes_per_label[label] = self._ewma(
+            self._bytes_per_label.get(label), per_run
+        )
+
+    def bytes_estimate(self, label: str, n_runs: int = 1) -> float | None:
+        """Measured working-set bytes for ``n_runs`` of ``label``, or
+        ``None`` before any reading — callers fall back to the analytic
+        :func:`repro.runtime.memory.estimate_candidate_bytes` model."""
+        per_run = self._bytes_per_label.get(label)
+        if per_run is None:
+            return None
+        return per_run * n_runs
 
     def estimate(self, label: str, flops: int, n_runs: int = 1) -> float:
         """Expected chunk cost in seconds (raw FLOPs before any data)."""
@@ -724,11 +941,18 @@ class ChunkCostModel:
     # order, never results, so a stale or mismatched cache is harmless.
 
     def state(self) -> dict:
-        """JSON-serializable snapshot of the whole model."""
+        """JSON-serializable snapshot of the whole model.
+
+        ``schema`` 2 added ``bytes_per_label`` (measured working-set
+        EWMA); :meth:`restore` stays field-lenient, so v1 caches load
+        cleanly and v1 readers simply ignore the extra fields.
+        """
         return {
+            "schema": 2,
             "alpha": self.alpha,
             "per_label": dict(self._per_label),
             "rate": self._rate,
+            "bytes_per_label": dict(self._bytes_per_label),
             "observations": self.observations,
         }
 
@@ -747,6 +971,13 @@ class ChunkCostModel:
         rate = state.get("rate")
         if isinstance(rate, (int, float)) and rate > 0.0:
             self._rate = float(rate)
+        bytes_per_label = state.get("bytes_per_label")
+        if isinstance(bytes_per_label, dict):
+            self._bytes_per_label = {
+                str(k): float(v)
+                for k, v in bytes_per_label.items()
+                if isinstance(v, (int, float)) and v > 0.0
+            }
         observations = state.get("observations")
         if isinstance(observations, int) and observations >= 0:
             self.observations = observations
@@ -892,6 +1123,11 @@ class PersistentPool:
         self.chunk_retries = 0
         self.chunk_timeouts = 0
         self.sequential_fallbacks = 0
+        #: Memory-governance instrumentation: OOM recovery-ladder steps
+        #: taken by workers (group halving, numpy retry, scalar floor).
+        #: Results stay bit-identical; a climbing counter means groups
+        #: are being sized past what the workers can actually hold.
+        self.memory_degrades = 0
         # Worker processes start lazily on the first submitted chunk, so
         # a pool created "just in case" (a CLI run whose experiments all
         # hit the results cache, or one that never searches) costs one
@@ -918,6 +1154,31 @@ class PersistentPool:
                 )
             )
         return self._pool_box[0]
+
+    def stats(self) -> dict:
+        """One snapshot of the pool's instrumentation counters.
+
+        Collects the scattered counters (retry/timeout/fallback/
+        memory-degrade/shm accounting) into a single plain dict so the
+        scheduler can log one line at search end and tests can assert
+        on the whole picture at once.  Values are copies — mutating the
+        snapshot never touches the live counters.
+        """
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "searches_started": self.searches_started,
+            "chunk_retries": self.chunk_retries,
+            "chunk_timeouts": self.chunk_timeouts,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "vectorized_fallbacks": self.vectorized_fallbacks,
+            "memory_degrades": self.memory_degrades,
+            "shm_results_received": self.shm_results_received,
+            "swept_segments": len(self.swept_segments),
+            "live_segments": len(self._segments),
+            "init_payload_bytes": self.init_payload_bytes,
+            "cost_observations": self.cost_model.observations,
+        }
 
     # -- dataset lifecycle -------------------------------------------------
 

@@ -326,6 +326,34 @@ class TestJournalResume:
         _assert_same_outcome(resumed, baseline)
 
 
+class TestPoolStats:
+    def test_stats_snapshot_reflects_supervision(self, easy_split):
+        """`PersistentPool.stats()` collects every counter in one dict;
+        a faulted search must show up there, and the snapshot must be a
+        copy (mutating it cannot touch the live counters)."""
+        settings = _settings()
+        kwargs = _search_kwargs(easy_split, settings)
+        with PersistentPool(2) as pool:
+            before = pool.stats()
+            assert before["searches_started"] == 0
+            assert before["chunk_retries"] == 0
+            assert before["memory_degrades"] == 0
+            grid_search(**kwargs, pool=pool)  # warm the workers
+            pool.install_fault(FaultPlan(kind="kill", candidate=0))
+            try:
+                grid_search(**kwargs, pool=pool)
+            finally:
+                pool.clear_fault()
+            stats = pool.stats()
+            assert stats["workers"] == 2
+            assert stats["searches_started"] == 2
+            assert stats["chunk_retries"] >= 1
+            assert stats["chunk_retries"] == pool.chunk_retries
+            assert stats["cost_observations"] == pool.cost_model.observations
+            stats["chunk_retries"] = -1
+            assert pool.stats()["chunk_retries"] == pool.chunk_retries
+
+
 @pytest.mark.skipif(
     not os.path.isdir("/dev/shm"), reason="POSIX shm not exposed as files"
 )
