@@ -116,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             "benchmarks/test_vectorized_runs.py",
             "benchmarks/test_candidate_stacking.py",
             "benchmarks/test_backend_sweep.py",
+            "benchmarks/test_cluster_spool.py",
         ]
     )
     rev = git_revision()

@@ -1,0 +1,95 @@
+"""Spool-transport overhead: cluster-sharded search vs sequential.
+
+The spool coordinator promises "distribution is free, determinism-wise"
+— this benchmark makes the *time* cost visible in the committed
+``BENCH_<rev>.json`` snapshots.  A single-host, single-agent spool run
+is a pure-overhead configuration: every training second the sequential
+baseline pays, plus framing, fsyncs, atomic renames, polling and
+heartbeats.  The delta between the two entries is the transport tax a
+real multi-host run amortizes across agents.
+
+``test_spool_frame_roundtrip`` isolates the per-file framing cost
+(header pack + SHA-256 + validate) from the filesystem traffic.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.grid_search import TrainingSettings, grid_search
+from repro.core.search_space import classical_search_space
+from repro.data import make_spiral, stratified_split
+from repro.runtime.cluster import (
+    SpoolConfig,
+    _frame,
+    _unframe,
+    run_agent,
+    stop_agents,
+)
+
+_SETTINGS = TrainingSettings(epochs=8, batch_size=16, runs=2)
+
+
+def _bench_case():
+    ds = make_spiral(4, n_points=240, noise=0.0, turns=0.8, seed=7)
+    split = stratified_split(ds, seed=7)
+    space = classical_search_space(4, neuron_options=(2, 6), max_layers=1)
+    return space, split
+
+
+def _search(space, split, **kwargs):
+    return grid_search(
+        space,
+        split,
+        threshold=1.01,  # exhaust the space: a fixed amount of work
+        settings=_SETTINGS,
+        seed=3,
+        **kwargs,
+    )
+
+
+class TestSpoolOverhead:
+    def test_sequential_baseline(self, benchmark):
+        space, split = _bench_case()
+        outcome = benchmark.pedantic(
+            lambda: _search(space, split, workers=1), rounds=2, iterations=1
+        )
+        assert outcome.candidates_trained == len(space)
+
+    def test_spool_single_agent(self, benchmark, tmp_path):
+        space, split = _bench_case()
+        spool = SpoolConfig(
+            path=str(tmp_path / "spool"),
+            poll_interval_s=0.02,
+        )
+        agent = threading.Thread(
+            target=run_agent,
+            args=(str(spool.path),),
+            kwargs=dict(poll_interval_s=0.02, heartbeat_s=0.5),
+            daemon=True,
+        )
+        agent.start()
+        try:
+            outcome = benchmark.pedantic(
+                lambda: _search(space, split, spool=spool),
+                rounds=2,
+                iterations=1,
+            )
+        finally:
+            stop_agents(spool.path)
+            agent.join(timeout=30)
+        assert outcome.candidates_trained == len(space)
+
+
+class TestFraming:
+    def test_spool_frame_roundtrip(self, benchmark):
+        _, split = _bench_case()
+        payload = pickle.dumps(split, protocol=pickle.HIGHEST_PROTOCOL)
+
+        def roundtrip():
+            return _unframe(_frame(payload))
+
+        out = benchmark(roundtrip)
+        assert out == payload
+        benchmark.extra_info["payload_bytes"] = len(payload)

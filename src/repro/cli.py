@@ -45,8 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("all",),
-        help="which paper artifact to regenerate",
+        choices=_EXPERIMENTS + ("all", "cluster-agent"),
+        help="which paper artifact to regenerate, or 'cluster-agent' to "
+        "serve training chunks from a shared --spool directory",
     )
     parser.add_argument(
         "--profile",
@@ -107,8 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint journal: every committed candidate of every "
         "grid search is appended durably, and rerunning the same "
         "configuration against the same journal resumes past the "
-        "completed prefix with bit-identical results (records are keyed "
-        "by config hash, so one file serves the whole invocation)",
+        "completed prefix with bit-identical results (each search of "
+        "the protocol writes its own derived file next to this path, "
+        "e.g. ckpt-f4-e0.jsonl, and journals compact to the valid "
+        "committed prefix on resume)",
     )
     parser.add_argument(
         "--max-retries",
@@ -140,6 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
         "in-flight bytes, and never change results",
     )
     parser.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="shared-filesystem spool directory for cross-host sharding: "
+        "experiments run their grid searches as cluster coordinators "
+        "leasing chunks to 'repro cluster-agent --spool DIR' processes "
+        "on any host sharing the filesystem; results are bit-identical "
+        "to a local run, and losing every agent degrades to in-process "
+        "sequential execution (see docs/parallel_runtime.md)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cluster-agent only: exit after this many seconds with no "
+        "claimable work (default: serve until the coordinator writes "
+        "the spool's stop file)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress lines",
@@ -163,6 +186,20 @@ def validate_args(parser: argparse.ArgumentParser, args) -> None:
             parse_memory_budget(args.memory_budget)
         except ConfigurationError as exc:
             parser.error(str(exc))
+    if args.experiment == "cluster-agent" and not args.spool:
+        parser.error("cluster-agent requires --spool DIR")
+    if args.idle_timeout is not None and args.idle_timeout <= 0:
+        parser.error(
+            f"--idle-timeout must be > 0, got {args.idle_timeout}"
+        )
+    if args.spool and args.workers not in (0, 1):
+        # Not an error -- the spool simply takes precedence -- but the
+        # combination suggests a misunderstanding worth flagging early.
+        print(
+            "note: --spool overrides --workers (chunks run on cluster "
+            "agents, not a local pool)",
+            file=sys.stderr,
+        )
 
 
 def _progress_printer(quiet: bool):
@@ -225,6 +262,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     validate_args(parser, args)
+    if args.experiment == "cluster-agent":
+        # Serve chunks from the spool until the coordinator writes the
+        # stop file (or the idle timeout fires); no experiment runs here.
+        from .runtime.cluster import run_agent
+
+        stats = run_agent(args.spool, idle_timeout_s=args.idle_timeout)
+        if not args.quiet:
+            print(
+                f"agent {stats.agent_id}: {stats.chunks_done} chunks, "
+                f"{stats.claims_lost} claims lost, "
+                f"{stats.cancelled} cancelled",
+                file=sys.stderr,
+            )
+        return 0
     targets = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     overrides: dict = {}
@@ -244,11 +295,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .runtime.memory import parse_memory_budget
 
         overrides["memory_budget"] = parse_memory_budget(args.memory_budget)
+    if args.spool:
+        overrides["spool"] = args.spool
 
     from .runtime.parallel import resolve_workers
 
     pool = None
-    if resolve_workers(args.workers) > 1:
+    if args.spool is None and resolve_workers(args.workers) > 1:
         from .runtime.pool import PersistentPool
 
         pool = PersistentPool(resolve_workers(args.workers), backend=args.backend)
@@ -288,6 +341,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             if cost_cache and pool.cost_model.observations:
                 pool.cost_model.save_json(cost_cache)
             pool.close()
+        if args.spool:
+            # Wind the cluster down: agents exit when they see the stop
+            # file instead of idling on an empty spool forever.
+            from .runtime.cluster import stop_agents
+
+            stop_agents(args.spool)
     return 0
 
 

@@ -103,3 +103,17 @@ REPORTED_FEATURE_SIZES = (10, 40, 80, 110)
 #: it bounds how much of the host (or device) the fused sweeps may claim
 #: concurrently; see ``repro.runtime.memory``.
 MEMORY_BUDGET_FRACTION = 0.5
+
+#: Cross-host spool defaults (``repro.runtime.cluster``; runtime knobs,
+#: not paper constants).  An agent rewrites its heartbeat counter every
+#: ``SPOOL_HEARTBEAT_S``; the coordinator reclaims a chunk lease after
+#: observing no counter change for ``SPOOL_LEASE_TIMEOUT_S`` on its own
+#: monotonic clock (remote wall clocks are never compared, so host skew
+#: is irrelevant — the ratio just needs enough slack for NFS attribute
+#: caching and scheduler hiccups).  With no live agent for
+#: ``SPOOL_AGENT_GRACE_S`` the coordinator finishes the search
+#: in-process instead of waiting forever.
+SPOOL_HEARTBEAT_S = 5.0
+SPOOL_LEASE_TIMEOUT_S = 60.0
+SPOOL_POLL_INTERVAL_S = 0.5
+SPOOL_AGENT_GRACE_S = 30.0

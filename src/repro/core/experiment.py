@@ -78,12 +78,19 @@ class ProtocolConfig:
     #: a worker death, hard timeout, or runtime error before degrading
     #: to in-process sequential execution.  Never changes results.
     max_retries: int = 2
-    #: Optional checkpoint journal path: every grid search of the
-    #: protocol appends its committed candidates there (records are
-    #: keyed by config hash, so all the protocol's searches share one
-    #: file), and an interrupted protocol rerun skips everything
-    #: already committed.
+    #: Optional checkpoint journal path.  Each of the protocol's grid
+    #: searches writes its own derived file next to this path (e.g.
+    #: ``ckpt-f4-e0.jsonl`` for ``ckpt.jsonl``): journals compact to a
+    #: single search's records on resume, so sharing one file across
+    #: searches would discard every other search's checkpoint.  An
+    #: interrupted protocol rerun skips everything already committed.
     journal: str | None = None
+    #: Optional shared-filesystem spool directory: every grid search of
+    #: the protocol runs as a cluster coordinator, leasing chunks to
+    #: ``repro cluster-agent`` processes on any host sharing the
+    #: filesystem (see ``repro.runtime.cluster``).  Overrides
+    #: ``workers``/pool execution; results are identical either way.
+    spool: str | None = None
     #: Array backend for the stacked training sweeps ("numpy", "torch",
     #: "cupy"; None = REPRO_BACKEND env, then NumPy).  NumPy is the
     #: bit-exact reference; device backends are tolerance-grade (see
@@ -205,6 +212,28 @@ def _level_seed(cfg: ProtocolConfig, feature_size: int, experiment: int) -> int:
     ) % (2**31)
 
 
+def _search_journal_path(
+    journal: str | None, feature_size: int, experiment: int
+) -> str | None:
+    """One journal file per (level, experiment) search.
+
+    Journals compact to one search's committed prefix on resume
+    (:meth:`repro.runtime.journal.SearchJournal.load`), so the
+    protocol's searches must not share a file: the derived name keeps
+    every search's checkpoint alive across a protocol rerun.
+    """
+    if journal is None:
+        return None
+    import pathlib
+
+    base = pathlib.Path(journal)
+    return str(
+        base.with_name(
+            f"{base.stem}-f{feature_size}-e{experiment}{base.suffix}"
+        )
+    )
+
+
 def make_level_split(cfg: ProtocolConfig, feature_size: int) -> DataSplit:
     """The dataset split shared by all experiments at one level."""
     dataset = make_spiral(
@@ -251,7 +280,7 @@ def run_protocol(
     from ..runtime.parallel import resolve_workers
 
     owns_pool = False
-    if pool is None and resolve_workers(cfg.workers) > 1:
+    if pool is None and cfg.spool is None and resolve_workers(cfg.workers) > 1:
         from ..runtime.pool import PersistentPool
 
         pool = PersistentPool(resolve_workers(cfg.workers), backend=cfg.backend)
@@ -273,8 +302,11 @@ def run_protocol(
                         max_candidates=cfg.max_candidates,
                         workers=cfg.workers,
                         pool=pool,
-                        journal=cfg.journal,
+                        journal=_search_journal_path(
+                            cfg.journal, feature_size, experiment
+                        ),
                         on_event=on_event,
+                        spool=cfg.spool,
                     )
                     level.outcomes.append(outcome)
                     if progress is not None:

@@ -515,6 +515,7 @@ def grid_search(
     pool: "PersistentPool | None" = None,
     journal: "str | None" = None,
     on_event: Callable[..., None] | None = None,
+    spool: "str | None" = None,
 ) -> SearchOutcome:
     """Run the FLOPs-sorted search.
 
@@ -568,6 +569,18 @@ def grid_search(
         fault-tolerance decision the parallel scheduler takes (worker
         loss, retry, deadline warning/timeout, sequential fallback);
         unused by the sequential path.
+    spool:
+        Optional path to a shared-filesystem spool directory (or a
+        :class:`repro.runtime.cluster.SpoolConfig`).  When given, the
+        search runs as a cross-host cluster coordinator
+        (:func:`repro.runtime.cluster.cluster_search`): chunks are
+        leased to ``repro cluster-agent`` processes — on this or any
+        host sharing the filesystem — instead of local pool workers,
+        and ``workers``/``pool`` are ignored.  The outcome is
+        bit-identical to the sequential baseline regardless of agent
+        count or failures; losing every agent finishes the search
+        in-process.  An execution knob like ``workers``: it never
+        affects results.
 
     Returns
     -------
@@ -630,6 +643,24 @@ def grid_search(
         start_index = len(outcome.evaluated)
         if start_index >= len(ranked):
             return outcome
+
+    if spool is not None:
+        from ..runtime.cluster import cluster_search
+
+        return cluster_search(
+            ranked,
+            split,
+            threshold,
+            settings,
+            conv,
+            seed,
+            spool=spool,
+            progress=progress,
+            journal=search_journal,
+            on_event=on_event,
+            outcome=outcome,
+            start_index=start_index,
+        )
 
     from ..runtime.parallel import resolve_workers, speculative_search
 

@@ -183,9 +183,9 @@ def run_family_cached(
     The cache key is ``{family}_{profile}.json`` inside ``cache_dir``;
     pass ``cache_dir=None`` to disable caching entirely.  ``workers``,
     ``pool``, ``vectorized_runs``, ``stacked_candidates``,
-    ``max_retries``, ``journal`` and ``memory_budget`` do not enter the
-    cache key: they select execution/supervision mechanics that produce
-    identical results, so any may serve another's cache.  Every other config
+    ``max_retries``, ``journal``, ``spool`` and ``memory_budget`` do not
+    enter the cache key: they select execution/supervision mechanics that
+    produce identical results, so any may serve another's cache.  Every other config
     override *does* change results, so it is appended to the key —
     ``repro fig8 --runs 3`` will never be served a default-runs cache
     entry (nor poison it).  ``backend`` is deliberately in the second
@@ -214,6 +214,7 @@ def run_family_cached(
             "stacked_candidates",
             "max_retries",
             "journal",
+            "spool",
             "memory_budget",
         )
         and getattr(base_cfg, k, None) != v

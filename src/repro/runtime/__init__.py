@@ -23,10 +23,27 @@ whole run set in one vectorized sweep.
 :mod:`repro.runtime.journal` persists every committed candidate to a
 JSONL checkpoint so interrupted searches resume bit-identically, and
 :mod:`repro.runtime.faults` provides the deterministic fault-injection
-hooks (worker kill, chunk delay, corrupt result segment) the
-fault-tolerance tests drive real process death with.
+hooks (worker kill, chunk delay, corrupt result segment, host kill,
+lease steal, torn file) the fault-tolerance tests drive real process
+death with.
+
+:mod:`repro.runtime.cluster` shards one search across hosts over a
+shared-filesystem spool — lease-based claims, heartbeat liveness,
+dead-host recovery, sequential-identical commit order — and
+:mod:`repro.runtime.backoff` is the shared capped decorrelated-jitter
+retry policy every retry path sleeps through.
 """
 
+from .backoff import Backoff, retry_call
+from .cluster import (
+    AgentStats,
+    SpoolConfig,
+    SpoolCoordinator,
+    cluster_search,
+    run_agent,
+    stop_agents,
+    sweep_stale_leases,
+)
 from .faults import FaultPlan
 from .jobs import (
     RunResult,
@@ -72,4 +89,13 @@ __all__ = [
     "FaultPlan",
     "SearchJournal",
     "search_key",
+    "Backoff",
+    "retry_call",
+    "SpoolConfig",
+    "SpoolCoordinator",
+    "AgentStats",
+    "cluster_search",
+    "run_agent",
+    "stop_agents",
+    "sweep_stale_leases",
 ]

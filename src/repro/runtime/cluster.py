@@ -1,0 +1,1307 @@
+"""Cross-host sharded grid search over a shared-filesystem spool.
+
+ROADMAP item (e): shard one protocol run across multiple hosts.  The
+single-host seams — picklable :class:`~repro.runtime.jobs.TrainingJob`
+chunks, ``(seed, candidate, run)``-derived RNG streams, strict
+FLOPs-order commit — already make distributed execution a pure
+transport problem, and the thinnest transport every cluster filesystem
+provides is a shared directory.  No sockets, no broker, no new
+dependencies: the **spool** directory is the wire.
+
+Spool layout (all files live under one directory)::
+
+    tasks/       <token>.c<cid>.a<attempt>.task      framed SpoolChunk
+    leases/      <agent>.<token>.c<cid>.a<att>.lease a claimed task
+    results/     <token>.c<cid>.a<att>.<agent>.result framed SpoolResult
+    data/        <token>.split                       framed DataSplit
+    agents/      <agent>.agent                       heartbeat counter
+    quarantine/  files that failed frame validation
+    faults/      spool-armed fault plans (tests only)
+    stop                                             agents exit when present
+
+``<token>`` and ``<agent>`` use the owner-id grammar
+``repro_<host>_<pid>_<nonce>`` — the same discipline as the pool's
+``repro_<pid>_*`` shared-memory segments — so dead-owner garbage is
+*sweepable*: a new coordinator unlinks any same-host file whose owner
+pid is gone (see :func:`sweep_stale_leases`).
+
+The protocol:
+
+* the **coordinator** (:class:`SpoolCoordinator`, usually via
+  ``grid_search(spool=...)``) serializes one chunk per candidate into
+  ``tasks/`` within a bounded speculation window, ingests result files,
+  and commits candidates **strictly in FLOPs order** — so the returned
+  :class:`~repro.core.grid_search.SearchOutcome` is bit-identical to
+  the sequential baseline for any host count, any claim interleaving,
+  any failure history;
+
+* an **agent** (:func:`run_agent`, ``repro cluster-agent --spool``)
+  claims a task by atomically renaming it into ``leases/`` — rename is
+  the spool's only mutual-exclusion primitive, and it moves the payload
+  with the claim — executes the chunk through the same
+  ``_chunk_entries`` primitive the pool workers run, writes a result
+  file, and releases the lease;
+
+* while training, the agent's heartbeat thread rewrites a per-agent
+  counter file.  The coordinator judges liveness **only on its own
+  monotonic clock**: it records when it last observed the counter
+  *change*, and expires leases after ``lease_timeout_s`` without a
+  change (same-host agents are additionally pid-probed).  Remote
+  wall-clock timestamps are never compared, so arbitrary clock skew
+  between hosts cannot cause a false (or missed) expiry;
+
+* an expired lease's chunk is re-enqueued with its attempt count
+  bumped, bounded by ``settings.max_retries``; chunks are deterministic
+  so the re-execution is bit-identical.  A *stale* agent that rejoins
+  and writes its result anyway just produces a duplicate result file —
+  the first ingested copy wins and later ones are counted and dropped;
+
+* every payload file is **framed** (magic, version, length, SHA-256)
+  and written tmp-then-rename, so a torn or half-written file is
+  detected, moved to ``quarantine/`` and its chunk retried — never
+  parsed into garbage; all spool I/O retries transient ``OSError``s
+  with capped decorrelated-jitter backoff
+  (:mod:`repro.runtime.backoff`);
+
+* losing **every** agent degrades gracefully: after ``agent_grace_s``
+  with no live heartbeat the coordinator finishes the remaining
+  candidates in-process through the same sequential primitive the pool
+  scheduler falls back to — the sweep completes, identically, on the
+  coordinator alone.
+
+Determinism, as everywhere in this runtime: distribution, chunking,
+claim order, retries, duplicates, quarantines and fallbacks shape only
+wall time.  The result stream is a pure function of ``(ranked,
+threshold, settings, convention, seed)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pathlib
+import pickle
+import random
+import re
+import secrets
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..config import (
+    SPOOL_AGENT_GRACE_S,
+    SPOOL_HEARTBEAT_S,
+    SPOOL_LEASE_TIMEOUT_S,
+    SPOOL_POLL_INTERVAL_S,
+)
+from ..exceptions import SearchError, TrainingCancelled
+from . import faults
+from .backoff import retry_call
+from .jobs import RunResult, TrainingJob
+from .parallel import SearchEvent, _finish_sequential
+from .pool import RunError, _chunk_entries, _pid_alive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.grid_search import (
+        CandidateResult,
+        SearchOutcome,
+        TrainingSettings,
+    )
+    from ..core.search_space import ModelSpec
+    from ..data.splits import DataSplit
+    from ..flops.conventions import CountingConvention
+    from .journal import SearchJournal
+
+__all__ = [
+    "SpoolConfig",
+    "SpoolChunk",
+    "SpoolResult",
+    "SpoolCoordinator",
+    "AgentStats",
+    "cluster_search",
+    "run_agent",
+    "stop_agents",
+    "sweep_stale_leases",
+    "TornFileError",
+]
+
+logger = logging.getLogger("repro.runtime")
+
+_TASK_DIR = "tasks"
+_LEASE_DIR = "leases"
+_RESULT_DIR = "results"
+_DATA_DIR = "data"
+_AGENT_DIR = "agents"
+_QUARANTINE_DIR = "quarantine"
+_STOP_FILE = "stop"
+_DIRS = (_TASK_DIR, _LEASE_DIR, _RESULT_DIR, _DATA_DIR, _AGENT_DIR,
+         _QUARANTINE_DIR)
+
+#: Chunks enqueued ahead of the commit frontier per live agent (with a
+#: floor of two so a spool primed before any agent joins has work
+#: waiting).  Bounds the training discarded when an early candidate
+#: passes, exactly like the pool scheduler's speculation window.
+_SPECULATION_PER_AGENT = 2
+
+
+class TornFileError(SearchError):
+    """A spool file failed frame validation (short, torn, or corrupt)."""
+
+
+# -- framing ----------------------------------------------------------------
+
+_MAGIC = b"RSPL"
+_FRAME_VERSION = 1
+_HEADER = struct.Struct("<4sIQ32s")  # magic, version, payload len, sha256
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        _HEADER.pack(
+            _MAGIC,
+            _FRAME_VERSION,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+        )
+        + payload
+    )
+
+
+def _unframe(blob: bytes) -> bytes:
+    """Validate a frame and return its payload, or raise TornFileError."""
+    if len(blob) < _HEADER.size:
+        raise TornFileError("spool frame shorter than its header")
+    magic, version, length, digest = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise TornFileError("spool frame carries a foreign magic")
+    if version != _FRAME_VERSION:
+        raise TornFileError(
+            f"spool frame version {version} != {_FRAME_VERSION}"
+        )
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        raise TornFileError(
+            f"torn spool frame: {len(payload)} payload byte(s) on disk "
+            f"vs {length} declared"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise TornFileError("spool frame checksum mismatch")
+    return payload
+
+
+# -- retried spool I/O ------------------------------------------------------
+
+
+class _SpoolIO:
+    """All spool filesystem access, retried with jittered backoff.
+
+    A network filesystem riding out a failover returns transient
+    ``EIO``/``ESTALE``; retrying through :func:`repro.runtime.backoff.
+    retry_call` outlasts it without hammering the server.  Missing
+    files are *semantic* on a spool (a lost claim race, an already-
+    ingested result), so readers map ``FileNotFoundError`` to ``None``
+    instead of retrying it.
+    """
+
+    def __init__(self, retries: int = 4) -> None:
+        self.retries = retries
+        self.io_retries = 0
+        self.backoff_s = 0.0
+        self._rng = random.Random()
+
+    def call(self, fn: Callable):
+        def on_retry(error, attempt, delay) -> None:
+            self.io_retries += 1
+            self.backoff_s += delay
+            logger.warning(
+                "spool I/O failed (%r); retry %d in %.2fs",
+                error,
+                attempt,
+                delay,
+            )
+
+        return retry_call(
+            fn,
+            retries=self.retries,
+            base_s=0.02,
+            cap_s=0.5,
+            rng=self._rng,
+            retry_on=(OSError,),
+            on_retry=on_retry,
+        )
+
+    def read_bytes(self, path: pathlib.Path) -> bytes | None:
+        """File contents, or ``None`` if it does not exist."""
+
+        def attempt() -> bytes | None:
+            try:
+                return path.read_bytes()
+            except FileNotFoundError:
+                return None
+
+        return self.call(attempt)
+
+    def write_frame(self, path: pathlib.Path, payload: bytes) -> None:
+        """Write a framed payload atomically (tmp + fsync + rename)."""
+
+        def attempt() -> None:
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            try:
+                with open(tmp, "wb") as fh:
+                    fh.write(_frame(payload))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+        self.call(attempt)
+
+    def unlink(self, path: pathlib.Path) -> None:
+        def attempt() -> None:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+        self.call(attempt)
+
+    def listing(self, directory: pathlib.Path) -> list[str]:
+        def attempt() -> list[str]:
+            try:
+                return sorted(os.listdir(directory))
+            except FileNotFoundError:
+                return []
+
+        return self.call(attempt)
+
+    def quarantine(self, path: pathlib.Path, root: pathlib.Path) -> None:
+        """Move a failed-validation file aside for post-mortem."""
+
+        def attempt() -> None:
+            target = root / _QUARANTINE_DIR / path.name
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                pass
+
+        self.call(attempt)
+
+
+# -- owner ids and file names -----------------------------------------------
+
+_OWNER_RE = re.compile(
+    r"^repro_(?P<host>[A-Za-z0-9-]+)_(?P<pid>\d+)_(?P<nonce>[0-9a-f]+)$"
+)
+
+
+def _host_tag() -> str:
+    return re.sub(r"[^A-Za-z0-9-]", "-", socket.gethostname()) or "host"
+
+
+def _new_owner_id() -> str:
+    return f"repro_{_host_tag()}_{os.getpid()}_{secrets.token_hex(3)}"
+
+
+def _owner_dead(owner: str) -> bool:
+    """True only when the owner is *verifiably* dead (same host, pid gone).
+
+    Remote owners are never judged here — their death shows up as
+    heartbeat staleness instead.
+    """
+    match = _OWNER_RE.match(owner)
+    if match is None or match.group("host") != _host_tag():
+        return False
+    return not _pid_alive(int(match.group("pid")))
+
+
+def _task_name(token: str, cid: int, attempt: int) -> str:
+    return f"{token}.c{cid:05d}.a{attempt:02d}.task"
+
+
+def _parse_task(name: str) -> "tuple[str, int, int] | None":
+    """``(token, cid, attempt)`` for a task file name, else ``None``."""
+    if not name.endswith(".task"):
+        return None
+    parts = name[: -len(".task")].split(".")
+    if len(parts) != 3 or not parts[1].startswith("c"):
+        return None
+    try:
+        return parts[0], int(parts[1][1:]), int(parts[2][1:])
+    except ValueError:
+        return None
+
+
+def _parse_lease(name: str) -> "tuple[str, str, int, int] | None":
+    """``(agent, token, cid, attempt)`` for a lease file name."""
+    if not name.endswith(".lease"):
+        return None
+    parts = name[: -len(".lease")].split(".")
+    if len(parts) != 4 or not parts[2].startswith("c"):
+        return None
+    try:
+        return parts[0], parts[1], int(parts[2][1:]), int(parts[3][1:])
+    except ValueError:
+        return None
+
+
+def _parse_result(name: str) -> "tuple[str, int, int, str] | None":
+    """``(token, cid, attempt, agent)`` for a result file name."""
+    if not name.endswith(".result"):
+        return None
+    parts = name[: -len(".result")].split(".")
+    if len(parts) != 4 or not parts[1].startswith("c"):
+        return None
+    try:
+        return parts[0], int(parts[1][1:]), int(parts[2][1:]), parts[3]
+    except ValueError:
+        return None
+
+
+def _file_owner(name: str) -> str | None:
+    """The owner-id prefix of any spool file name (first dot field)."""
+    head = name.split(".", 1)[0]
+    return head if _OWNER_RE.match(head) else None
+
+
+# -- wire types -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpoolChunk:
+    """A picklable unit of cluster work: every run of one candidate.
+
+    Duck-type compatible with the pool's ``JobChunk`` where it matters:
+    agents execute it through the same ``_chunk_entries`` primitive the
+    pool workers run (it needs only ``jobs``/``settings``/
+    ``vectorized``), so a spool-trained run is bit-identical to a
+    pool-trained or sequential one.
+    """
+
+    token: str  # owning coordinator, owner-id grammar
+    chunk_id: int  # == candidate rank index
+    attempt: int
+    jobs: "tuple[TrainingJob, ...]"
+    settings: "TrainingSettings"
+    vectorized: bool
+    dataset: str  # file name under data/ the split travels in
+
+
+@dataclass(frozen=True)
+class SpoolResult:
+    """One executed chunk's entries, written as a framed result file."""
+
+    chunk_id: int
+    attempt: int
+    agent: str
+    entries: "tuple[RunResult | RunError, ...]"
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class SpoolConfig:
+    """Spool transport knobs (`path` is the shared directory)."""
+
+    path: "str | os.PathLike"
+    lease_timeout_s: float = SPOOL_LEASE_TIMEOUT_S
+    poll_interval_s: float = SPOOL_POLL_INTERVAL_S
+    agent_grace_s: float = SPOOL_AGENT_GRACE_S
+    io_retries: int = 4
+
+
+# -- startup hygiene --------------------------------------------------------
+
+
+def sweep_stale_leases(spool_dir: "str | os.PathLike") -> list[str]:
+    """Unlink lease and heartbeat files whose owner process is dead.
+
+    The spool twin of :func:`repro.runtime.pool.sweep_stale_segments`:
+    a ``kill -9``-ed agent never reaches its deterministic unlinks, so
+    its lease (named ``repro_<host>_<pid>_*``) would pin a chunk until
+    the heartbeat timeout on every later run.  Same-host dead-pid
+    owners are swept immediately at coordinator start; remote owners
+    are left to heartbeat expiry (a pid cannot be probed across hosts).
+    Returns the removed names (also logged).
+    """
+    root = pathlib.Path(spool_dir)
+    removed: list[str] = []
+    for sub in (_LEASE_DIR, _AGENT_DIR):
+        try:
+            names = sorted(os.listdir(root / sub))
+        except OSError:
+            continue
+        for name in names:
+            owner = _file_owner(name)
+            if owner is None or not _owner_dead(owner):
+                continue
+            try:
+                os.unlink(root / sub / name)
+            except OSError:  # pragma: no cover - raced another sweeper
+                continue
+            removed.append(name)
+    if removed:
+        logger.warning(
+            "swept %d stale spool file(s) left by dead owners: %s",
+            len(removed),
+            ", ".join(removed),
+        )
+    return removed
+
+
+def stop_agents(spool_dir: "str | os.PathLike") -> None:
+    """Write the spool's ``stop`` file so every agent exits its loop.
+
+    Idempotent; agents notice the file on their next poll.  The CLI
+    calls this after its last coordinated search so a cluster run winds
+    down without having to hunt agent processes across hosts.
+    """
+    root = pathlib.Path(spool_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / _STOP_FILE).touch()
+
+
+# -- coordinator ------------------------------------------------------------
+
+
+class _Exhausted(Exception):
+    """Internal: a chunk ran out of attempts; carries the would-be error."""
+
+    def __init__(self, error: Exception, attempts: int) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.attempts = attempts
+
+
+class SpoolCoordinator:
+    """Drives one spool-sharded search; returns a sequential-identical
+    :class:`~repro.core.grid_search.SearchOutcome`.
+
+    Single-writer by design: one coordinator per spool directory at a
+    time (agents scale horizontally, the coordinator does not).  Usually
+    constructed via ``grid_search(spool=...)`` / :func:`cluster_search`;
+    the class is exposed so tests can drive ``prepare``/``_loop``
+    stepwise.
+    """
+
+    def __init__(
+        self,
+        ranked: Sequence["ModelSpec"],
+        split: "DataSplit",
+        threshold: float,
+        settings: "TrainingSettings",
+        convention: "CountingConvention",
+        seed: int,
+        config: "SpoolConfig | str | os.PathLike",
+        progress: Callable[["CandidateResult"], None] | None = None,
+        journal: "SearchJournal | None" = None,
+        on_event: Callable[[SearchEvent], None] | None = None,
+        outcome: "SearchOutcome | None" = None,
+        start_index: int = 0,
+    ) -> None:
+        from ..core.grid_search import SearchOutcome
+
+        if settings.runs < 1:
+            raise SearchError(
+                f"settings.runs must be >= 1, got {settings.runs}"
+            )
+        self.cfg = (
+            config
+            if isinstance(config, SpoolConfig)
+            else SpoolConfig(path=config)
+        )
+        self.root = pathlib.Path(self.cfg.path)
+        self.ranked = ranked
+        self.split = split
+        self.threshold = threshold
+        self.settings = settings
+        self.convention = convention
+        self.seed = seed
+        self.progress = progress
+        self.journal = journal
+        self.on_event = on_event
+        self.outcome = outcome or SearchOutcome(
+            threshold=threshold, winner=None
+        )
+        self.token = _new_owner_id()
+        self.io = _SpoolIO(self.cfg.io_retries)
+        self.dataset_name = f"{self.token}.split"
+        # Commit bookkeeping (mirrors the pool scheduler's).
+        self.next_commit = start_index
+        self.ready: "dict[int, CandidateResult | RunError]" = {}
+        self.done: set[int] = set()
+        self.attempts: dict[int, int] = {}  # cid -> submissions so far
+        # Liveness observation: agent -> (counter, monotonic last change);
+        # lease name -> monotonic first seen (for agents that died before
+        # their first heartbeat landed).
+        self.agents: dict[str, tuple[int, float]] = {}
+        self.lease_seen: dict[str, float] = {}
+        self._missing_once: set[int] = set()
+        # Stats.
+        self.swept_leases = 0
+        self.swept_files = 0
+        self.expired_leases = 0
+        self.quarantined = 0
+        self.duplicate_results = 0
+        self.chunk_retries = 0
+        self.sequential_fallbacks = 0
+        self.agents_seen: set[str] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> "SearchOutcome":
+        self.prepare()
+        try:
+            return self._loop()
+        finally:
+            self._cleanup()
+            logger.info("spool coordinator stats: %s", self.stats())
+
+    def prepare(self) -> None:
+        """Create the layout, sweep dead-owner garbage, publish the split."""
+        for sub in _DIRS:
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        # A leftover stop file from a previous wound-down run would make
+        # every freshly started agent exit immediately.
+        self.io.unlink(self.root / _STOP_FILE)
+        self.swept_leases = len(sweep_stale_leases(self.root))
+        self._sweep_dead_files()
+        self.io.write_frame(
+            self.root / _DATA_DIR / self.dataset_name,
+            pickle.dumps(self.split, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def _sweep_dead_files(self) -> None:
+        """Remove task/result/dataset files from finished coordinators.
+
+        A file is garbage when its coordinator token is verifiably dead
+        — or belongs to *this* process but a previous search (same pid,
+        different token): coordinators are single-writer per spool, so
+        a same-pid foreign token can only be an earlier run of ours.
+        """
+        for sub in (_TASK_DIR, _RESULT_DIR, _DATA_DIR):
+            for name in self.io.listing(self.root / sub):
+                owner = _file_owner(name)
+                if owner is None or owner == self.token:
+                    continue
+                match = _OWNER_RE.match(owner)
+                ours = (
+                    match is not None
+                    and match.group("host") == _host_tag()
+                    and int(match.group("pid")) == os.getpid()
+                )
+                if ours or _owner_dead(owner):
+                    self.io.unlink(self.root / sub / name)
+                    self.swept_files += 1
+        if self.swept_files:
+            logger.warning(
+                "swept %d spool file(s) from finished or dead "
+                "coordinators",
+                self.swept_files,
+            )
+
+    def _cleanup(self) -> None:
+        """Best-effort removal of everything this search put in the spool."""
+        try:
+            for sub in (_TASK_DIR, _RESULT_DIR, _DATA_DIR):
+                for name in self.io.listing(self.root / sub):
+                    if name.startswith(self.token + "."):
+                        self.io.unlink(self.root / sub / name)
+        except OSError:  # pragma: no cover - spool died; nothing to clean
+            pass
+
+    def stats(self) -> dict:
+        """One snapshot of the coordinator's instrumentation counters."""
+        return {
+            "token": self.token,
+            "committed": self.next_commit,
+            "enqueued": len(self.attempts),
+            "completed_chunks": len(self.done),
+            "expired_leases": self.expired_leases,
+            "swept_leases": self.swept_leases,
+            "swept_files": self.swept_files,
+            "quarantined": self.quarantined,
+            "duplicate_results": self.duplicate_results,
+            "chunk_retries": self.chunk_retries,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "io_retries": self.io.io_retries,
+            "io_backoff_s": round(self.io.backoff_s, 3),
+            "agents_seen": len(self.agents_seen),
+        }
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        message: str,
+        candidates: Sequence[int] = (),
+        attempts: int = 0,
+    ) -> None:
+        logger.warning("%s", message)
+        if self.on_event is not None:
+            self.on_event(
+                SearchEvent(
+                    kind=kind,
+                    message=message,
+                    candidates=tuple(candidates),
+                    attempts=attempts,
+                )
+            )
+
+    # -- work creation -----------------------------------------------------
+
+    def _make_chunk(self, cid: int, attempt: int) -> SpoolChunk:
+        runs = self.settings.runs
+        return SpoolChunk(
+            token=self.token,
+            chunk_id=cid,
+            attempt=attempt,
+            jobs=tuple(
+                TrainingJob(self.ranked[cid], self.seed, cid, run)
+                for run in range(runs)
+            ),
+            settings=self.settings,
+            vectorized=self.settings.vectorized_runs and runs > 1,
+            dataset=self.dataset_name,
+        )
+
+    def _enqueue(self, cid: int, attempt: int) -> None:
+        payload = pickle.dumps(
+            self._make_chunk(cid, attempt),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self.io.write_frame(
+            self.root / _TASK_DIR / _task_name(self.token, cid, attempt),
+            payload,
+        )
+        self.attempts[cid] = attempt
+
+    def _requeue(self, cid: int, cause: str) -> None:
+        """Re-enqueue a lost chunk, bounded by ``settings.max_retries``."""
+        if cid in self.done:
+            return
+        attempt = self.attempts.get(cid, 0) + 1
+        max_retries = self.settings.max_retries
+        if attempt > max_retries + 1:
+            error = SearchError(
+                f"{cause}; the chunk for candidate {cid} was lost "
+                f"{attempt - 1} time(s) (max_retries={max_retries})"
+            )
+            error.attempts = attempt - 1
+            raise _Exhausted(error, attempt - 1)
+        self.chunk_retries += 1
+        self._emit(
+            "retry",
+            f"{cause}; re-enqueueing the chunk for candidate {cid} "
+            f"(attempt {attempt} of {max_retries + 1})",
+            candidates=[cid],
+            attempts=attempt,
+        )
+        self._enqueue(cid, attempt)
+
+    def _top_up(self, live_agents: int) -> None:
+        window = max(2, _SPECULATION_PER_AGENT * live_agents)
+        limit = min(len(self.ranked), self.next_commit + window)
+        for cid in range(self.next_commit, limit):
+            if cid not in self.attempts and cid not in self.done:
+                self._enqueue(cid, 1)
+
+    # -- liveness ----------------------------------------------------------
+
+    def _observe_agents(self) -> set[str]:
+        """Live agent ids, judged on this process's monotonic clock."""
+        now = time.monotonic()
+        present: set[str] = set()
+        for name in self.io.listing(self.root / _AGENT_DIR):
+            if not name.endswith(".agent"):
+                continue
+            owner = name[: -len(".agent")]
+            if _OWNER_RE.match(owner) is None:
+                continue
+            present.add(owner)
+            self.agents_seen.add(owner)
+            raw = self.io.read_bytes(self.root / _AGENT_DIR / name)
+            if raw is None:
+                continue
+            try:
+                counter = int(raw.decode("ascii").strip())
+            except (ValueError, UnicodeDecodeError):
+                continue
+            previous = self.agents.get(owner)
+            if previous is None or previous[0] != counter:
+                self.agents[owner] = (counter, now)
+        live: set[str] = set()
+        for owner in present:
+            if _owner_dead(owner):
+                continue
+            observed = self.agents.get(owner)
+            if (
+                observed is not None
+                and now - observed[1] <= self.cfg.lease_timeout_s
+            ):
+                live.add(owner)
+        return live
+
+    def _check_leases(self, live: set[str]) -> None:
+        """Expire leases of dead/partitioned agents; detect lost chunks."""
+        now = time.monotonic()
+        seen_leases: set[str] = set()
+        leased_cids: set[int] = set()
+        for name in self.io.listing(self.root / _LEASE_DIR):
+            parsed = _parse_lease(name)
+            if parsed is None:
+                continue
+            agent, token, cid, attempt = parsed
+            if token != self.token:
+                continue
+            seen_leases.add(name)
+            first_seen = self.lease_seen.setdefault(name, now)
+            expired = False
+            if _owner_dead(agent):
+                expired = True
+            elif agent not in live:
+                # Not live means "no heartbeat change observed recently"
+                # — but a lease younger than the timeout may belong to
+                # an agent whose first beat simply has not landed yet.
+                expired = now - first_seen > self.cfg.lease_timeout_s
+            if not expired:
+                leased_cids.add(cid)
+                continue
+            self.io.unlink(self.root / _LEASE_DIR / name)
+            self.lease_seen.pop(name, None)
+            self.expired_leases += 1
+            self._emit(
+                "lease-expired",
+                f"lease for candidate {cid} (attempt {attempt}) expired: "
+                f"agent {agent} is dead or partitioned; reclaiming",
+                candidates=[cid],
+                attempts=attempt,
+            )
+            self._requeue(cid, "its lease expired")
+        for stale in set(self.lease_seen) - seen_leases:
+            del self.lease_seen[stale]
+        # Lost chunks: enqueued, not done, yet neither a task file, a
+        # lease, nor (checked by the subsequent ingest pass) a result —
+        # e.g. an agent quarantined a torn lease payload.  Requeue on
+        # the second consecutive sighting: agents write results *before*
+        # releasing leases, so anything genuinely in flight reappears in
+        # one of the three places by the next poll.
+        task_cids = {
+            parsed[1]
+            for name in self.io.listing(self.root / _TASK_DIR)
+            if (parsed := _parse_task(name)) is not None
+            and parsed[0] == self.token
+        }
+        result_cids = self._pending_result_cids()
+        missing = {
+            cid
+            for cid in self.attempts
+            if cid not in self.done
+            and cid not in task_cids
+            and cid not in leased_cids
+            and cid not in result_cids
+        }
+        for cid in sorted(missing & self._missing_once):
+            self._requeue(cid, "its chunk vanished from the spool")
+        self._missing_once = missing - self._missing_once
+
+    def _pending_result_cids(self) -> set[int]:
+        return {
+            parsed[1]
+            for name in self.io.listing(self.root / _RESULT_DIR)
+            if (parsed := _parse_result(name)) is not None
+            and parsed[0] == self.token
+        }
+
+    # -- result ingest and commit ------------------------------------------
+
+    def _ingest_results(self) -> bool:
+        """Ingest result files; commit in rank order.  True when done."""
+        from ..core.grid_search import aggregate_runs
+
+        runs = self.settings.runs
+        for name in self.io.listing(self.root / _RESULT_DIR):
+            parsed = _parse_result(name)
+            if parsed is None:
+                continue
+            token, cid, attempt, agent = parsed
+            if token != self.token:
+                continue
+            path = self.root / _RESULT_DIR / name
+            if cid in self.done:
+                # A stale agent rejoined and delivered late: the chunk
+                # is deterministic, so the copy we already ingested has
+                # identical entries.  First commit wins; count and drop.
+                self.duplicate_results += 1
+                logger.info(
+                    "dropping duplicate result %s (first-commit wins)",
+                    name,
+                )
+                self.io.unlink(path)
+                continue
+            blob = self.io.read_bytes(path)
+            if blob is None:
+                continue  # raced its own ingest on a previous poll
+            try:
+                result = pickle.loads(_unframe(blob))
+                per_run: "dict[int, RunResult | RunError]" = {
+                    entry.run: entry for entry in result.entries
+                }
+                if set(per_run) != set(range(runs)):
+                    raise TornFileError(
+                        f"result {name} covers runs {sorted(per_run)}; "
+                        f"expected 0..{runs - 1}"
+                    )
+            except Exception as error:
+                self.quarantined += 1
+                self.io.quarantine(path, self.root)
+                self._emit(
+                    "torn-file",
+                    f"quarantined spool result {name}: {error}",
+                    candidates=[cid],
+                    attempts=self.attempts.get(cid, 0),
+                )
+                self._requeue(cid, "its result file failed validation")
+                continue
+            self.done.add(cid)
+            self.io.unlink(path)
+            failed = [
+                r for r in range(runs) if isinstance(per_run[r], RunError)
+            ]
+            verdict: "CandidateResult | RunError"
+            if failed:
+                entry = per_run[failed[0]]
+                verdict = RunError(
+                    candidate_index=entry.candidate_index,
+                    run=entry.run,
+                    error=entry.error,
+                    attempts=self.attempts.get(cid, 1),
+                )
+            else:
+                verdict = aggregate_runs(
+                    self.ranked[cid],
+                    self.convention,
+                    [per_run[r] for r in range(runs)],
+                )
+            self.ready[cid] = verdict
+        return self._commit_ready()
+
+    def _commit_ready(self) -> bool:
+        """Commit buffered verdicts strictly in FLOPs order."""
+        while self.next_commit in self.ready:
+            committed = self.ready.pop(self.next_commit)
+            if isinstance(committed, RunError):
+                run_error = committed.error
+                try:
+                    run_error.attempts = committed.attempts
+                except Exception:  # pragma: no cover - exotic error type
+                    pass
+                raise run_error
+            self.outcome.evaluated.append(committed)
+            if self.journal is not None:
+                self.journal.append(self.next_commit, committed)
+            self.next_commit += 1
+            if self.progress is not None:
+                self.progress(committed)
+            if committed.passes(self.threshold):
+                self.outcome.winner = committed
+                return True
+        return self.next_commit >= len(self.ranked)
+
+    # -- fallback ----------------------------------------------------------
+
+    def _fallback(self, reason: str, attempts: int = 0) -> "SearchOutcome":
+        self.sequential_fallbacks += 1
+        self._emit(
+            "sequential-fallback",
+            f"{reason}; finishing the remaining "
+            f"{len(self.ranked) - self.next_commit} candidate(s) "
+            "in-process sequentially",
+            attempts=attempts,
+        )
+        # Stop agents from burning cycles on chunks whose results
+        # nobody will read.
+        for name in self.io.listing(self.root / _TASK_DIR):
+            if name.startswith(self.token + "."):
+                self.io.unlink(self.root / _TASK_DIR / name)
+        return _finish_sequential(
+            self.ranked,
+            self.split,
+            self.threshold,
+            self.settings,
+            self.convention,
+            self.seed,
+            self.outcome,
+            self.next_commit,
+            self.ready,
+            journal=self.journal,
+            progress=self.progress,
+        )
+
+    # -- main loop ---------------------------------------------------------
+
+    def _loop(self) -> "SearchOutcome":
+        if self.next_commit >= len(self.ranked):
+            return self.outcome
+        no_agent_since: float | None = None
+        try:
+            while True:
+                live = self._observe_agents()
+                self._top_up(len(live))
+                self._check_leases(live)
+                before = (self.next_commit, len(self.done))
+                if self._ingest_results():
+                    return self.outcome
+                if live:
+                    no_agent_since = None
+                else:
+                    now = time.monotonic()
+                    if no_agent_since is None:
+                        no_agent_since = now
+                    elif now - no_agent_since > self.cfg.agent_grace_s:
+                        self._emit(
+                            "no-agents",
+                            "no live cluster agent for "
+                            f"{self.cfg.agent_grace_s:.1f}s",
+                        )
+                        return self._fallback(
+                            "no live agent is serving the spool"
+                        )
+                if (self.next_commit, len(self.done)) == before:
+                    time.sleep(self.cfg.poll_interval_s)
+        except _Exhausted as exhausted:
+            if not self.settings.fallback_sequential:
+                raise exhausted.error from None
+            return self._fallback(
+                f"retries exhausted ({exhausted.error})",
+                attempts=exhausted.attempts,
+            )
+
+
+def cluster_search(
+    ranked: Sequence["ModelSpec"],
+    split: "DataSplit",
+    threshold: float,
+    settings: "TrainingSettings",
+    convention: "CountingConvention",
+    seed: int,
+    spool: "SpoolConfig | str | os.PathLike",
+    progress: Callable[["CandidateResult"], None] | None = None,
+    journal: "SearchJournal | None" = None,
+    on_event: Callable[[SearchEvent], None] | None = None,
+    outcome: "SearchOutcome | None" = None,
+    start_index: int = 0,
+) -> "SearchOutcome":
+    """Run a spool-sharded search (see module docstring for the protocol).
+
+    Same contract as
+    :func:`repro.runtime.parallel.speculative_search`, with the spool
+    replacing the process pool as the execution substrate; agents are
+    started separately (``repro cluster-agent --spool DIR``).
+    """
+    return SpoolCoordinator(
+        ranked,
+        split,
+        threshold,
+        settings,
+        convention,
+        seed,
+        spool,
+        progress=progress,
+        journal=journal,
+        on_event=on_event,
+        outcome=outcome,
+        start_index=start_index,
+    ).run()
+
+
+# -- agent ------------------------------------------------------------------
+
+
+class _Heartbeat(threading.Thread):
+    """Rewrites the agent's counter file every ``interval_s``.
+
+    The counter is content, not a timestamp: the coordinator watches for
+    *change* on its own clock, so agent and coordinator wall clocks
+    never meet.  ``suspend``/``resume`` model a network partition for
+    the ``lease-steal`` fault.
+    """
+
+    def __init__(self, path: pathlib.Path, interval_s: float) -> None:
+        super().__init__(daemon=True, name="spool-heartbeat")
+        self.path = path
+        self.interval_s = interval_s
+        self.counter = 0
+        # Not named _stop: threading.Thread uses that name internally.
+        self._halt = threading.Event()
+        self._suspended = threading.Event()
+
+    def beat(self) -> None:
+        self.counter += 1
+        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        try:
+            tmp.write_text(str(self.counter))
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - spool briefly unreachable
+            logger.warning("could not write heartbeat %s", self.path)
+
+    def run(self) -> None:
+        self.beat()  # visible before the first claim
+        while not self._halt.wait(self.interval_s):
+            if not self._suspended.is_set():
+                self.beat()
+
+    def suspend(self) -> None:
+        self._suspended.set()
+
+    def resume(self) -> None:
+        self._suspended.clear()
+        self.beat()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+@dataclass
+class AgentStats:
+    """What one :func:`run_agent` call did, for logs and tests."""
+
+    agent_id: str
+    chunks_done: int = 0
+    claims_lost: int = 0
+    quarantined: int = 0
+    cancelled: int = 0
+    faults_fired: list = field(default_factory=list)
+
+
+def run_agent(
+    spool_dir: "str | os.PathLike",
+    poll_interval_s: float = SPOOL_POLL_INTERVAL_S,
+    heartbeat_s: float = SPOOL_HEARTBEAT_S,
+    idle_timeout_s: float | None = None,
+    max_chunks: int | None = None,
+    io_retries: int = 4,
+) -> AgentStats:
+    """Serve a spool: claim chunks, train them, write results.
+
+    Runs until the spool's ``stop`` file appears, ``idle_timeout_s``
+    passes without work, or ``max_chunks`` chunks have been executed.
+    Any number of agents (across any number of hosts) may serve one
+    spool concurrently; the atomic-rename claim makes every chunk
+    execute under exactly one live lease.
+    """
+    from ..quantum.engine import (
+        compile_cache_info,
+        disable_compile_cache,
+        enable_compile_cache,
+    )
+
+    root = pathlib.Path(spool_dir)
+    for sub in _DIRS:
+        (root / sub).mkdir(parents=True, exist_ok=True)
+    agent_id = _new_owner_id()
+    stats = AgentStats(agent_id=agent_id)
+    io = _SpoolIO(io_retries)
+    splits: dict = {}  # dataset file name -> DataSplit (one per search)
+    heartbeat = _Heartbeat(
+        root / _AGENT_DIR / f"{agent_id}.agent", heartbeat_s
+    )
+    heartbeat.start()
+    had_cache = compile_cache_info()["enabled"]
+    if not had_cache:
+        enable_compile_cache()
+    logger.info("cluster agent %s serving spool %s", agent_id, root)
+    last_work = time.monotonic()
+    try:
+        while True:
+            if (root / _STOP_FILE).exists():
+                break
+            if max_chunks is not None and stats.chunks_done >= max_chunks:
+                break
+            claim = _claim_next(root, agent_id, io, stats)
+            if claim is None:
+                if (
+                    idle_timeout_s is not None
+                    and time.monotonic() - last_work > idle_timeout_s
+                ):
+                    break
+                time.sleep(poll_interval_s)
+                continue
+            _serve_chunk(root, claim, agent_id, io, splits, heartbeat, stats)
+            last_work = time.monotonic()
+    finally:
+        heartbeat.stop()
+        if not had_cache:
+            disable_compile_cache()
+        logger.info("cluster agent %s exiting: %s", agent_id, stats)
+    return stats
+
+
+def _claim_next(
+    root: pathlib.Path, agent_id: str, io: _SpoolIO, stats: AgentStats
+) -> "pathlib.Path | None":
+    """Claim the lowest-named task via atomic rename, or ``None``.
+
+    Task names sort by (token, candidate, attempt), so agents prefer
+    the candidate closest to the commit frontier — least-speculative
+    first, minimizing discarded work when an early candidate passes.
+    """
+    for name in io.listing(root / _TASK_DIR):
+        if not name.endswith(".task"):
+            continue
+        lease = root / _LEASE_DIR / (
+            f"{agent_id}.{name[: -len('.task')]}.lease"
+        )
+        try:
+            os.rename(root / _TASK_DIR / name, lease)
+        except FileNotFoundError:
+            stats.claims_lost += 1  # another agent won the rename
+            continue
+        except OSError:  # pragma: no cover - transient spool error
+            continue
+        return lease
+    return None
+
+
+def _serve_chunk(
+    root: pathlib.Path,
+    lease: pathlib.Path,
+    agent_id: str,
+    io: _SpoolIO,
+    splits: dict,
+    heartbeat: _Heartbeat,
+    stats: AgentStats,
+) -> None:
+    """Execute one claimed chunk and write its framed result."""
+    blob = io.read_bytes(lease)
+    if blob is None:  # pragma: no cover - lease swept mid-claim
+        return
+    try:
+        chunk: SpoolChunk = pickle.loads(_unframe(blob))
+    except Exception as error:
+        # Torn/corrupt lease payload: quarantine it; the coordinator's
+        # lost-chunk pass re-enqueues the work.
+        stats.quarantined += 1
+        logger.warning("quarantining torn lease %s: %s", lease.name, error)
+        io.quarantine(lease, root)
+        return
+    split = splits.get(chunk.dataset)
+    if split is None:
+        raw = io.read_bytes(root / _DATA_DIR / chunk.dataset)
+        if raw is None:
+            # Dataset gone: the owning search has ended; drop the lease
+            # so the spool carries no trace of the dead work.
+            io.unlink(lease)
+            return
+        try:
+            split = pickle.loads(_unframe(raw))
+        except Exception as error:
+            logger.warning(
+                "quarantining torn dataset %s: %s", chunk.dataset, error
+            )
+            stats.quarantined += 1
+            io.quarantine(root / _DATA_DIR / chunk.dataset, root)
+            io.unlink(lease)
+            return
+        splits.clear()  # one search's split at a time; keep memory flat
+        splits[chunk.dataset] = split
+    plan = faults.claim_spool_fault(
+        root, {job.candidate_index for job in chunk.jobs}
+    )
+    ignore_lease_loss = False
+    tear_result = False
+    if plan is not None:
+        stats.faults_fired.append(plan.kind)
+        logger.warning(
+            "agent %s firing %s fault on candidate(s) %s",
+            agent_id,
+            plan.kind,
+            sorted({job.candidate_index for job in chunk.jobs}),
+        )
+        if plan.kind == faults.HOST_KILL:
+            # The real thing: the whole "host" (this agent process)
+            # disappears mid-lease, heartbeat and all.
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif plan.kind == faults.LEASE_STEAL:
+            # A partition: heartbeats stop long enough for the
+            # coordinator to expire our lease and re-issue the chunk;
+            # then we "rejoin" and deliver a duplicate result anyway.
+            heartbeat.suspend()
+            time.sleep(plan.delay_s)
+            heartbeat.resume()
+            ignore_lease_loss = True
+        elif plan.kind == faults.TORN_FILE:
+            tear_result = True
+
+    def lease_lost() -> bool:
+        # The coordinator reclaims work by unlinking the lease; abort
+        # at the next epoch boundary instead of training a dead chunk.
+        # A partitioned agent (lease-steal fault) cannot see the spool,
+        # so it trains on regardless.
+        return not ignore_lease_loss and not lease.exists()
+
+    started = time.perf_counter()
+    try:
+        entries, _fallback, _degrades = _chunk_entries(
+            chunk, split, lease_lost
+        )
+        result = SpoolResult(
+            chunk_id=chunk.chunk_id,
+            attempt=chunk.attempt,
+            agent=agent_id,
+            entries=tuple(entries),
+            wall_time_s=time.perf_counter() - started,
+        )
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        name = (
+            f"{chunk.token}.c{chunk.chunk_id:05d}.a{chunk.attempt:02d}"
+            f".{agent_id}.result"
+        )
+        path = root / _RESULT_DIR / name
+        if tear_result:
+            # Fault injection: ship a frame whose payload is cut short,
+            # as if the writer died mid-write on a filesystem without
+            # atomic rename.  The checksum/length check must catch it.
+            torn = _frame(payload)[
+                : _HEADER.size + max(1, len(payload) // 2)
+            ]
+            io.call(lambda: path.write_bytes(torn))
+        else:
+            io.write_frame(path, payload)
+    except TrainingCancelled:
+        stats.cancelled += 1
+        return
+    except Exception as error:
+        # Anything unexpected (a result that cannot pickle, a spool
+        # unreachable past the retry budget): drop the lease so the
+        # coordinator's lost-chunk pass re-enqueues the work, and keep
+        # the agent alive for the next chunk.  This agent heartbeats, so
+        # an abandoned-but-held lease would pin the chunk forever.
+        logger.warning(
+            "agent %s dropping chunk c%d after %r",
+            agent_id,
+            chunk.chunk_id,
+            error,
+        )
+        io.unlink(lease)
+        return
+    # Release only after the result is durable: a crash between the two
+    # leaves the lease to expire and the chunk to re-run — never a
+    # result-less release the coordinator would trust.
+    io.unlink(lease)
+    stats.chunks_done += 1

@@ -32,6 +32,23 @@ fault-free one.
 
 Faults never fire outside an armed plan: with the plan region zeroed
 (the default), :func:`maybe_fire` is one 4-byte read per chunk.
+
+The cluster runtime (:mod:`repro.runtime.cluster`) has its own fault
+kinds — shared memory does not cross hosts, so its plans are armed as
+*spool files* instead of control-segment bytes:
+
+* ``host-kill`` — the agent SIGKILLs itself right after claiming a
+  matching chunk's lease, exercising lease expiry and chunk re-enqueue;
+* ``lease-steal`` — the agent suspends its heartbeat for ``delay_s``
+  (a network partition), lets the coordinator expire its lease and
+  re-issue the chunk, then *rejoins* and still writes its now-duplicate
+  result, exercising first-commit-wins dedup;
+* ``torn-file`` — the agent writes a truncated result frame, exercising
+  checksum detection and quarantine.
+
+``times`` is enforced cross-process by one-shot token files claimed via
+atomic rename (:func:`claim_spool_fault`), so a retried chunk runs clean
+on any host.
 """
 
 from __future__ import annotations
@@ -48,13 +65,29 @@ from ..exceptions import SearchError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pool import JobChunk, ShmResultHandle
 
-__all__ = ["FaultPlan", "KILL", "DELAY", "CORRUPT_RESULT", "OOM"]
+__all__ = [
+    "FaultPlan",
+    "KILL",
+    "DELAY",
+    "CORRUPT_RESULT",
+    "OOM",
+    "HOST_KILL",
+    "LEASE_STEAL",
+    "TORN_FILE",
+    "arm_spool_fault",
+    "clear_spool_fault",
+    "claim_spool_fault",
+]
 
 KILL = "kill"
 DELAY = "delay"
 CORRUPT_RESULT = "corrupt-result"
 OOM = "oom"
-_KINDS = (KILL, DELAY, CORRUPT_RESULT, OOM)
+HOST_KILL = "host-kill"
+LEASE_STEAL = "lease-steal"
+TORN_FILE = "torn-file"
+_SPOOL_KINDS = (HOST_KILL, LEASE_STEAL, TORN_FILE)
+_KINDS = (KILL, DELAY, CORRUPT_RESULT, OOM) + _SPOOL_KINDS
 
 # Control-segment layout.  Byte 0 onward is owned by the cancellation
 # protocol (an 8-byte generation floor, see pool._cancel_floor); the
@@ -197,3 +230,105 @@ def corrupt_shipment(nbytes: int = 64) -> "ShmResultHandle":
     shm.buf[:nbytes] = (b"\xde\xad\xbe\xef" * (nbytes // 4 + 1))[:nbytes]
     shm.close()
     return ShmResultHandle(segment=shm.name, nbytes=nbytes)
+
+
+# -- spool-armed faults (cluster agents) ------------------------------------
+
+_SPOOL_FAULT_DIR = "faults"
+_SPOOL_PLAN_FILE = "plan.json"
+
+
+def _spool_fault_dir(spool_dir) -> str:
+    return os.path.join(os.fspath(spool_dir), _SPOOL_FAULT_DIR)
+
+
+def arm_spool_fault(spool_dir, plan: FaultPlan) -> None:
+    """Arm one deterministic cluster fault in a spool (test/parent side).
+
+    Writes ``faults/plan.json`` plus ``plan.times`` one-shot token files;
+    an agent only fires after claiming a token by atomic rename, so the
+    firing bound holds across any number of agent processes and hosts.
+    Spool plans must target a ``candidate`` — chunk-counting order is
+    not deterministic across hosts.
+    """
+    if plan.kind not in _SPOOL_KINDS:
+        raise SearchError(
+            f"fault kind {plan.kind!r} cannot be spool-armed; "
+            f"options: {_SPOOL_KINDS}"
+        )
+    if plan.candidate is None:
+        raise SearchError("spool fault plans must target a candidate index")
+    directory = _spool_fault_dir(spool_dir)
+    os.makedirs(directory, exist_ok=True)
+    clear_spool_fault(spool_dir)
+    for i in range(plan.times):
+        with open(os.path.join(directory, f"token-{i}"), "w"):
+            pass
+    payload = json.dumps(
+        {
+            "kind": plan.kind,
+            "candidate": plan.candidate,
+            "delay_s": plan.delay_s,
+            "times": plan.times,
+        }
+    )
+    # Tokens land before the plan becomes visible (and the plan itself
+    # lands by rename), so an agent can never read a half-armed fault.
+    tmp = os.path.join(directory, f".plan.tmp{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    os.replace(tmp, os.path.join(directory, _SPOOL_PLAN_FILE))
+
+
+def clear_spool_fault(spool_dir) -> None:
+    """Disarm any spool plan and remove all tokens, fired or not."""
+    directory = _spool_fault_dir(spool_dir)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:  # pragma: no cover - raced another cleaner
+            continue
+
+
+def claim_spool_fault(spool_dir, candidates) -> FaultPlan | None:
+    """Agent-side hook: the armed plan if it matches and a token remains.
+
+    ``candidates`` is the claimed chunk's candidate-index collection.
+    Claiming consumes one token file by atomic rename; with no tokens
+    left (or no plan, or no match) nothing fires.
+    """
+    directory = _spool_fault_dir(spool_dir)
+    try:
+        with open(
+            os.path.join(directory, _SPOOL_PLAN_FILE), encoding="utf-8"
+        ) as fh:
+            data = json.loads(fh.read())
+        plan = FaultPlan(
+            kind=data["kind"],
+            candidate=data["candidate"],
+            delay_s=float(data["delay_s"]),
+            times=int(data["times"]),
+        )
+    except (OSError, ValueError, KeyError, SearchError):
+        return None  # disarmed, torn, or foreign: never fault spuriously
+    if plan.candidate not in set(candidates):
+        return None
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:  # pragma: no cover - spool vanished mid-claim
+        return None
+    for name in names:
+        if not name.startswith("token-") or ".fired" in name:
+            continue
+        token = os.path.join(directory, name)
+        try:
+            os.rename(token, f"{token}.fired-{os.getpid()}")
+        except OSError:
+            continue  # another agent claimed it first
+        return plan
+    return None
+

@@ -15,10 +15,17 @@ settings.  Runs derive their RNG streams from ``(seed, candidate_index,
 run)``, so a candidate's journaled result is bit-identical to what a
 rerun would recompute — resuming skips completed candidates and the
 final :class:`~repro.core.grid_search.SearchOutcome` is indistinguishable
-from an uninterrupted run's.  A journal whose key does not match is
-simply ignored (and appended to under the new key), so one file can
-serve several configurations, and pointing a changed configuration at an
-old journal can never smuggle in stale results.
+from an uninterrupted run's.  Records whose key does not match are
+ignored, so pointing a changed configuration at an old journal can never
+smuggle in stale results.
+
+:meth:`SearchJournal.load` also *compacts*: when the file carries
+anything beyond this key's contiguous committed prefix — a torn trailing
+line from a crash mid-append, records keyed by a different
+configuration, strays past a gap — the prefix is rewritten in place
+(atomic tmp + rename) and the junk is dropped rather than carried and
+re-skipped forever.  Append semantics are unchanged: one fsynced JSONL
+line per commit.
 
 Serialization reuses :mod:`repro.core.results` (the same schema the
 run-family cache persists), imported lazily to keep this runtime module
@@ -99,7 +106,14 @@ class SearchJournal:
         self.key = key
 
     def load(self) -> "list[CandidateResult]":
-        """Committed candidates 0..k-1 for this key (empty if none)."""
+        """Committed candidates 0..k-1 for this key (empty if none).
+
+        Every line that does not belong to the prefix — torn, malformed,
+        foreign-key, or past a gap — is counted as droppable; when any
+        exist, the prefix is rewritten in place so the journal holds
+        exactly its usable content and nothing is re-skipped on every
+        later resume.
+        """
         from ..core.results import candidate_from_dict
 
         try:
@@ -133,6 +147,12 @@ class SearchJournal:
         restored: "list[CandidateResult]" = []
         while len(restored) in by_index:
             restored.append(by_index[len(restored)])
+        # Any line beyond the prefix — torn, foreign-key, malformed,
+        # blank, a duplicate index, or a stray past a gap — is a byte
+        # load() will never use again.
+        dropped = len(lines) - len(restored)
+        if dropped > 0:
+            self._compact(restored, dropped)
         if restored:
             logger.info(
                 "journal %s: resuming past %d committed candidate(s)",
@@ -141,8 +161,42 @@ class SearchJournal:
             )
         return restored
 
-    def append(self, index: int, candidate: "CandidateResult") -> None:
-        """Durably record one committed candidate (called at commit)."""
+    def _compact(
+        self, restored: "list[CandidateResult]", dropped: int
+    ) -> None:
+        """Rewrite the journal as exactly its committed prefix.
+
+        Atomic (tmp + fsync + rename), so a crash mid-compaction leaves
+        either the old file or the new one, never a mix; a reread of
+        either restores the same prefix.
+        """
+        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for index, candidate in enumerate(restored):
+                    fh.write(self._encode(index, candidate) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            # Compaction is hygiene, not correctness: a read-only or
+            # full filesystem keeps the journal as-is and load() simply
+            # re-skips the junk next time.
+            logger.warning("could not compact journal %s", self.path)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        logger.info(
+            "compacted journal %s: kept %d committed record(s), "
+            "dropped %d stale line(s)",
+            self.path,
+            len(restored),
+            dropped,
+        )
+
+    def _encode(self, index: int, candidate: "CandidateResult") -> str:
         from ..core.results import candidate_to_dict
 
         record = {
@@ -151,8 +205,12 @@ class SearchJournal:
             "index": index,
             "candidate": candidate_to_dict(candidate),
         }
+        return json.dumps(record, sort_keys=True)
+
+    def append(self, index: int, candidate: "CandidateResult") -> None:
+        """Durably record one committed candidate (called at commit)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(self._encode(index, candidate) + "\n")
             fh.flush()
             os.fsync(fh.fileno())

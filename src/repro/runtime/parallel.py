@@ -78,12 +78,14 @@ from __future__ import annotations
 import itertools
 import logging
 import os
+import random
 import time
 from dataclasses import dataclass, replace
 from queue import Empty, SimpleQueue
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..exceptions import SearchError
+from .backoff import Backoff
 from .jobs import RunResult, execute_runs
 from .pool import ChunkResult, JobChunk, PersistentPool, RunError, make_chunks
 
@@ -138,7 +140,12 @@ class SearchEvent:
     ``"group-resize"`` (the memory budget grew a stacked group past the
     fixed cap or refused a merge), or ``"memory-degrade"`` (an
     out-of-memory failure walked the recovery ladder — results are
-    unchanged, only the execution shape degraded).
+    unchanged, only the execution shape degraded).  The cluster
+    coordinator (:mod:`repro.runtime.cluster`) adds ``"lease-expired"``
+    (a chunk was reclaimed from a dead or partitioned agent),
+    ``"torn-file"`` (a spool file failed frame validation and was
+    quarantined), and ``"no-agents"`` (no live agent served the spool
+    within the grace period).
     ``candidates`` lists the affected candidate indices (rank order);
     ``attempts`` is the highest submission count among the affected
     chunks at the time of the event.  ``str(event)`` is the human
@@ -185,6 +192,79 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 0:
         raise SearchError(f"workers must be >= 0 or None, got {workers}")
     return workers
+
+
+def _finish_sequential(
+    ranked: Sequence["ModelSpec"],
+    split: "DataSplit",
+    threshold: float,
+    settings: "TrainingSettings",
+    convention: "CountingConvention",
+    seed: int,
+    outcome: "SearchOutcome",
+    start: int,
+    ready: "dict[int, CandidateResult | RunError]",
+    journal: "SearchJournal | None" = None,
+    progress: Callable[["CandidateResult"], None] | None = None,
+) -> "SearchOutcome":
+    """Finish a sweep in-process from the commit frontier.
+
+    Runs the exact sequential primitive (``execute_runs``) from rank
+    ``start``, reusing verdicts already buffered in ``ready``; results
+    are bit-identical to what distributed execution would have
+    produced.  This is the shared graceful-degradation floor: the pool
+    scheduler lands here after retry exhaustion, the spool coordinator
+    after losing every agent.  The same compiled-tape cache dance as
+    the sequential path in :func:`repro.core.grid_search.grid_search`.
+    """
+    from ..core.grid_search import aggregate_runs
+    from ..quantum.engine import (
+        compile_cache_info,
+        disable_compile_cache,
+        enable_compile_cache,
+    )
+
+    had_cache = compile_cache_info()["enabled"]
+    if not had_cache:
+        enable_compile_cache()
+    try:
+        index = start
+        while index < len(ranked):
+            verdict = ready.get(index)
+            if verdict is None:
+                verdict = aggregate_runs(
+                    ranked[index],
+                    convention,
+                    execute_runs(
+                        ranked[index],
+                        seed,
+                        index,
+                        range(settings.runs),
+                        split,
+                        settings,
+                        vectorized=settings.vectorized_runs,
+                    ),
+                )
+            if isinstance(verdict, RunError):
+                run_error = verdict.error
+                try:
+                    run_error.attempts = verdict.attempts
+                except Exception:  # pragma: no cover
+                    pass
+                raise run_error
+            outcome.evaluated.append(verdict)
+            if journal is not None:
+                journal.append(index, verdict)
+            if progress is not None:
+                progress(verdict)
+            if verdict.passes(threshold):
+                outcome.winner = verdict
+                return outcome
+            index += 1
+        return outcome
+    finally:
+        if not had_cache:
+            disable_compile_cache()
 
 
 def speculative_search(
@@ -364,6 +444,14 @@ def speculative_search(
     # Completions cross from the pool's result-handler thread to this
     # one through a thread-safe queue: (cid, chunk, result, exception).
     completions: SimpleQueue = SimpleQueue()
+
+    # Chunk retries pause with jittered backoff before resubmitting:
+    # whatever broke the attempt (a worker riding out memory pressure,
+    # a transient result-segment failure) is usually still broken a
+    # microsecond later, and an immediate resubmit just burns the retry
+    # budget against the same condition.  Seeded for a deterministic
+    # delay sequence; delays only shape wall time, never results.
+    retry_backoff = Backoff(rng=random.Random(seed))
 
     def emit(
         kind: str,
@@ -689,14 +777,20 @@ def speculative_search(
                 pass
             raise _RetryExhausted(error, flight.attempts - 1)
         pool.chunk_retries += 1
+        delay = retry_backoff.next_delay()
+        pool.retry_backoff_s += delay
         emit(
             "retry",
             f"chunk for candidate(s) {cands} failed in the runtime "
-            f"({error!r}); retrying "
+            f"({error!r}); retrying in {delay:.2f}s "
             f"(attempt {flight.attempts} of {max_retries + 1})",
             candidates=cands,
             attempts=flight.attempts,
         )
+        # The sleep runs on the scheduler thread: capped at 2s, it
+        # delays watchdog ticks by less than the watchdog's own
+        # resolution, and other completions simply queue behind it.
+        time.sleep(delay)
         dispatch(cid, flight)
 
     def wait_timeout() -> float:
@@ -710,63 +804,6 @@ def speculative_search(
             if flight.hard_deadline_s is not None:
                 nearest = min(nearest, flight.hard_deadline_s - elapsed)
         return max(0.05, nearest)
-
-    def sequential_finish() -> "SearchOutcome":
-        """Finish the sweep in-process after retry exhaustion.
-
-        Runs the exact sequential primitive (``execute_runs``) from the
-        commit frontier, reusing verdicts already buffered in ``ready``;
-        results are bit-identical to what the pool would have produced.
-        The same compiled-tape cache dance as the sequential path in
-        :func:`repro.core.grid_search.grid_search`.
-        """
-        from ..quantum.engine import (
-            compile_cache_info,
-            disable_compile_cache,
-            enable_compile_cache,
-        )
-
-        had_cache = compile_cache_info()["enabled"]
-        if not had_cache:
-            enable_compile_cache()
-        try:
-            index = next_commit
-            while index < len(ranked):
-                verdict = ready.get(index)
-                if verdict is None:
-                    verdict = aggregate_runs(
-                        ranked[index],
-                        convention,
-                        execute_runs(
-                            ranked[index],
-                            seed,
-                            index,
-                            range(runs),
-                            split,
-                            settings,
-                            vectorized=settings.vectorized_runs,
-                        ),
-                    )
-                if isinstance(verdict, RunError):
-                    run_error = verdict.error
-                    try:
-                        run_error.attempts = verdict.attempts
-                    except Exception:  # pragma: no cover
-                        pass
-                    raise run_error
-                outcome.evaluated.append(verdict)
-                if journal is not None:
-                    journal.append(index, verdict)
-                if progress is not None:
-                    progress(verdict)
-                if verdict.passes(threshold):
-                    outcome.winner = verdict
-                    return outcome
-                index += 1
-            return outcome
-        finally:
-            if not had_cache:
-                disable_compile_cache()
 
     try:
         try:
@@ -817,6 +854,9 @@ def speculative_search(
                         "was the pool closed concurrently?"
                     )
                 del outstanding[cid]
+                # A healthy completion ends the failure episode: later
+                # unrelated retries start from the base delay again.
+                retry_backoff.reset()
                 # Feed the measured chunk time back into the packer:
                 # later windows (and later searches on this pool) order
                 # by observed cost instead of the static FLOPs estimate.
@@ -921,7 +961,19 @@ def speculative_search(
             # Stop burning workers on doomed chunks before training
             # in-process.
             pool.cancel(generation)
-            return sequential_finish()
+            return _finish_sequential(
+                ranked,
+                split,
+                threshold,
+                settings,
+                convention,
+                seed,
+                outcome,
+                next_commit,
+                ready,
+                journal=journal,
+                progress=progress,
+            )
     finally:
         # End this search's generation: still-queued speculative chunks
         # no-op, running trainings abort at the next epoch boundary.

@@ -1123,6 +1123,10 @@ class PersistentPool:
         self.chunk_retries = 0
         self.chunk_timeouts = 0
         self.sequential_fallbacks = 0
+        #: Seconds slept in jittered backoff before chunk resubmissions
+        #: (see :mod:`repro.runtime.backoff`); a climbing value means
+        #: retries are landing on a still-unhealthy resource.
+        self.retry_backoff_s = 0.0
         #: Memory-governance instrumentation: OOM recovery-ladder steps
         #: taken by workers (group halving, numpy retry, scalar floor).
         #: Results stay bit-identical; a climbing counter means groups
@@ -1170,6 +1174,7 @@ class PersistentPool:
             "searches_started": self.searches_started,
             "chunk_retries": self.chunk_retries,
             "chunk_timeouts": self.chunk_timeouts,
+            "retry_backoff_s": round(self.retry_backoff_s, 3),
             "sequential_fallbacks": self.sequential_fallbacks,
             "vectorized_fallbacks": self.vectorized_fallbacks,
             "memory_degrades": self.memory_degrades,

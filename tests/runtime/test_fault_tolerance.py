@@ -233,6 +233,11 @@ class TestCorruptResultRetry:
             kinds = [e.kind for e in events]
             assert "retry" in kinds
             assert "worker-lost" not in kinds  # no process died
+            # The retry slept through the shared backoff policy, and
+            # the pause is accounted in the stats snapshot.
+            assert pool.stats()["retry_backoff_s"] > 0
+            retry = next(e for e in events if e.kind == "retry")
+            assert "retrying in" in str(retry)
 
 
 class TestJournalResume:
@@ -295,7 +300,8 @@ class TestJournalResume:
 
     def test_mismatched_key_is_ignored(self, easy_split, tmp_path):
         """A journal written under another configuration must never
-        smuggle stale results into a resume."""
+        smuggle stale results into a resume; resuming under a new key
+        compacts the file down to that key's records."""
         settings = _settings()
         journal = tmp_path / "search.jsonl"
         kwargs = _search_kwargs(easy_split, settings)
@@ -307,15 +313,19 @@ class TestJournalResume:
             **other_kwargs, workers=1, journal=str(journal)
         )
         _assert_same_outcome(resumed, fresh)
-        # Both keys now coexist in one file; each resumes independently.
+        # The resume compacted the foreign-key records away: the file
+        # now holds exactly the new configuration's commits.
+        lines = journal.read_text().splitlines()
+        assert len(lines) == len(fresh.evaluated)
+        # The original configuration therefore re-runs from scratch —
+        # and still lands on identical results.
         again = grid_search(**kwargs, workers=1, journal=str(journal))
         _assert_same_outcome(again, first)
-        lines = journal.read_text().splitlines()
-        assert len(lines) == len(first.evaluated) + len(fresh.evaluated)
 
     def test_torn_trailing_line_is_tolerated(self, easy_split, tmp_path):
         """A crash mid-append leaves a torn last line; resume must use
-        the intact prefix instead of erroring out."""
+        the intact prefix instead of erroring out, and the resume's
+        compaction pass must scrub the torn line from disk."""
         settings = _settings()
         journal = tmp_path / "search.jsonl"
         kwargs = _search_kwargs(easy_split, settings)
@@ -324,6 +334,9 @@ class TestJournalResume:
             fh.write('{"v": 1, "key": "truncated mid-wri')  # no newline
         resumed = grid_search(**kwargs, workers=1, journal=str(journal))
         _assert_same_outcome(resumed, baseline)
+        lines = journal.read_text().splitlines()
+        assert len(lines) == len(baseline.evaluated)
+        assert all(line.rstrip().endswith("}") for line in lines)
 
 
 class TestPoolStats:

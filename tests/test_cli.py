@@ -55,14 +55,48 @@ class TestParser:
             ["fig8", "--runs", "0"],
             ["fig8", "--runs", "-2"],
             ["fig8", "--workers", "-1"],
+            ["fig8", "--idle-timeout", "0"],
         ],
     )
     def test_invalid_numeric_flags_rejected(self, argv):
         with pytest.raises(SystemExit):
             main(argv)
 
+    def test_spool_flags(self):
+        args = build_parser().parse_args(
+            ["fig8", "--spool", "/mnt/shared/spool"]
+        )
+        assert args.spool == "/mnt/shared/spool"
+        assert args.idle_timeout is None
+        default = build_parser().parse_args(["fig8"])
+        assert default.spool is None
+
+    def test_cluster_agent_requires_spool(self):
+        with pytest.raises(SystemExit):
+            main(["cluster-agent"])
+
 
 class TestMain:
+    def test_cluster_agent_idle_timeout_exits_clean(self, tmp_path):
+        """A cluster agent on an empty spool exits 0 once its idle
+        timeout passes (no coordinator ever appears)."""
+        assert (
+            main(
+                [
+                    "cluster-agent",
+                    "--spool",
+                    str(tmp_path / "spool"),
+                    "--idle-timeout",
+                    "0.3",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        # The agent laid out the spool and removed its heartbeat file.
+        assert (tmp_path / "spool" / "tasks").is_dir()
+        assert list((tmp_path / "spool" / "agents").iterdir()) == []
+
     def test_fig4_smoke(self, capsys):
         assert main(["fig4", "--profile", "smoke", "--quiet"]) == 0
         out = capsys.readouterr().out
