@@ -1,0 +1,8 @@
+"""Benchmark suite package.
+
+Exists so pytest imports benchmark modules as ``benchmarks.<name>``:
+benchmark files deliberately mirror their test-suite counterparts'
+basenames (``test_cluster_tcp.py`` lives both here and under
+``tests/runtime/``), and without a package marker pytest would reject
+the duplicate top-level module names at collection time.
+"""

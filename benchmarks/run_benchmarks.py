@@ -117,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             "benchmarks/test_candidate_stacking.py",
             "benchmarks/test_backend_sweep.py",
             "benchmarks/test_cluster_spool.py",
+            "benchmarks/test_cluster_tcp.py",
         ]
     )
     rev = git_revision()

@@ -47,7 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=_EXPERIMENTS + ("all", "cluster-agent"),
         help="which paper artifact to regenerate, or 'cluster-agent' to "
-        "serve training chunks from a shared --spool directory",
+        "serve training chunks from a shared --spool directory or a "
+        "--connect HOST:PORT coordinator",
     )
     parser.add_argument(
         "--profile",
@@ -154,13 +155,44 @@ def build_parser() -> argparse.ArgumentParser:
         "sequential execution (see docs/parallel_runtime.md)",
     )
     parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP cluster transport for filesystem-less rigs: experiments "
+        "bind the address and run their grid searches as coordinators "
+        "leasing chunks to 'repro cluster-agent --connect HOST:PORT' "
+        "processes over checksummed frames; results are bit-identical "
+        "to a local run, and losing every agent degrades to in-process "
+        "sequential execution (mutually exclusive with --spool)",
+    )
+    parser.add_argument(
         "--idle-timeout",
         type=float,
         default=None,
         metavar="S",
         help="cluster-agent only: exit after this many seconds with no "
-        "claimable work (default: serve until the coordinator writes "
-        "the spool's stop file)",
+        "claimable work (default: serve until the coordinator stops -- "
+        "the spool's stop file, or the TCP coordinator going away for "
+        "longer than the reconnect window)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="coordinator only: reclaim a chunk lease after this many "
+        "seconds of agent silence, judged on the coordinator's own "
+        "monotonic clock (default: 60); never changes results",
+    )
+    parser.add_argument(
+        "--frame-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="TCP only: a frame that started arriving must keep moving -- "
+        "any single socket read or write stalling past this many "
+        "seconds marks the connection dead (default: 30); never "
+        "changes results",
     )
     parser.add_argument(
         "--quiet",
@@ -186,17 +218,31 @@ def validate_args(parser: argparse.ArgumentParser, args) -> None:
             parse_memory_budget(args.memory_budget)
         except ConfigurationError as exc:
             parser.error(str(exc))
-    if args.experiment == "cluster-agent" and not args.spool:
-        parser.error("cluster-agent requires --spool DIR")
+    if args.spool and args.connect:
+        parser.error("--spool and --connect are mutually exclusive")
+    if args.experiment == "cluster-agent" and not (args.spool or args.connect):
+        parser.error(
+            "cluster-agent requires --spool DIR or --connect HOST:PORT"
+        )
     if args.idle_timeout is not None and args.idle_timeout <= 0:
         parser.error(
             f"--idle-timeout must be > 0, got {args.idle_timeout}"
         )
-    if args.spool and args.workers not in (0, 1):
-        # Not an error -- the spool simply takes precedence -- but the
-        # combination suggests a misunderstanding worth flagging early.
+    if args.lease_timeout is not None and args.lease_timeout <= 0:
+        parser.error(
+            f"--lease-timeout must be > 0, got {args.lease_timeout}"
+        )
+    if args.frame_timeout is not None and args.frame_timeout <= 0:
+        parser.error(
+            f"--frame-timeout must be > 0, got {args.frame_timeout}"
+        )
+    if (args.spool or args.connect) and args.workers not in (0, 1):
+        # Not an error -- the cluster transport simply takes precedence
+        # -- but the combination suggests a misunderstanding worth
+        # flagging early.
+        flag = "--spool" if args.spool else "--connect"
         print(
-            "note: --spool overrides --workers (chunks run on cluster "
+            f"note: {flag} overrides --workers (chunks run on cluster "
             "agents, not a local pool)",
             file=sys.stderr,
         )
@@ -263,16 +309,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     validate_args(parser, args)
     if args.experiment == "cluster-agent":
-        # Serve chunks from the spool until the coordinator writes the
-        # stop file (or the idle timeout fires); no experiment runs here.
-        from .runtime.cluster import run_agent
+        # Serve chunks until the coordinator stops (spool stop file, or
+        # the TCP coordinator going away past the reconnect window) or
+        # the idle timeout fires; no experiment runs here.
+        if args.connect:
+            from .runtime.cluster_tcp import run_tcp_agent
 
-        stats = run_agent(args.spool, idle_timeout_s=args.idle_timeout)
+            agent_kwargs = {"idle_timeout_s": args.idle_timeout}
+            if args.frame_timeout is not None:
+                agent_kwargs["frame_timeout_s"] = args.frame_timeout
+            stats = run_tcp_agent(args.connect, **agent_kwargs)
+        else:
+            from .runtime.cluster import run_agent
+
+            stats = run_agent(args.spool, idle_timeout_s=args.idle_timeout)
         if not args.quiet:
             print(
                 f"agent {stats.agent_id}: {stats.chunks_done} chunks, "
                 f"{stats.claims_lost} claims lost, "
-                f"{stats.cancelled} cancelled",
+                f"{stats.cancelled} cancelled, "
+                f"{stats.reconnects} reconnects",
                 file=sys.stderr,
             )
         return 0
@@ -295,25 +351,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .runtime.memory import parse_memory_budget
 
         overrides["memory_budget"] = parse_memory_budget(args.memory_budget)
-    if args.spool:
-        overrides["spool"] = args.spool
-
     from .runtime.parallel import resolve_workers
 
+    cluster = bool(args.spool or args.connect)
     pool = None
-    if args.spool is None and resolve_workers(args.workers) > 1:
+    if not cluster and resolve_workers(args.workers) > 1:
         from .runtime.pool import PersistentPool
 
         pool = PersistentPool(resolve_workers(args.workers), backend=args.backend)
     # Warm the adaptive packer from a previous invocation's measured
-    # chunk costs; written back below so reruns keep learning.  Cost
+    # chunk costs; written back below (pool) or by the coordinator
+    # itself (cluster transports) so reruns keep learning.  Cost
     # estimates shape submission order only, never results.
     cost_cache = args.cost_cache
-    if cost_cache is None and args.cache and pool is not None:
+    if cost_cache is None and args.cache and (pool is not None or cluster):
         from pathlib import Path
 
         cost_cache = str(Path(args.cache) / "chunk_costs.json")
-    if pool is None and args.cost_cache:
+    if pool is None and not cluster and args.cost_cache:
         # Sequential runs have no chunk scheduler, so there is nothing
         # to warm or record; say so instead of silently dropping it.
         print(
@@ -322,6 +377,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if pool is not None and cost_cache:
         pool.cost_model.load_json(cost_cache)
+    if args.spool:
+        from .runtime.cluster import SpoolConfig
+
+        spool_kwargs: dict = {"cost_cache": cost_cache}
+        if args.lease_timeout is not None:
+            spool_kwargs["lease_timeout_s"] = args.lease_timeout
+        overrides["spool"] = SpoolConfig(path=args.spool, **spool_kwargs)
+    if args.connect:
+        from .runtime.cluster_tcp import TcpConfig
+
+        tcp_kwargs: dict = {"cost_cache": cost_cache}
+        if args.lease_timeout is not None:
+            tcp_kwargs["lease_timeout_s"] = args.lease_timeout
+        if args.frame_timeout is not None:
+            tcp_kwargs["frame_timeout_s"] = args.frame_timeout
+        overrides["connect"] = TcpConfig(address=args.connect, **tcp_kwargs)
     try:
         for target in targets:
             print(

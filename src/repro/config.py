@@ -117,3 +117,25 @@ SPOOL_HEARTBEAT_S = 5.0
 SPOOL_LEASE_TIMEOUT_S = 60.0
 SPOOL_POLL_INTERVAL_S = 0.5
 SPOOL_AGENT_GRACE_S = 30.0
+
+#: Cross-host TCP defaults (``repro.runtime.cluster_tcp``; runtime
+#: knobs, not paper constants).  An agent sends an application-level
+#: heartbeat frame every ``TCP_HEARTBEAT_S``; the coordinator expires a
+#: chunk lease after seeing no frame from its holder for
+#: ``TCP_LEASE_TIMEOUT_S`` on its own monotonic clock (host clock skew
+#: is irrelevant, exactly as on the spool).  A frame that *started*
+#: arriving must keep moving: any single socket read or write stalling
+#: past ``TCP_FRAME_TIMEOUT_S`` marks the connection dead, which is how
+#: a mid-frame partition is told apart from an agent that is merely
+#: training.  With no live agent for ``TCP_AGENT_GRACE_S`` the
+#: coordinator finishes in-process; a disconnected agent redials with
+#: decorrelated-jitter backoff (``repro.runtime.backoff``) capped at
+#: ``TCP_RECONNECT_CAP_S`` and gives up for good after
+#: ``TCP_RECONNECT_TIMEOUT_S`` without a successful connection.
+TCP_HEARTBEAT_S = 5.0
+TCP_LEASE_TIMEOUT_S = 60.0
+TCP_POLL_INTERVAL_S = 0.5
+TCP_AGENT_GRACE_S = 30.0
+TCP_FRAME_TIMEOUT_S = 30.0
+TCP_RECONNECT_CAP_S = 5.0
+TCP_RECONNECT_TIMEOUT_S = 60.0

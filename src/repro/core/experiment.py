@@ -91,6 +91,13 @@ class ProtocolConfig:
     #: filesystem (see ``repro.runtime.cluster``).  Overrides
     #: ``workers``/pool execution; results are identical either way.
     spool: str | None = None
+    #: Optional ``HOST:PORT`` to bind as a TCP cluster coordinator:
+    #: every grid search leases chunks to ``repro cluster-agent
+    #: --connect`` processes over checksummed socket frames — no shared
+    #: filesystem needed (see ``repro.runtime.cluster_tcp``).  Overrides
+    #: ``workers``/pool execution; mutually exclusive with ``spool``;
+    #: results are identical either way.
+    connect: str | None = None
     #: Array backend for the stacked training sweeps ("numpy", "torch",
     #: "cupy"; None = REPRO_BACKEND env, then NumPy).  NumPy is the
     #: bit-exact reference; device backends are tolerance-grade (see
@@ -280,7 +287,12 @@ def run_protocol(
     from ..runtime.parallel import resolve_workers
 
     owns_pool = False
-    if pool is None and cfg.spool is None and resolve_workers(cfg.workers) > 1:
+    if (
+        pool is None
+        and cfg.spool is None
+        and cfg.connect is None
+        and resolve_workers(cfg.workers) > 1
+    ):
         from ..runtime.pool import PersistentPool
 
         pool = PersistentPool(resolve_workers(cfg.workers), backend=cfg.backend)
@@ -307,6 +319,7 @@ def run_protocol(
                         ),
                         on_event=on_event,
                         spool=cfg.spool,
+                        connect=cfg.connect,
                     )
                     level.outcomes.append(outcome)
                     if progress is not None:

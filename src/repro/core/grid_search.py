@@ -516,6 +516,7 @@ def grid_search(
     journal: "str | None" = None,
     on_event: Callable[..., None] | None = None,
     spool: "str | None" = None,
+    connect: "str | None" = None,
 ) -> SearchOutcome:
     """Run the FLOPs-sorted search.
 
@@ -581,6 +582,18 @@ def grid_search(
         count or failures; losing every agent finishes the search
         in-process.  An execution knob like ``workers``: it never
         affects results.
+    connect:
+        Optional ``HOST:PORT`` to bind (or a
+        :class:`repro.runtime.cluster_tcp.TcpConfig`).  When given, the
+        search runs as a TCP cluster coordinator
+        (:func:`repro.runtime.cluster_tcp.tcp_cluster_search`): chunks
+        are leased to ``repro cluster-agent --connect`` processes over
+        checksummed socket frames — no shared filesystem required —
+        instead of local pool workers, and ``workers``/``pool`` are
+        ignored.  Same guarantee as ``spool``: the outcome is
+        bit-identical to the sequential baseline regardless of agent
+        count, disconnects, or partitions; losing every agent finishes
+        the search in-process.  Mutually exclusive with ``spool``.
 
     Returns
     -------
@@ -590,6 +603,11 @@ def grid_search(
     """
     if not specs:
         raise SearchError("empty search space")
+    if spool is not None and connect is not None:
+        raise SearchError(
+            "spool= and connect= are mutually exclusive: pick one "
+            "cluster transport (shared-filesystem spool or TCP)"
+        )
     settings = settings or TrainingSettings()
     if settings.runs < 1:
         raise SearchError(f"settings.runs must be >= 1, got {settings.runs}")
@@ -655,6 +673,24 @@ def grid_search(
             conv,
             seed,
             spool=spool,
+            progress=progress,
+            journal=search_journal,
+            on_event=on_event,
+            outcome=outcome,
+            start_index=start_index,
+        )
+
+    if connect is not None:
+        from ..runtime.cluster_tcp import tcp_cluster_search
+
+        return tcp_cluster_search(
+            ranked,
+            split,
+            threshold,
+            settings,
+            conv,
+            seed,
+            connect=connect,
             progress=progress,
             journal=search_journal,
             on_event=on_event,

@@ -29,7 +29,10 @@ death with.
 
 :mod:`repro.runtime.cluster` shards one search across hosts over a
 shared-filesystem spool — lease-based claims, heartbeat liveness,
-dead-host recovery, sequential-identical commit order — and
+dead-host recovery, sequential-identical commit order —
+:mod:`repro.runtime.cluster_tcp` is the same coordinator core over a
+listening socket for filesystem-less rigs (checksummed frames,
+connection leases, reconnect with backoff, partition tolerance), and
 :mod:`repro.runtime.backoff` is the shared capped decorrelated-jitter
 retry policy every retry path sleeps through.
 """
@@ -37,12 +40,19 @@ retry policy every retry path sleeps through.
 from .backoff import Backoff, retry_call
 from .cluster import (
     AgentStats,
+    CoordinatorCore,
     SpoolConfig,
     SpoolCoordinator,
     cluster_search,
     run_agent,
     stop_agents,
     sweep_stale_leases,
+)
+from .cluster_tcp import (
+    TcpConfig,
+    TcpCoordinator,
+    run_tcp_agent,
+    tcp_cluster_search,
 )
 from .faults import FaultPlan
 from .jobs import (
@@ -93,9 +103,14 @@ __all__ = [
     "retry_call",
     "SpoolConfig",
     "SpoolCoordinator",
+    "CoordinatorCore",
     "AgentStats",
     "cluster_search",
     "run_agent",
     "stop_agents",
     "sweep_stale_leases",
+    "TcpConfig",
+    "TcpCoordinator",
+    "run_tcp_agent",
+    "tcp_cluster_search",
 ]

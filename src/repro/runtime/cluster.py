@@ -117,6 +117,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .journal import SearchJournal
 
 __all__ = [
+    "CoordinatorCore",
     "SpoolConfig",
     "SpoolChunk",
     "SpoolResult",
@@ -408,13 +409,20 @@ class SpoolResult:
 
 @dataclass(frozen=True)
 class SpoolConfig:
-    """Spool transport knobs (`path` is the shared directory)."""
+    """Spool transport knobs (`path` is the shared directory).
+
+    ``cost_cache`` names an optional JSON file for the coordinator's
+    :class:`~repro.runtime.pool.ChunkCostModel` — measured per-chunk
+    wall times loaded at start and saved at the end of the search, the
+    cluster twin of the pool's ``--cost-cache`` persistence.
+    """
 
     path: "str | os.PathLike"
     lease_timeout_s: float = SPOOL_LEASE_TIMEOUT_S
     poll_interval_s: float = SPOOL_POLL_INTERVAL_S
     agent_grace_s: float = SPOOL_AGENT_GRACE_S
     io_retries: int = 4
+    cost_cache: "str | os.PathLike | None" = None
 
 
 # -- startup hygiene --------------------------------------------------------
@@ -461,11 +469,21 @@ def stop_agents(spool_dir: "str | os.PathLike") -> None:
 
     Idempotent; agents notice the file on their next poll.  The CLI
     calls this after its last coordinated search so a cluster run winds
-    down without having to hunt agent processes across hosts.
+    down without having to hunt agent processes across hosts.  A spool
+    that was already torn down (or whose parent path is no longer
+    writable) has no agents left to stop, so failing to write the file
+    is a no-op rather than an error.
     """
     root = pathlib.Path(spool_dir)
-    root.mkdir(parents=True, exist_ok=True)
-    (root / _STOP_FILE).touch()
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        (root / _STOP_FILE).touch()
+    except OSError as error:
+        logger.info(
+            "not writing stop file under %s (%s); spool already cleaned up",
+            root,
+            error,
+        )
 
 
 # -- coordinator ------------------------------------------------------------
@@ -480,7 +498,295 @@ class _Exhausted(Exception):
         self.attempts = attempts
 
 
-class SpoolCoordinator:
+class CoordinatorCore:
+    """Transport-agnostic half of a cluster coordinator.
+
+    Everything that makes a sharded search *correct* lives here, shared
+    by every transport: strict FLOPs-order commit (``_commit_ready``),
+    bounded re-attempts for lost chunks (``_next_attempt``),
+    first-commit-wins duplicate arbitration plus run-coverage
+    validation (``_ingest``), measured-cost feedback into a
+    :class:`~repro.runtime.pool.ChunkCostModel` (optionally persisted
+    through ``cost_cache``), and the graceful-degradation floor
+    (``_fallback`` → the shared ``_finish_sequential``).  A transport
+    subclass (:class:`SpoolCoordinator` over a shared filesystem,
+    :class:`repro.runtime.cluster_tcp.TcpCoordinator` over sockets)
+    owns only the medium — how chunks reach agents, how results come
+    back, how liveness is observed — which is why the returned
+    :class:`~repro.core.grid_search.SearchOutcome` is bit-identical
+    across transports and to the sequential baseline.
+    """
+
+    def __init__(
+        self,
+        ranked: Sequence["ModelSpec"],
+        split: "DataSplit",
+        threshold: float,
+        settings: "TrainingSettings",
+        convention: "CountingConvention",
+        seed: int,
+        progress: Callable[["CandidateResult"], None] | None = None,
+        journal: "SearchJournal | None" = None,
+        on_event: Callable[[SearchEvent], None] | None = None,
+        outcome: "SearchOutcome | None" = None,
+        start_index: int = 0,
+        cost_cache: "str | os.PathLike | None" = None,
+    ) -> None:
+        from ..core.grid_search import SearchOutcome
+        from .pool import ChunkCostModel
+
+        if settings.runs < 1:
+            raise SearchError(
+                f"settings.runs must be >= 1, got {settings.runs}"
+            )
+        self.ranked = ranked
+        self.split = split
+        self.threshold = threshold
+        self.settings = settings
+        self.convention = convention
+        self.seed = seed
+        self.progress = progress
+        self.journal = journal
+        self.on_event = on_event
+        self.outcome = outcome or SearchOutcome(
+            threshold=threshold, winner=None
+        )
+        self.token = _new_owner_id()
+        self.dataset_name = f"{self.token}.split"
+        # Commit bookkeeping (mirrors the pool scheduler's).
+        self.next_commit = start_index
+        self.ready: "dict[int, CandidateResult | RunError]" = {}
+        self.done: set[int] = set()
+        self.attempts: dict[int, int] = {}  # cid -> submissions so far
+        # Measured per-chunk cost feedback: agents report wall_time_s
+        # with every result, so claim-grant packing (and, persisted,
+        # the next run's) orders by observed seconds across hosts.
+        self.cost_cache = os.fspath(cost_cache) if cost_cache else None
+        self.cost_model = ChunkCostModel()
+        if self.cost_cache:
+            self.cost_model.load_json(self.cost_cache)
+        # Stats.
+        self.duplicate_results = 0
+        self.chunk_retries = 0
+        self.sequential_fallbacks = 0
+        self.agents_seen: set[str] = set()
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        message: str,
+        candidates: Sequence[int] = (),
+        attempts: int = 0,
+    ) -> None:
+        logger.warning("%s", message)
+        if self.on_event is not None:
+            self.on_event(
+                SearchEvent(
+                    kind=kind,
+                    message=message,
+                    candidates=tuple(candidates),
+                    attempts=attempts,
+                )
+            )
+
+    # -- work creation -----------------------------------------------------
+
+    def _make_chunk(self, cid: int, attempt: int) -> SpoolChunk:
+        runs = self.settings.runs
+        return SpoolChunk(
+            token=self.token,
+            chunk_id=cid,
+            attempt=attempt,
+            jobs=tuple(
+                TrainingJob(self.ranked[cid], self.seed, cid, run)
+                for run in range(runs)
+            ),
+            settings=self.settings,
+            vectorized=self.settings.vectorized_runs and runs > 1,
+            dataset=self.dataset_name,
+        )
+
+    def _next_attempt(self, cid: int, cause: str) -> int | None:
+        """Account one more attempt for a lost chunk, or ``None`` when
+        the chunk already completed.  Raises :class:`_Exhausted` past
+        ``settings.max_retries``; the transport enqueues the returned
+        attempt on its own medium."""
+        if cid in self.done:
+            return None
+        attempt = self.attempts.get(cid, 0) + 1
+        max_retries = self.settings.max_retries
+        if attempt > max_retries + 1:
+            error = SearchError(
+                f"{cause}; the chunk for candidate {cid} was lost "
+                f"{attempt - 1} time(s) (max_retries={max_retries})"
+            )
+            error.attempts = attempt - 1
+            raise _Exhausted(error, attempt - 1)
+        self.chunk_retries += 1
+        self._emit(
+            "retry",
+            f"{cause}; re-enqueueing the chunk for candidate {cid} "
+            f"(attempt {attempt} of {max_retries + 1})",
+            candidates=[cid],
+            attempts=attempt,
+        )
+        return attempt
+
+    # -- measured-cost feedback --------------------------------------------
+
+    def _observe_cost(self, result: SpoolResult) -> None:
+        """Feed a clean result's measured wall time into the cost model."""
+        if result.wall_time_s <= 0.0:
+            return
+        if any(isinstance(entry, RunError) for entry in result.entries):
+            return  # failed chunks measure the failure, not the work
+        spec = self.ranked[result.chunk_id]
+        self.cost_model.observe(
+            spec.label,
+            spec.flops(self.convention),
+            result.wall_time_s,
+            self.settings.runs,
+        )
+
+    def _save_cost_model(self) -> None:
+        if self.cost_cache and self.cost_model.observations:
+            try:
+                self.cost_model.save_json(self.cost_cache)
+            except OSError as error:  # pragma: no cover - cache dir gone
+                logger.warning(
+                    "could not save cluster cost cache %s: %s",
+                    self.cost_cache,
+                    error,
+                )
+
+    # -- result ingest and commit ------------------------------------------
+
+    def _ingest(self, result: SpoolResult) -> bool:
+        """Buffer one delivered result's verdict for in-order commit.
+
+        Returns ``False`` for a duplicate delivery (the chunk already
+        completed under another attempt — first commit wins, later
+        copies are counted and dropped), ``True`` once the verdict is
+        buffered.  Raises :class:`TornFileError` when the result does
+        not cover exactly runs ``0..runs-1``; the transport quarantines
+        and requeues.
+        """
+        from ..core.grid_search import aggregate_runs
+
+        runs = self.settings.runs
+        cid = result.chunk_id
+        if cid in self.done:
+            self.duplicate_results += 1
+            logger.info(
+                "dropping duplicate result for candidate %d "
+                "(first-commit wins)",
+                cid,
+            )
+            return False
+        per_run: "dict[int, RunResult | RunError]" = {
+            entry.run: entry for entry in result.entries
+        }
+        if set(per_run) != set(range(runs)):
+            raise TornFileError(
+                f"result for candidate {cid} covers runs "
+                f"{sorted(per_run)}; expected 0..{runs - 1}"
+            )
+        failed = [
+            r for r in range(runs) if isinstance(per_run[r], RunError)
+        ]
+        verdict: "CandidateResult | RunError"
+        if failed:
+            entry = per_run[failed[0]]
+            verdict = RunError(
+                candidate_index=entry.candidate_index,
+                run=entry.run,
+                error=entry.error,
+                attempts=self.attempts.get(cid, 1),
+            )
+        else:
+            verdict = aggregate_runs(
+                self.ranked[cid],
+                self.convention,
+                [per_run[r] for r in range(runs)],
+            )
+        self.done.add(cid)
+        self._observe_cost(result)
+        self.ready[cid] = verdict
+        return True
+
+    def _commit_ready(self) -> bool:
+        """Commit buffered verdicts strictly in FLOPs order."""
+        while self.next_commit in self.ready:
+            committed = self.ready.pop(self.next_commit)
+            if isinstance(committed, RunError):
+                run_error = committed.error
+                try:
+                    run_error.attempts = committed.attempts
+                except Exception:  # pragma: no cover - exotic error type
+                    pass
+                raise run_error
+            self.outcome.evaluated.append(committed)
+            if self.journal is not None:
+                self.journal.append(self.next_commit, committed)
+            self.next_commit += 1
+            if self.progress is not None:
+                self.progress(committed)
+            if committed.passes(self.threshold):
+                self.outcome.winner = committed
+                return True
+        return self.next_commit >= len(self.ranked)
+
+    # -- fallback ----------------------------------------------------------
+
+    def _abort_outstanding(self) -> None:
+        """Transport hook: withdraw work agents have not claimed yet."""
+
+    def _fallback(self, reason: str, attempts: int = 0) -> "SearchOutcome":
+        self.sequential_fallbacks += 1
+        self._emit(
+            "sequential-fallback",
+            f"{reason}; finishing the remaining "
+            f"{len(self.ranked) - self.next_commit} candidate(s) "
+            "in-process sequentially",
+            attempts=attempts,
+        )
+        # Stop agents from burning cycles on chunks whose results
+        # nobody will read.
+        self._abort_outstanding()
+        return _finish_sequential(
+            self.ranked,
+            self.split,
+            self.threshold,
+            self.settings,
+            self.convention,
+            self.seed,
+            self.outcome,
+            self.next_commit,
+            self.ready,
+            journal=self.journal,
+            progress=self.progress,
+        )
+
+    # -- stats -------------------------------------------------------------
+
+    def core_stats(self) -> dict:
+        """Instrumentation counters shared by every transport."""
+        return {
+            "token": self.token,
+            "committed": self.next_commit,
+            "enqueued": len(self.attempts),
+            "completed_chunks": len(self.done),
+            "duplicate_results": self.duplicate_results,
+            "chunk_retries": self.chunk_retries,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "cost_observations": self.cost_model.observations,
+            "agents_seen": len(self.agents_seen),
+        }
+
+
+class SpoolCoordinator(CoordinatorCore):
     """Drives one spool-sharded search; returns a sequential-identical
     :class:`~repro.core.grid_search.SearchOutcome`.
 
@@ -506,53 +812,38 @@ class SpoolCoordinator:
         outcome: "SearchOutcome | None" = None,
         start_index: int = 0,
     ) -> None:
-        from ..core.grid_search import SearchOutcome
-
-        if settings.runs < 1:
-            raise SearchError(
-                f"settings.runs must be >= 1, got {settings.runs}"
-            )
         self.cfg = (
             config
             if isinstance(config, SpoolConfig)
             else SpoolConfig(path=config)
         )
-        self.root = pathlib.Path(self.cfg.path)
-        self.ranked = ranked
-        self.split = split
-        self.threshold = threshold
-        self.settings = settings
-        self.convention = convention
-        self.seed = seed
-        self.progress = progress
-        self.journal = journal
-        self.on_event = on_event
-        self.outcome = outcome or SearchOutcome(
-            threshold=threshold, winner=None
+        super().__init__(
+            ranked,
+            split,
+            threshold,
+            settings,
+            convention,
+            seed,
+            progress=progress,
+            journal=journal,
+            on_event=on_event,
+            outcome=outcome,
+            start_index=start_index,
+            cost_cache=self.cfg.cost_cache,
         )
-        self.token = _new_owner_id()
+        self.root = pathlib.Path(self.cfg.path)
         self.io = _SpoolIO(self.cfg.io_retries)
-        self.dataset_name = f"{self.token}.split"
-        # Commit bookkeeping (mirrors the pool scheduler's).
-        self.next_commit = start_index
-        self.ready: "dict[int, CandidateResult | RunError]" = {}
-        self.done: set[int] = set()
-        self.attempts: dict[int, int] = {}  # cid -> submissions so far
         # Liveness observation: agent -> (counter, monotonic last change);
         # lease name -> monotonic first seen (for agents that died before
         # their first heartbeat landed).
         self.agents: dict[str, tuple[int, float]] = {}
         self.lease_seen: dict[str, float] = {}
         self._missing_once: set[int] = set()
-        # Stats.
+        # Spool-specific stats.
         self.swept_leases = 0
         self.swept_files = 0
         self.expired_leases = 0
         self.quarantined = 0
-        self.duplicate_results = 0
-        self.chunk_retries = 0
-        self.sequential_fallbacks = 0
-        self.agents_seen: set[str] = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -562,6 +853,7 @@ class SpoolCoordinator:
             return self._loop()
         finally:
             self._cleanup()
+            self._save_cost_model()
             logger.info("spool coordinator stats: %s", self.stats())
 
     def prepare(self) -> None:
@@ -620,58 +912,16 @@ class SpoolCoordinator:
     def stats(self) -> dict:
         """One snapshot of the coordinator's instrumentation counters."""
         return {
-            "token": self.token,
-            "committed": self.next_commit,
-            "enqueued": len(self.attempts),
-            "completed_chunks": len(self.done),
+            **self.core_stats(),
             "expired_leases": self.expired_leases,
             "swept_leases": self.swept_leases,
             "swept_files": self.swept_files,
             "quarantined": self.quarantined,
-            "duplicate_results": self.duplicate_results,
-            "chunk_retries": self.chunk_retries,
-            "sequential_fallbacks": self.sequential_fallbacks,
             "io_retries": self.io.io_retries,
             "io_backoff_s": round(self.io.backoff_s, 3),
-            "agents_seen": len(self.agents_seen),
         }
 
-    # -- events ------------------------------------------------------------
-
-    def _emit(
-        self,
-        kind: str,
-        message: str,
-        candidates: Sequence[int] = (),
-        attempts: int = 0,
-    ) -> None:
-        logger.warning("%s", message)
-        if self.on_event is not None:
-            self.on_event(
-                SearchEvent(
-                    kind=kind,
-                    message=message,
-                    candidates=tuple(candidates),
-                    attempts=attempts,
-                )
-            )
-
     # -- work creation -----------------------------------------------------
-
-    def _make_chunk(self, cid: int, attempt: int) -> SpoolChunk:
-        runs = self.settings.runs
-        return SpoolChunk(
-            token=self.token,
-            chunk_id=cid,
-            attempt=attempt,
-            jobs=tuple(
-                TrainingJob(self.ranked[cid], self.seed, cid, run)
-                for run in range(runs)
-            ),
-            settings=self.settings,
-            vectorized=self.settings.vectorized_runs and runs > 1,
-            dataset=self.dataset_name,
-        )
 
     def _enqueue(self, cid: int, attempt: int) -> None:
         payload = pickle.dumps(
@@ -686,26 +936,9 @@ class SpoolCoordinator:
 
     def _requeue(self, cid: int, cause: str) -> None:
         """Re-enqueue a lost chunk, bounded by ``settings.max_retries``."""
-        if cid in self.done:
-            return
-        attempt = self.attempts.get(cid, 0) + 1
-        max_retries = self.settings.max_retries
-        if attempt > max_retries + 1:
-            error = SearchError(
-                f"{cause}; the chunk for candidate {cid} was lost "
-                f"{attempt - 1} time(s) (max_retries={max_retries})"
-            )
-            error.attempts = attempt - 1
-            raise _Exhausted(error, attempt - 1)
-        self.chunk_retries += 1
-        self._emit(
-            "retry",
-            f"{cause}; re-enqueueing the chunk for candidate {cid} "
-            f"(attempt {attempt} of {max_retries + 1})",
-            candidates=[cid],
-            attempts=attempt,
-        )
-        self._enqueue(cid, attempt)
+        attempt = self._next_attempt(cid, cause)
+        if attempt is not None:
+            self._enqueue(cid, attempt)
 
     def _top_up(self, live_agents: int) -> None:
         window = max(2, _SPECULATION_PER_AGENT * live_agents)
@@ -825,9 +1058,6 @@ class SpoolCoordinator:
 
     def _ingest_results(self) -> bool:
         """Ingest result files; commit in rank order.  True when done."""
-        from ..core.grid_search import aggregate_runs
-
-        runs = self.settings.runs
         for name in self.io.listing(self.root / _RESULT_DIR):
             parsed = _parse_result(name)
             if parsed is None:
@@ -852,14 +1082,7 @@ class SpoolCoordinator:
                 continue  # raced its own ingest on a previous poll
             try:
                 result = pickle.loads(_unframe(blob))
-                per_run: "dict[int, RunResult | RunError]" = {
-                    entry.run: entry for entry in result.entries
-                }
-                if set(per_run) != set(range(runs)):
-                    raise TornFileError(
-                        f"result {name} covers runs {sorted(per_run)}; "
-                        f"expected 0..{runs - 1}"
-                    )
+                self._ingest(result)
             except Exception as error:
                 self.quarantined += 1
                 self.io.quarantine(path, self.root)
@@ -871,80 +1094,16 @@ class SpoolCoordinator:
                 )
                 self._requeue(cid, "its result file failed validation")
                 continue
-            self.done.add(cid)
             self.io.unlink(path)
-            failed = [
-                r for r in range(runs) if isinstance(per_run[r], RunError)
-            ]
-            verdict: "CandidateResult | RunError"
-            if failed:
-                entry = per_run[failed[0]]
-                verdict = RunError(
-                    candidate_index=entry.candidate_index,
-                    run=entry.run,
-                    error=entry.error,
-                    attempts=self.attempts.get(cid, 1),
-                )
-            else:
-                verdict = aggregate_runs(
-                    self.ranked[cid],
-                    self.convention,
-                    [per_run[r] for r in range(runs)],
-                )
-            self.ready[cid] = verdict
         return self._commit_ready()
-
-    def _commit_ready(self) -> bool:
-        """Commit buffered verdicts strictly in FLOPs order."""
-        while self.next_commit in self.ready:
-            committed = self.ready.pop(self.next_commit)
-            if isinstance(committed, RunError):
-                run_error = committed.error
-                try:
-                    run_error.attempts = committed.attempts
-                except Exception:  # pragma: no cover - exotic error type
-                    pass
-                raise run_error
-            self.outcome.evaluated.append(committed)
-            if self.journal is not None:
-                self.journal.append(self.next_commit, committed)
-            self.next_commit += 1
-            if self.progress is not None:
-                self.progress(committed)
-            if committed.passes(self.threshold):
-                self.outcome.winner = committed
-                return True
-        return self.next_commit >= len(self.ranked)
 
     # -- fallback ----------------------------------------------------------
 
-    def _fallback(self, reason: str, attempts: int = 0) -> "SearchOutcome":
-        self.sequential_fallbacks += 1
-        self._emit(
-            "sequential-fallback",
-            f"{reason}; finishing the remaining "
-            f"{len(self.ranked) - self.next_commit} candidate(s) "
-            "in-process sequentially",
-            attempts=attempts,
-        )
-        # Stop agents from burning cycles on chunks whose results
-        # nobody will read.
+    def _abort_outstanding(self) -> None:
+        """Withdraw unclaimed task files before the sequential floor."""
         for name in self.io.listing(self.root / _TASK_DIR):
             if name.startswith(self.token + "."):
                 self.io.unlink(self.root / _TASK_DIR / name)
-        return _finish_sequential(
-            self.ranked,
-            self.split,
-            self.threshold,
-            self.settings,
-            self.convention,
-            self.seed,
-            self.outcome,
-            self.next_commit,
-            self.ready,
-            journal=self.journal,
-            progress=self.progress,
-        )
 
     # -- main loop ---------------------------------------------------------
 
@@ -1077,13 +1236,20 @@ class _Heartbeat(threading.Thread):
 
 @dataclass
 class AgentStats:
-    """What one :func:`run_agent` call did, for logs and tests."""
+    """What one agent serve loop did, for logs and tests.
+
+    Shared by both transports: :func:`run_agent` (spool) never
+    reconnects, so ``reconnects`` stays 0 there; :func:`repro.runtime.
+    cluster_tcp.run_tcp_agent` counts every re-dial after its first
+    established connection.
+    """
 
     agent_id: str
     chunks_done: int = 0
     claims_lost: int = 0
     quarantined: int = 0
     cancelled: int = 0
+    reconnects: int = 0
     faults_fired: list = field(default_factory=list)
 
 

@@ -46,6 +46,21 @@ kinds — shared memory does not cross hosts, so its plans are armed as
 * ``torn-file`` — the agent writes a truncated result frame, exercising
   checksum detection and quarantine.
 
+The TCP transport (:mod:`repro.runtime.cluster_tcp`) adds three more
+file-armed kinds — its agents take a ``fault_dir`` pointing at the same
+token directory layout, so the one-shot discipline carries over:
+
+* ``conn-drop`` — the agent writes half its result frame and then
+  closes the connection, exercising mid-frame torn-delivery detection,
+  dead-connection requeue and agent reconnect with backoff;
+* ``partition`` — the agent suspends its heartbeat frames for
+  ``delay_s`` while holding its finished result (the connection looks
+  silent, not closed), lets the coordinator expire the lease and
+  re-issue the chunk, then resumes and delivers the now-duplicate
+  result, exercising first-commit-wins dedup over sockets;
+* ``slow-frame`` — the agent stalls mid-result-frame for ``delay_s``,
+  exercising the coordinator's per-frame read timeout.
+
 ``times`` is enforced cross-process by one-shot token files claimed via
 atomic rename (:func:`claim_spool_fault`), so a retried chunk runs clean
 on any host.
@@ -74,6 +89,9 @@ __all__ = [
     "HOST_KILL",
     "LEASE_STEAL",
     "TORN_FILE",
+    "CONN_DROP",
+    "PARTITION",
+    "SLOW_FRAME",
     "arm_spool_fault",
     "clear_spool_fault",
     "claim_spool_fault",
@@ -86,8 +104,15 @@ OOM = "oom"
 HOST_KILL = "host-kill"
 LEASE_STEAL = "lease-steal"
 TORN_FILE = "torn-file"
+CONN_DROP = "conn-drop"
+PARTITION = "partition"
+SLOW_FRAME = "slow-frame"
 _SPOOL_KINDS = (HOST_KILL, LEASE_STEAL, TORN_FILE)
-_KINDS = (KILL, DELAY, CORRUPT_RESULT, OOM) + _SPOOL_KINDS
+_TCP_KINDS = (HOST_KILL, CONN_DROP, PARTITION, SLOW_FRAME)
+#: Every kind armed as one-shot token files rather than control-segment
+#: bytes (the union of the spool's and the TCP transport's kinds).
+_FILE_KINDS = tuple(dict.fromkeys(_SPOOL_KINDS + _TCP_KINDS))
+_KINDS = (KILL, DELAY, CORRUPT_RESULT, OOM) + _FILE_KINDS
 
 # Control-segment layout.  Byte 0 onward is owned by the cancellation
 # protocol (an 8-byte generation floor, see pool._cancel_floor); the
@@ -248,13 +273,15 @@ def arm_spool_fault(spool_dir, plan: FaultPlan) -> None:
     Writes ``faults/plan.json`` plus ``plan.times`` one-shot token files;
     an agent only fires after claiming a token by atomic rename, so the
     firing bound holds across any number of agent processes and hosts.
-    Spool plans must target a ``candidate`` — chunk-counting order is
-    not deterministic across hosts.
+    File-armed plans must target a ``candidate`` — chunk-counting order
+    is not deterministic across hosts.  TCP agents point their
+    ``fault_dir`` at the same layout, so their kinds (``conn-drop``,
+    ``partition``, ``slow-frame``) arm identically.
     """
-    if plan.kind not in _SPOOL_KINDS:
+    if plan.kind not in _FILE_KINDS:
         raise SearchError(
-            f"fault kind {plan.kind!r} cannot be spool-armed; "
-            f"options: {_SPOOL_KINDS}"
+            f"fault kind {plan.kind!r} cannot be file-armed; "
+            f"options: {_FILE_KINDS}"
         )
     if plan.candidate is None:
         raise SearchError("spool fault plans must target a candidate index")

@@ -143,9 +143,11 @@ class SearchEvent:
     unchanged, only the execution shape degraded).  The cluster
     coordinator (:mod:`repro.runtime.cluster`) adds ``"lease-expired"``
     (a chunk was reclaimed from a dead or partitioned agent),
-    ``"torn-file"`` (a spool file failed frame validation and was
-    quarantined), and ``"no-agents"`` (no live agent served the spool
-    within the grace period).
+    ``"torn-file"`` (a spool file or socket frame failed validation),
+    and ``"no-agents"`` (no live agent served the cluster within the
+    grace period); the TCP coordinator
+    (:mod:`repro.runtime.cluster_tcp`) adds ``"conn-lost"`` (an agent
+    connection dropped and its leased chunks were requeued).
     ``candidates`` lists the affected candidate indices (rank order);
     ``attempts`` is the highest submission count among the affected
     chunks at the time of the event.  ``str(event)`` is the human

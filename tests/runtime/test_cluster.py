@@ -337,6 +337,59 @@ class TestTornFiles:
         assert os.listdir(os.path.join(root, "results")) == []
 
 
+class TestCostModel:
+    def test_spool_coordinator_learns_and_persists_chunk_costs(
+        self, easy_split, tmp_path
+    ):
+        """Every delivered ``SpoolResult.wall_time_s`` feeds the
+        coordinator's cost model, and ``cost_cache`` persists it for
+        the next invocation's packing order."""
+        from repro.core.grid_search import rank_by_flops
+        from repro.flops.conventions import get_convention
+        from repro.runtime.pool import ChunkCostModel
+
+        settings = _settings()
+        kwargs = _search_kwargs(easy_split, settings)
+        seq = grid_search(**kwargs, workers=1)
+        cache = tmp_path / "chunk_costs.json"
+        conv = get_convention("paper")
+        ranked = rank_by_flops(small_space(), conv)[:4]
+        spool = _fast_spool(tmp_path, cost_cache=str(cache))
+        coordinator = SpoolCoordinator(
+            ranked, easy_split, 1.01, settings, conv, 5, spool
+        )
+        agents = [_thread_agent(spool)]
+        try:
+            outcome = coordinator.run()
+        finally:
+            _join_agents(spool, agents)
+        _assert_same_outcome(outcome, seq)
+        assert (
+            coordinator.stats()["cost_observations"] == len(seq.evaluated)
+        )
+        # The cache round-trips: a fresh model warm-starts from it.
+        warm = ChunkCostModel()
+        assert warm.load_json(cache)
+        assert warm.observations == len(seq.evaluated)
+
+
+class TestStopIdempotency:
+    def test_stop_agents_tolerates_cleaned_up_spool(self, tmp_path):
+        """Winding down a cluster whose spool directory is already gone
+        (or unwritable) must be a no-op, not a crash: the CLI calls
+        ``stop_agents`` unconditionally on exit."""
+        stop_agents(tmp_path / "never-created")
+        # Harsher: the parent path is a *file*, so mkdir itself fails.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        stop_agents(blocker / "spool")
+        # And calling it twice on a live spool stays idempotent.
+        live = tmp_path / "live"
+        stop_agents(live)
+        stop_agents(live)
+        assert (live / "stop").exists()
+
+
 class TestCoordinatorRestart:
     def test_restart_resumes_from_journal(self, easy_split, tmp_path):
         """A coordinator that dies mid-run (after committing a durable
